@@ -1,0 +1,73 @@
+// Ablation: page-level vs chunk-level pre-copy tracking.
+//
+// The paper's design argument (Section IV): "for application-initiated
+// checkpoints in HPC applications, since most checkpoint data structures
+// fully change, using page level pre-copy will not be beneficial" --
+// page-granular protection pays one 6-12 us fault per page (3 s/GB) while
+// chunk-level pays one fault per chunk per modification interval and the
+// byte savings are small when chunks fully change.
+//
+// This bench runs the same LAMMPS-shaped workload in both tracking modes
+// and reports faults, fault time, blocking checkpoint time, data moved,
+// and total execution time.
+#include "apps/driver.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "vmem/protection.hpp"
+
+namespace {
+
+nvmcp::apps::DriverResult run_mode(nvmcp::vmem::TrackMode mode) {
+  using namespace nvmcp;
+  apps::DriverConfig cfg;
+  cfg.spec = apps::WorkloadSpec::lammps_rhodo();
+  cfg.spec.iters_per_checkpoint = 2;
+  cfg.ranks = 2;
+  cfg.iterations = 8;
+  cfg.size_scale = 1.0 / 32.0;
+  cfg.time_scale = 1.0 / 64.0;
+  cfg.ckpt.local_policy = core::PrecopyPolicy::kCpc;
+  cfg.ckpt.nvm_bw_per_core = 400.0 * MiB;
+  cfg.ckpt.precopy_scan_period = 1e-3;
+  cfg.track_mode = mode;
+  return apps::run_workload(cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nvmcp;
+  // Add the paper's quoted fault cost so the page-mode fault volume is
+  // priced like the hardware they describe (6-12 us per fault).
+  vmem::ProtectionManager::instance().set_extra_fault_latency(8e-6);
+
+  TableWriter table(
+      "Ablation: chunk-level vs page-level pre-copy tracking "
+      "(paper: page-level faults cost 6-12 us each, ~3 s per GB; "
+      "chunk-level amortizes them)",
+      {"tracking", "faults", "fault time", "exec time", "blocking ckpt",
+       "data to NVM"},
+      "ablation_page_vs_chunk.csv");
+
+  for (const auto mode :
+       {vmem::TrackMode::kMprotect, vmem::TrackMode::kMprotectPage}) {
+    const double fault_s0 =
+        vmem::ProtectionManager::instance().total_fault_seconds();
+    const apps::DriverResult r = run_mode(mode);
+    const double fault_secs =
+        vmem::ProtectionManager::instance().total_fault_seconds() - fault_s0;
+    table.row({mode == vmem::TrackMode::kMprotect ? "chunk-level"
+                                                  : "page-level",
+               std::to_string(r.protection_faults),
+               format_seconds(fault_secs),
+               format_seconds(r.wall_seconds),
+               format_seconds(r.ckpt.local_blocking_seconds),
+               format_bytes(static_cast<double>(r.ckpt.total_nvm_bytes()))});
+  }
+  table.print();
+  std::printf("\nExpected shape: page-level tracking takes orders of "
+              "magnitude more faults; its byte savings do not pay for the "
+              "fault overhead because checkpoint arrays change wholesale.\n");
+  vmem::ProtectionManager::instance().set_extra_fault_latency(0);
+  return 0;
+}

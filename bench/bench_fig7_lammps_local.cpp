@@ -1,0 +1,25 @@
+// Fig 7: LAMMPS (RhodoSpin) local checkpoint -- application execution time
+// and total data copied to NVM, across NVM bandwidth/core, pre-copy vs no
+// pre-copy.
+//
+// Paper: "even with decreasing NVM parallel bandwidth, pre-copy checkpoint
+// adds only 6.5% overhead to application execution time, compared to the
+// 15% in the 'no pre-copy' case ... the total data copied by pre-copy is
+// slightly higher (3%)." 48 MPI processes, ~410 MB checkpoint/process.
+#include "local_experiment.hpp"
+
+int main() {
+  using namespace nvmcp;
+  bench::LocalExperimentOptions opt;
+  opt.spec = apps::WorkloadSpec::lammps_rhodo();
+  opt.figure_label = "Fig 7";
+  opt.paper_claim =
+      "paper: pre-copy ~6.5% overhead vs ~15% no-pre-copy at low BW; "
+      "pre-copy data volume ~+3%";
+  opt.scale = 1.0 / 64.0;
+  opt.ranks = 4;
+  opt.iterations = 12;
+  opt.csv = "fig7_lammps_local.csv";
+  bench::run_local_experiment(opt);
+  return 0;
+}

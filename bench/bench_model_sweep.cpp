@@ -1,0 +1,73 @@
+// Section III analytical model: T_total decomposition, pre-copy effect,
+// and the optimal local-interval search across failure rates.
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/model.hpp"
+
+int main() {
+  using namespace nvmcp;
+  using namespace nvmcp::model;
+
+  {
+    TableWriter table(
+        "Model: efficiency vs NVMBW_core and pre-copy (GTC-like: D=433 MB, "
+        "I=40 s, remote 120 s)",
+        {"NVMBW_core", "policy", "t_lcl blocking", "T_total", "efficiency"},
+        "model_sweep.csv");
+    for (const double bw : {100e6, 200e6, 400e6, 800e6, 1600e6}) {
+      for (const bool precopy : {false, true}) {
+        SystemParams p;
+        p.nvm_bw_core = bw;
+        p.precopy = precopy;
+        const ModelResult r = evaluate(p);
+        table.row({format_bandwidth(bw), precopy ? "precopy" : "none",
+                   format_seconds(r.t_lcl_blocking),
+                   format_seconds(r.t_total),
+                   TableWriter::num(r.efficiency, 4)});
+      }
+    }
+    table.print();
+  }
+
+  {
+    TableWriter table(
+        "Model: optimal local checkpoint interval vs MTBF_local",
+        {"MTBF_local (s)", "optimal I (s)", "T_total at optimum",
+         "efficiency"});
+    for (const double mtbf : {60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0}) {
+      SystemParams p;
+      p.mtbf_local = mtbf;
+      const double opt = optimal_local_interval(p);
+      p.local_interval = opt;
+      const ModelResult r = evaluate(p);
+      table.row({TableWriter::num(mtbf, 0), TableWriter::num(opt, 1),
+                 format_seconds(r.t_total),
+                 TableWriter::num(r.efficiency, 4)});
+    }
+    table.print();
+  }
+
+  {
+    TableWriter table(
+        "Model: failure-split sensitivity (soft vs hard failures)",
+        {"MTBF_lcl", "MTBF_rmt", "restart+recomp local", "remote",
+         "efficiency"});
+    for (const double split : {0.5, 0.64, 0.8, 0.95}) {
+      // `split` = fraction of failures recoverable locally (paper cites
+      // 64% soft errors on ASCI Q).
+      const double total_rate = 1.0 / 400.0;
+      SystemParams p;
+      p.mtbf_local = 1.0 / (total_rate * split);
+      p.mtbf_remote = 1.0 / (total_rate * (1.0 - split));
+      p.precopy = true;
+      const ModelResult r = evaluate(p);
+      table.row({TableWriter::num(p.mtbf_local, 0),
+                 TableWriter::num(p.mtbf_remote, 0),
+                 format_seconds(r.t_restart_recomp_local),
+                 format_seconds(r.t_restart_recomp_remote),
+                 TableWriter::num(r.efficiency, 4)});
+    }
+    table.print();
+  }
+  return 0;
+}

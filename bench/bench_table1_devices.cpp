@@ -1,0 +1,32 @@
+// Table I: NVM vs DRAM hardware performance parameters used throughout the
+// emulation (five-year PCM projection from the paper's reference [11]).
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "nvm/spec.hpp"
+
+int main() {
+  using namespace nvmcp;
+  TableWriter table(
+      "Table I: NVM vs DRAM device parameters (emulation inputs)",
+      {"attribute", "DRAM", "PCM", "paper"});
+  const NvmSpec dram = NvmSpec::dram();
+  const NvmSpec pcm = NvmSpec::pcm();
+  table.row({"write bandwidth", format_bandwidth(dram.write_bandwidth),
+             format_bandwidth(pcm.write_bandwidth),
+             "~8 GB/s vs ~2 GB/s"});
+  table.row({"read bandwidth", format_bandwidth(dram.read_bandwidth),
+             format_bandwidth(pcm.read_bandwidth), "(reads ~DRAM)"});
+  table.row({"page write latency", format_seconds(dram.page_write_latency),
+             format_seconds(pcm.page_write_latency),
+             "~20-50 ns vs ~1 us"});
+  table.row({"page read latency", format_seconds(dram.page_read_latency),
+             format_seconds(pcm.page_read_latency),
+             "~20-50 ns vs ~50 ns"});
+  table.row({"write endurance", TableWriter::num(dram.write_endurance, 0),
+             TableWriter::num(pcm.write_endurance, 0), "1e16 vs 1e8"});
+  table.row({"write energy (x DRAM)",
+             TableWriter::num(dram.write_energy_ratio, 0),
+             TableWriter::num(pcm.write_energy_ratio, 0), "40x"});
+  table.print();
+  return 0;
+}

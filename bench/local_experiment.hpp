@@ -1,0 +1,94 @@
+// Shared harness for the local-checkpoint experiments (Figs 7, 8 and the
+// CM1 result): runs a workload through the real library at several
+// NVMBW_core settings, with and without pre-copy, and prints the paper's
+// series -- application execution time (left axis) and total data copied
+// to NVM (right axis) -- plus the overhead vs the no-checkpoint ideal.
+//
+// Scaling: sizes and compute time shrink by `scale` while bandwidths stay
+// at paper values, so every overhead percentage matches the unscaled
+// system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/driver.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace nvmcp::bench {
+
+struct LocalExperimentOptions {
+  apps::WorkloadSpec spec;
+  std::string figure_label;
+  std::string paper_claim;
+  double scale = 1.0 / 64.0;
+  int ranks = 4;  // scaled stand-in for the paper's 48 MPI processes
+  int iterations = 12;
+  /// NVM bandwidth/core sweep (paper x-axis), bytes/sec.
+  std::vector<double> bandwidths = {100.0 * MiB, 200.0 * MiB, 400.0 * MiB,
+                                    800.0 * MiB};
+  std::string csv;
+};
+
+struct LocalRunPoint {
+  double bw = 0;
+  bool precopy = false;
+  double exec_seconds = 0;
+  double overhead = 0;       // vs no-checkpoint ideal
+  double nvm_bytes = 0;      // total data copied to NVM
+  double blocking_seconds = 0;
+  std::uint64_t skipped = 0;
+};
+
+inline apps::DriverResult run_local_point(
+    const LocalExperimentOptions& opt, double bw,
+    core::PrecopyPolicy policy, bool checkpoint_enabled = true) {
+  apps::DriverConfig cfg;
+  cfg.spec = opt.spec;
+  cfg.ranks = opt.ranks;
+  cfg.iterations = opt.iterations;
+  cfg.size_scale = opt.scale;
+  cfg.time_scale = opt.scale;
+  cfg.checkpoint_enabled = checkpoint_enabled;
+  cfg.ckpt.local_policy = policy;
+  cfg.ckpt.nvm_bw_per_core = bw;
+  cfg.ckpt.precopy_scan_period = 1e-3;
+  // The paper's no-pre-copy baseline has no chunk modification tracking:
+  // every coordinated checkpoint rewrites everything.
+  cfg.ckpt.skip_unmodified = policy != core::PrecopyPolicy::kNone;
+  return apps::run_workload(cfg);
+}
+
+inline void run_local_experiment(const LocalExperimentOptions& opt) {
+  // Ideal: same workload, checkpointing disabled.
+  const apps::DriverResult ideal = run_local_point(
+      opt, 0, core::PrecopyPolicy::kNone, /*checkpoint_enabled=*/false);
+
+  TableWriter table(
+      opt.figure_label + " -- " + opt.spec.name +
+          " local checkpoint: pre-copy (DCPCP) vs no pre-copy\n" +
+          "   (" + opt.paper_claim + ")",
+      {"NVM BW/core", "policy", "exec time", "overhead vs ideal",
+       "blocking ckpt time", "data to NVM", "chunks skipped"},
+      opt.csv);
+
+  for (const double bw : opt.bandwidths) {
+    for (const core::PrecopyPolicy policy :
+         {core::PrecopyPolicy::kNone, core::PrecopyPolicy::kDcpcp}) {
+      const apps::DriverResult r = run_local_point(opt, bw, policy);
+      const double overhead =
+          r.wall_seconds / ideal.wall_seconds - 1.0;
+      table.row({format_bandwidth(bw), core::to_string(policy),
+                 format_seconds(r.wall_seconds), TableWriter::pct(overhead),
+                 format_seconds(r.ckpt.local_blocking_seconds),
+                 format_bytes(static_cast<double>(r.ckpt.total_nvm_bytes())),
+                 std::to_string(r.ckpt.chunks_skipped_unmodified)});
+    }
+  }
+  table.print();
+  std::printf("  ideal (no checkpointing) exec time: %s\n",
+              format_seconds(ideal.wall_seconds).c_str());
+}
+
+}  // namespace nvmcp::bench

@@ -1,0 +1,11 @@
+#include "alloc/chunk.hpp"
+
+namespace nvmcp::alloc {
+
+void Chunk::notify_write() {
+  if (prot_handle_ >= 0) {
+    vmem::ProtectionManager::instance().notify_write(prot_handle_);
+  }
+}
+
+}  // namespace nvmcp::alloc

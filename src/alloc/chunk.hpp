@@ -1,0 +1,97 @@
+// A chunk: one checkpointed application variable.
+//
+// Shadow buffering (paper Fig 3): the application computes against a DRAM
+// working buffer; the chunk additionally owns two shadow slots in NVM (a
+// committed version and an in-progress version). The allocator/checkpoint
+// engine moves data across the DRAM->NVM boundary; the application never
+// stores to NVM directly, avoiding the 10x store-latency penalty.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "vmem/metadata.hpp"
+#include "vmem/protection.hpp"
+
+namespace nvmcp::alloc {
+
+class ChunkAllocator;
+
+class Chunk {
+ public:
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return size_; }
+  bool persistent() const { return persistent_; }
+
+  /// DRAM working buffer (what nvalloc returns to the application).
+  void* data() { return dram_; }
+  const void* data() const { return dram_; }
+  template <typename T>
+  T* as() {
+    return static_cast<T*>(data());
+  }
+
+  /// Result of the restore attempt made when this chunk was allocated with
+  /// the persistent flag against a reopened device.
+  RestoreStatus restore_status() const { return restore_status_; }
+  bool restored() const {
+    return restore_status_ == RestoreStatus::kOk ||
+           restore_status_ == RestoreStatus::kOkFromRemote;
+  }
+
+  // --- dirty tracking --------------------------------------------------
+  vmem::WriteTracker& tracker() { return tracker_; }
+  const vmem::WriteTracker& tracker() const { return tracker_; }
+
+  bool dirty_local() const {
+    return tracker_.dirty_local.load(std::memory_order_acquire);
+  }
+  bool dirty_remote() const {
+    return tracker_.dirty_remote.load(std::memory_order_acquire);
+  }
+
+  /// Explicit write notification (software tracking mode, or to skip a
+  /// protection fault the caller knows is coming).
+  void notify_write();
+
+  /// Epoch of the payload sitting in the in-progress slot from a pre-copy,
+  /// 0 if none. Managed by the checkpoint engine.
+  std::uint64_t precopied_epoch() const { return precopied_epoch_; }
+
+  vmem::ChunkRecord& record() { return *record_; }
+  const vmem::ChunkRecord& record() const { return *record_; }
+
+ private:
+  friend class ChunkAllocator;
+  Chunk() = default;
+
+  std::uint64_t id_ = 0;
+  std::string name_;
+  std::size_t size_ = 0;
+  std::size_t dram_capacity_ = 0;  // page-rounded mmap length (0: attached)
+  std::byte* dram_ = nullptr;
+  bool owns_dram_ = false;
+  bool persistent_ = false;
+  RestoreStatus restore_status_ = RestoreStatus::kNoData;
+
+  vmem::ChunkRecord* record_ = nullptr;
+  vmem::WriteTracker tracker_;
+  int prot_handle_ = -1;
+  vmem::TrackMode mode_ = vmem::TrackMode::kSoftware;
+
+  // Pre-copy state (owned by the checkpoint engine, stored here so the
+  // engine stays stateless per chunk).
+  std::uint64_t precopied_epoch_ = 0;
+  std::uint64_t pending_checksum_ = 0;
+
+  // Page-level tracking mode only: per-NVM-slot pending page sets (a page
+  // is pending for a slot until its contents have been copied into that
+  // slot). One byte per page; guarded by the manager's checkpoint mutex.
+  std::vector<std::uint8_t> slot_pages_pending_[2];
+};
+
+}  // namespace nvmcp::alloc

@@ -1,0 +1,406 @@
+#include "alloc/nvmalloc.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/checksum.hpp"
+#include "common/log.hpp"
+
+namespace nvmcp::alloc {
+namespace {
+
+std::byte* map_dram(std::size_t bytes) {
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw NvmcpError("nvalloc: mmap DRAM buffer failed");
+  return static_cast<std::byte*>(p);
+}
+
+}  // namespace
+
+std::uint64_t genid(std::string_view varname) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : varname) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h ? h : 1;  // 0 is reserved for "no chunk"
+}
+
+ChunkAllocator::ChunkAllocator(vmem::Container& container)
+    : ChunkAllocator(container, Options{}) {}
+
+ChunkAllocator::ChunkAllocator(vmem::Container& container, Options opts)
+    : container_(&container), opts_(opts) {}
+
+ChunkAllocator::~ChunkAllocator() {
+  std::unique_lock lock(mu_);
+  for (auto& c : chunks_) {
+    release_chunk_locked(*c, /*free_regions=*/false);
+  }
+  chunks_.clear();
+}
+
+Chunk* ChunkAllocator::nvalloc(std::uint64_t id, std::size_t size,
+                               bool persistent, std::string_view name) {
+  return alloc_common(id, size, persistent, name, nullptr);
+}
+
+Chunk* ChunkAllocator::nvalloc(std::string_view varname, std::size_t size,
+                               bool persistent) {
+  return alloc_common(genid(varname), size, persistent, varname, nullptr);
+}
+
+Chunk* ChunkAllocator::nv2dalloc(std::string_view varname, std::size_t dim1,
+                                 std::size_t dim2, std::size_t elem,
+                                 bool persistent) {
+  return nvalloc(varname, dim1 * dim2 * elem, persistent);
+}
+
+Chunk* ChunkAllocator::nvattach(std::uint64_t id, void* src, std::size_t size,
+                                std::string_view name) {
+  return alloc_common(id, size, /*persistent=*/true, name, src);
+}
+
+Chunk* ChunkAllocator::alloc_common(std::uint64_t id, std::size_t size,
+                                    bool persistent, std::string_view name,
+                                    void* attach_src) {
+  if (id == 0 || size == 0) {
+    throw NvmcpError("nvalloc: id and size must be non-zero");
+  }
+  std::unique_lock lock(mu_);
+  for (const auto& c : chunks_) {
+    if (c->id() == id) {
+      throw NvmcpError("nvalloc: chunk id already allocated in this process");
+    }
+  }
+
+  auto& meta = container_->metadata();
+  vmem::ChunkRecord* rec = meta.find(id);
+  const bool fresh_record = rec == nullptr;
+  if (fresh_record) {
+    rec = meta.insert(id, name);
+  } else if (rec->size != size) {
+    // Size changed across sessions: old payload cannot be restored; replace
+    // the version slots.
+    container_->free_region(rec->slot_off[0], rec->size);
+    container_->free_region(rec->slot_off[1], rec->size);
+    rec->committed = vmem::ChunkRecord::kNoneCommitted;
+    rec->size = 0;
+  }
+  if (rec->size == 0) {
+    rec->size = size;
+    rec->slot_off[0] = container_->alloc_region(size);
+    rec->slot_off[1] = container_->alloc_region(size);
+    rec->committed = vmem::ChunkRecord::kNoneCommitted;
+    if (persistent) rec->flags |= vmem::ChunkRecord::kPersistent;
+    meta.persist_record(*rec);
+  }
+
+  auto chunk = std::unique_ptr<Chunk>(new Chunk());
+  Chunk& c = *chunk;
+  c.id_ = id;
+  c.name_ = std::string(name);
+  c.size_ = size;
+  c.persistent_ = persistent;
+  c.record_ = rec;
+  if (attach_src) {
+    c.dram_ = static_cast<std::byte*>(attach_src);
+    c.owns_dram_ = false;
+    c.mode_ = vmem::TrackMode::kSoftware;
+  } else {
+    c.dram_capacity_ =
+        round_up(size, vmem::ProtectionManager::host_page_size());
+    c.dram_ = map_dram(c.dram_capacity_);
+    c.owns_dram_ = true;
+    c.mode_ = opts_.track_mode;
+  }
+
+  // A new working buffer has never been checkpointed: consider it dirty.
+  c.tracker_.dirty_local.store(true, std::memory_order_release);
+  c.tracker_.dirty_remote.store(true, std::memory_order_release);
+
+  const std::size_t track_len = c.owns_dram_ ? c.dram_capacity_ : c.size_;
+  c.prot_handle_ = vmem::ProtectionManager::instance().register_range(
+      c.dram_, track_len, &c.tracker_, c.mode_);
+  if (c.mode_ == vmem::TrackMode::kMprotectPage) {
+    // Everything is pending for both slots until the first full copies.
+    const std::size_t pages =
+        track_len / vmem::ProtectionManager::host_page_size();
+    c.slot_pages_pending_[0].assign(pages, 1);
+    c.slot_pages_pending_[1].assign(pages, 1);
+  }
+
+  if (persistent && !fresh_record && rec->has_committed()) {
+    c.restore_status_ = restore_chunk(c);
+  }
+
+  Chunk* out = &c;
+  chunks_.push_back(std::move(chunk));
+  log_debug("nvalloc: chunk id=%llu size=%zu %s restore=%s",
+            static_cast<unsigned long long>(id), size,
+            attach_src ? "(attached)" : "",
+            to_string(out->restore_status_));
+  return out;
+}
+
+Chunk* ChunkAllocator::nvrealloc(std::uint64_t id, std::size_t new_size) {
+  std::unique_lock lock(mu_);
+  Chunk* c = nullptr;
+  for (const auto& ch : chunks_) {
+    if (ch->id() == id) {
+      c = ch.get();
+      break;
+    }
+  }
+  if (!c) throw NvmcpError("nvrealloc: unknown chunk");
+  if (new_size == 0) throw NvmcpError("nvrealloc: zero size");
+  if (new_size == c->size_) return c;
+
+  vmem::ChunkRecord& rec = *c->record_;
+  auto& dev = container_->device();
+
+  // New version slots; preserve the committed payload prefix.
+  const std::size_t new_slots[2] = {container_->alloc_region(new_size),
+                                    container_->alloc_region(new_size)};
+  std::uint32_t new_committed = vmem::ChunkRecord::kNoneCommitted;
+  std::uint64_t new_checksum = 0;
+  std::uint64_t new_epoch = 0;
+  if (rec.has_committed()) {
+    const std::size_t keep = std::min<std::size_t>(rec.size, new_size);
+    std::vector<std::byte> tmp(new_size, std::byte{0});
+    dev.read(rec.slot_off[rec.committed], tmp.data(), keep);
+    dev.write(new_slots[0], tmp.data(), new_size);
+    dev.flush(new_slots[0], new_size);
+    new_committed = 0;
+    new_checksum = crc64(tmp.data(), new_size);
+    new_epoch = rec.epoch[rec.committed];
+  }
+  container_->free_region(rec.slot_off[0], rec.size);
+  container_->free_region(rec.slot_off[1], rec.size);
+  rec.slot_off[0] = new_slots[0];
+  rec.slot_off[1] = new_slots[1];
+  rec.size = new_size;
+  rec.committed = new_committed;
+  rec.checksum[0] = new_checksum;
+  rec.epoch[0] = new_epoch;
+  container_->metadata().persist_record(rec);
+
+  // Grow the DRAM working buffer, preserving contents.
+  if (c->owns_dram_) {
+    const std::size_t new_cap =
+        round_up(new_size, vmem::ProtectionManager::host_page_size());
+    std::byte* fresh = map_dram(new_cap);
+    std::memcpy(fresh, c->dram_, std::min(c->size_, new_size));
+    vmem::ProtectionManager::instance().unregister_range(c->prot_handle_);
+    ::munmap(c->dram_, c->dram_capacity_);
+    c->dram_ = fresh;
+    c->dram_capacity_ = new_cap;
+    c->prot_handle_ = vmem::ProtectionManager::instance().register_range(
+        c->dram_, new_cap, &c->tracker_, c->mode_);
+    if (c->mode_ == vmem::TrackMode::kMprotectPage) {
+      const std::size_t pages =
+          new_cap / vmem::ProtectionManager::host_page_size();
+      c->slot_pages_pending_[0].assign(pages, 1);
+      c->slot_pages_pending_[1].assign(pages, 1);
+    }
+  }
+  c->size_ = new_size;
+  c->precopied_epoch_ = 0;
+  c->tracker_.mark_dirty();
+  return c;
+}
+
+void ChunkAllocator::nvdelete(std::uint64_t id) {
+  std::unique_lock lock(mu_);
+  for (auto it = chunks_.begin(); it != chunks_.end(); ++it) {
+    if ((*it)->id() != id) continue;
+    release_chunk_locked(**it, /*free_regions=*/true);
+    container_->metadata().erase(id);
+    chunks_.erase(it);
+    return;
+  }
+  throw NvmcpError("nvdelete: unknown chunk");
+}
+
+void ChunkAllocator::release_chunk_locked(Chunk& c, bool free_regions) {
+  if (c.prot_handle_ >= 0) {
+    vmem::ProtectionManager::instance().unregister_range(c.prot_handle_);
+    c.prot_handle_ = -1;
+  }
+  if (free_regions) {
+    container_->free_region(c.record_->slot_off[0], c.record_->size);
+    container_->free_region(c.record_->slot_off[1], c.record_->size);
+  }
+  if (c.owns_dram_ && c.dram_) {
+    ::munmap(c.dram_, c.dram_capacity_);
+    c.dram_ = nullptr;
+  }
+}
+
+Chunk* ChunkAllocator::find(std::uint64_t id) {
+  std::shared_lock lock(mu_);
+  for (const auto& c : chunks_) {
+    if (c->id() == id) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<Chunk*> ChunkAllocator::chunks() const {
+  std::shared_lock lock(mu_);
+  std::vector<Chunk*> out;
+  out.reserve(chunks_.size());
+  for (const auto& c : chunks_) out.push_back(c.get());
+  return out;
+}
+
+AllocStats ChunkAllocator::stats() const {
+  std::shared_lock lock(mu_);
+  AllocStats s;
+  s.chunk_count = chunks_.size();
+  for (const auto& c : chunks_) {
+    s.total_payload_bytes += c->size();
+    s.nvm_bytes_reserved += 2 * round_up(c->size(), kNvmPageSize);
+  }
+  return s;
+}
+
+double ChunkAllocator::precopy_chunk(Chunk& c, std::uint64_t epoch,
+                                     BandwidthLimiter* stream) {
+  auto& prot = vmem::ProtectionManager::instance();
+  // Arm tracking first, then clear the chunk's dirty flag, then verify no
+  // fault raced the clear: the handler bumps the fault counter *before*
+  // setting the dirty flags, so an unchanged counter proves the flag we
+  // cleared was not concurrently re-set. A store that lands after this
+  // dance faults normally (the range is armed) and re-marks the chunk, so
+  // the possibly-torn slot is never committed.
+  if (c.prot_handle_ >= 0) prot.protect(c.prot_handle_);
+  const std::uint64_t f0 =
+      c.tracker_.faults.load(std::memory_order_acquire);
+  c.tracker_.dirty_local.store(false, std::memory_order_release);
+  if (c.tracker_.faults.load(std::memory_order_acquire) != f0) {
+    c.tracker_.dirty_local.store(true, std::memory_order_release);
+  }
+
+  const std::uint64_t sum = crc64(c.dram_, c.size_);
+  auto& dev = container_->device();
+  const vmem::ChunkRecord& rec = *c.record_;
+  const std::uint32_t slot = rec.in_progress_slot();
+  double secs;
+  if (c.mode_ == vmem::TrackMode::kMprotectPage) {
+    secs = copy_dirty_pages_locked(c, slot, stream);
+  } else {
+    secs = dev.write(rec.slot_off[slot], c.dram_, c.size_, stream);
+  }
+  dev.flush(rec.slot_off[slot], c.size_);
+  c.pending_checksum_ = sum;
+  c.precopied_epoch_ = epoch;
+  return secs;
+}
+
+double ChunkAllocator::copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
+                                               BandwidthLimiter* stream) {
+  auto& prot = vmem::ProtectionManager::instance();
+  auto& dev = container_->device();
+  const vmem::ChunkRecord& rec = *c.record_;
+  const std::size_t page = vmem::ProtectionManager::host_page_size();
+
+  // Pages dirtied since the last collection become pending for BOTH
+  // slots: each slot independently needs the new contents before the next
+  // commit into it is complete.
+  for (const std::size_t p : prot.collect_dirty_pages(c.prot_handle_)) {
+    c.slot_pages_pending_[0][p] = 1;
+    c.slot_pages_pending_[1][p] = 1;
+  }
+
+  auto& pending = c.slot_pages_pending_[slot];
+  double secs = 0;
+  std::size_t p = 0;
+  while (p < pending.size()) {
+    if (!pending[p]) {
+      ++p;
+      continue;
+    }
+    std::size_t q = p;
+    while (q < pending.size() && pending[q]) ++q;
+    const std::size_t off = p * page;
+    if (off < c.size_) {
+      const std::size_t len = std::min(q * page, c.size_) - off;
+      secs += dev.write(rec.slot_off[slot] + off, c.dram_ + off, len,
+                        stream);
+    }
+    for (std::size_t i = p; i < q; ++i) pending[i] = 0;
+    p = q;
+  }
+  return secs;
+}
+
+void ChunkAllocator::commit_chunk(Chunk& c, std::uint64_t epoch) {
+  if (c.precopied_epoch_ != epoch) {
+    throw NvmcpError("commit_chunk: in-progress slot does not hold epoch " +
+                     std::to_string(epoch));
+  }
+  vmem::ChunkRecord& rec = *c.record_;
+  const std::uint32_t slot = rec.in_progress_slot();
+  rec.checksum[slot] = c.pending_checksum_;
+  rec.epoch[slot] = epoch;
+  // Persist payload metadata before the commit flip (crash ordering).
+  container_->metadata().persist_record(rec);
+  rec.committed = slot;
+  container_->metadata().persist_record(rec);
+  c.precopied_epoch_ = 0;
+}
+
+double ChunkAllocator::checkpoint_chunk(Chunk& c, std::uint64_t epoch,
+                                        BandwidthLimiter* stream) {
+  const double secs = precopy_chunk(c, epoch, stream);
+  commit_chunk(c, epoch);
+  return secs;
+}
+
+RestoreStatus ChunkAllocator::restore_chunk(Chunk& c) {
+  const vmem::ChunkRecord& rec = *c.record_;
+  if (!rec.has_committed()) return RestoreStatus::kNoData;
+  auto& dev = container_->device();
+  dev.read(rec.slot_off[rec.committed], c.dram_, c.size_);
+  if (opts_.verify_checksums &&
+      crc64(c.dram_, c.size_) != rec.checksum[rec.committed]) {
+    return RestoreStatus::kChecksumMismatch;
+  }
+  c.tracker_.mark_dirty();  // restored data is not yet re-checkpointed
+  return RestoreStatus::kOk;
+}
+
+bool ChunkAllocator::restore_chunk_lazy(Chunk& c) {
+  const vmem::ChunkRecord& rec = *c.record_;
+  if (!rec.has_committed() || c.prot_handle_ < 0 ||
+      c.mode_ == vmem::TrackMode::kSoftware) {
+    return false;
+  }
+  const std::byte* src =
+      container_->device().data() + rec.slot_off[rec.committed];
+  vmem::ProtectionManager::instance().arm_lazy_restore(
+      c.prot_handle_, src, c.size_, rec.checksum[rec.committed]);
+  return true;
+}
+
+vmem::ProtectionManager::LazyState ChunkAllocator::lazy_state(
+    const Chunk& c) const {
+  return vmem::ProtectionManager::instance().lazy_state(c.prot_handle_);
+}
+
+bool ChunkAllocator::read_committed(const Chunk& c, void* dst) const {
+  const vmem::ChunkRecord& rec = *c.record_;
+  if (!rec.has_committed()) return false;
+  container_->device().read(rec.slot_off[rec.committed], dst, rec.size);
+  if (opts_.verify_checksums &&
+      crc64(dst, rec.size) != rec.checksum[rec.committed]) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace nvmcp::alloc

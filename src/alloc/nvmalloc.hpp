@@ -1,0 +1,152 @@
+// The NVM user library allocation + checkpoint + restart components
+// (paper Table III and Section V).
+//
+//   genid(varname)            -> stable 64-bit id from a variable name
+//   nvalloc(id, size, pflg)   -> allocate a chunk (DRAM working buffer +
+//                                two shadow NVM version slots); with the
+//                                persistent flag on a reopened device the
+//                                committed payload is read back (restart)
+//   nv2dalloc(id, d1, d2)     -> 2D array convenience wrapper
+//   nvattach(id, src, size)   -> adopt existing app-owned DRAM and give it
+//                                shadow NVM slots (software dirty tracking)
+//   nvrealloc(id, size)       -> grow a chunk, preserving committed data
+//   nvdelete(id)              -> drop a chunk and free its NVM regions
+//
+// Checkpoint primitives (used by core::CheckpointManager to implement
+// nvchkptall / nvchkptid and the pre-copy engines):
+//   precopy_chunk()           -> DRAM -> in-progress NVM slot, flushed, no
+//                                commit; tolerates concurrent re-dirtying
+//   commit_chunk()            -> flip the committed-slot pointer for a
+//                                chunk whose in-progress slot holds epoch
+//                                data (crash-safe ordering)
+//   restore_chunk()           -> committed NVM slot -> DRAM with checksum
+//                                verification
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <vector>
+
+#include "alloc/chunk.hpp"
+#include "nvm/throttle.hpp"
+#include "vmem/container.hpp"
+
+namespace nvmcp::alloc {
+
+/// FNV-1a 64-bit hash of a variable name; the paper's genid().
+std::uint64_t genid(std::string_view varname);
+
+struct AllocStats {
+  std::size_t chunk_count = 0;
+  std::size_t total_payload_bytes = 0;
+  std::size_t nvm_bytes_reserved = 0;  // 2x payload (two version slots)
+};
+
+class ChunkAllocator {
+ public:
+  struct Options {
+    /// Default dirty-tracking mode for nvalloc'd chunks. nvattach always
+    /// uses software tracking (app memory need not be page aligned).
+    vmem::TrackMode track_mode = vmem::TrackMode::kMprotect;
+    /// Verify checksums when restoring.
+    bool verify_checksums = true;
+  };
+
+  explicit ChunkAllocator(vmem::Container& container);
+  ChunkAllocator(vmem::Container& container, Options opts);
+  ~ChunkAllocator();
+
+  ChunkAllocator(const ChunkAllocator&) = delete;
+  ChunkAllocator& operator=(const ChunkAllocator&) = delete;
+
+  // --- Table III interfaces -------------------------------------------
+  /// Allocate a chunk. If `persistent` and the container was re-attached
+  /// with a committed version of this id, the payload is restored into the
+  /// fresh DRAM buffer (check chunk->restore_status()).
+  Chunk* nvalloc(std::uint64_t id, std::size_t size, bool persistent,
+                 std::string_view name = {});
+  Chunk* nvalloc(std::string_view varname, std::size_t size, bool persistent);
+
+  /// Contiguous dim1 x dim2 array of `elem` bytes per element.
+  Chunk* nv2dalloc(std::string_view varname, std::size_t dim1,
+                   std::size_t dim2, std::size_t elem, bool persistent);
+
+  /// Adopt app-owned memory: creates shadow NVM slots for [src, src+size).
+  /// Dirty tracking is software mode (call chunk->notify_write()).
+  Chunk* nvattach(std::uint64_t id, void* src, std::size_t size,
+                  std::string_view name = {});
+
+  /// Grow (or shrink) a chunk. Preserves the committed NVM payload and the
+  /// DRAM prefix. Returns the (possibly moved) chunk.
+  Chunk* nvrealloc(std::uint64_t id, std::size_t new_size);
+
+  /// Drop a chunk: unregister tracking, free NVM regions, invalidate its
+  /// record. The DRAM buffer dies with it (attached buffers stay owned by
+  /// the application).
+  void nvdelete(std::uint64_t id);
+
+  Chunk* find(std::uint64_t id);
+
+  /// Stable snapshot of current chunks (pre-copy engine iterates this).
+  std::vector<Chunk*> chunks() const;
+
+  AllocStats stats() const;
+  vmem::Container& container() { return *container_; }
+
+  // --- checkpoint primitives -------------------------------------------
+  /// Copy the DRAM payload into the chunk's in-progress NVM slot and flush
+  /// it; records the payload checksum and `epoch` in the chunk (not yet in
+  /// the persistent record). Clears dirty_local and re-arms protection
+  /// *before* copying, so a store racing with the copy re-marks the chunk
+  /// dirty and the torn slot is never committed. Returns seconds spent.
+  double precopy_chunk(Chunk& c, std::uint64_t epoch,
+                       BandwidthLimiter* stream = nullptr);
+
+  /// Crash-safe commit of the in-progress slot holding `epoch` data:
+  /// updates checksum/epoch fields, then flips the committed index, then
+  /// persists the record. Caller guarantees the slot is not torn (chunk
+  /// clean since its last precopy, or copied under a paused application).
+  void commit_chunk(Chunk& c, std::uint64_t epoch);
+
+  /// Convenience for the coordinated path: precopy + commit.
+  double checkpoint_chunk(Chunk& c, std::uint64_t epoch,
+                          BandwidthLimiter* stream = nullptr);
+
+  /// Read the committed slot back into DRAM, verifying the checksum.
+  RestoreStatus restore_chunk(Chunk& c);
+
+  /// Restore-on-first-access: map the chunk PROT_NONE and copy the
+  /// committed NVM payload into DRAM only when the application first
+  /// touches it (the fault handler does the copy -- cheap because NVM
+  /// *reads* run at near-DRAM speed, Table I). Restart latency becomes
+  /// O(touched data) instead of O(checkpoint size). Returns false if the
+  /// chunk has no committed version or is not mprotect-tracked.
+  bool restore_chunk_lazy(Chunk& c);
+
+  /// State of a lazy restore armed on this chunk.
+  vmem::ProtectionManager::LazyState lazy_state(const Chunk& c) const;
+
+  /// Read the committed payload of a chunk record into caller memory
+  /// (used by the remote checkpointer, which reads local NVM, and by
+  /// restore-from-remote). Returns false on checksum mismatch.
+  bool read_committed(const Chunk& c, void* dst) const;
+
+ private:
+  Chunk* alloc_common(std::uint64_t id, std::size_t size, bool persistent,
+                      std::string_view name, void* attach_src);
+  void release_chunk_locked(Chunk& c, bool free_regions);
+  /// Page-level tracking mode: copy only the pages pending for `slot`.
+  double copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
+                                 BandwidthLimiter* stream);
+
+  vmem::Container* container_;
+  Options opts_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+};
+
+}  // namespace nvmcp::alloc

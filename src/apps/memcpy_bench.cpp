@@ -1,0 +1,52 @@
+#include "apps/memcpy_bench.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace nvmcp::apps {
+
+MemcpyBenchResult run_parallel_memcpy(int threads, std::size_t buf_bytes,
+                                      double duration) {
+  std::atomic<bool> stop{false};
+  std::vector<double> bytes_done(static_cast<std::size_t>(threads), 0.0);
+  std::vector<double> secs(static_cast<std::size_t>(threads), 0.0);
+
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::vector<std::byte> src(buf_bytes, std::byte{0x11});
+        std::vector<std::byte> dst(buf_bytes, std::byte{0});
+        const Stopwatch sw;
+        double moved = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::memcpy(dst.data(), src.data(), buf_bytes);
+          moved += static_cast<double>(buf_bytes);
+        }
+        bytes_done[static_cast<std::size_t>(t)] = moved;
+        secs[static_cast<std::size_t>(t)] = sw.elapsed();
+      });
+    }
+    precise_sleep(duration);
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& w : workers) w.join();
+  }
+
+  MemcpyBenchResult r;
+  r.threads = threads;
+  double sum_bw = 0;
+  for (int t = 0; t < threads; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    if (secs[i] > 0) sum_bw += bytes_done[i] / secs[i];
+  }
+  r.aggregate_bw = sum_bw;
+  r.per_thread_bw = sum_bw / static_cast<double>(threads);
+  return r;
+}
+
+}  // namespace nvmcp::apps

@@ -1,0 +1,25 @@
+// LANL parallel memcpy benchmark (paper Fig 4).
+//
+// Measures the effective per-copier memory-copy bandwidth as the number of
+// concurrent copiers grows: with more cores sharing the memory system, the
+// per-core share drops (the paper measures a 67% drop by 12 cores at 33 MB
+// buffers). The same effect is why NVMBW_core, not device bandwidth, is
+// the quantity that matters for coordinated checkpoints.
+#pragma once
+
+#include <cstddef>
+
+namespace nvmcp::apps {
+
+struct MemcpyBenchResult {
+  int threads = 0;
+  double per_thread_bw = 0;  // bytes/sec, average across threads
+  double aggregate_bw = 0;   // bytes/sec, sum
+};
+
+/// Run `threads` concurrent copiers, each memcpy'ing a private buffer of
+/// `buf_bytes` repeatedly for `duration` seconds.
+MemcpyBenchResult run_parallel_memcpy(int threads, std::size_t buf_bytes,
+                                      double duration);
+
+}  // namespace nvmcp::apps

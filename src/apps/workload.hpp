@@ -1,0 +1,75 @@
+// Synthetic HPC workload generators.
+//
+// The paper's local/remote checkpoint results are driven entirely by each
+// application's checkpoint-relevant behaviour: how many chunks it
+// registers, their size distribution (Table IV), and *when* within a
+// compute iteration each chunk is modified (Fig 6's modification-order
+// state machine). These generators reproduce those properties for the
+// three applications:
+//
+//  * GTC    - 3D particle-in-cell fusion code; ~433 MB/core checkpoint in
+//             2D particle arrays. A few very large chunks are written only
+//             during initialization, which is why pre-copy *shrinks* the
+//             GTC checkpoint volume (Fig 8).
+//  * LAMMPS - molecular dynamics (Rhodo/RhodoSpin); ~410 MB/process over
+//             31 chunks, several of them "hot": a 3D result array with
+//             relative molecular positions is modified until the very end
+//             of a compute iteration, which defeats plain pre-copy and
+//             motivates DCPCP.
+//  * CM1    - atmospheric model (3D hurricane run); many sub-MB chunks,
+//             which is why pre-copy helps CM1 by <5% (Section VI).
+//
+// Nominal sizes are paper scale; the driver applies a scale factor so
+// benches finish in seconds while preserving every ratio.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvmcp::apps {
+
+/// When, within compute iterations, a chunk gets modified.
+enum class ModPattern : std::uint8_t {
+  kInitOnly,        // written during iteration 0 only
+  kEveryIteration,  // rewritten early in every compute phase
+  kHotUntilEnd,     // modified repeatedly up to the end of the phase
+  kPeriodic,        // modified every `period`-th iteration
+};
+
+struct ChunkSpec {
+  std::string name;
+  std::size_t bytes = 0;  // nominal (paper-scale) size
+  ModPattern pattern = ModPattern::kEveryIteration;
+  /// Distinct modification points within one compute phase (the Fig 6
+  /// state-machine counter; e.g. chunk C3 in LAMMPS is modified 3 times).
+  int mods_per_iter = 1;
+  int period = 1;  // for kPeriodic
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::vector<ChunkSpec> chunks;
+  /// Target duration of one compute phase at scale 1 (seconds).
+  double compute_per_iter = 2.0;
+  /// Application communication per rank per iteration (nominal bytes).
+  std::size_t comm_bytes_per_iter = 0;
+  /// Local checkpoint every N iterations.
+  int iters_per_checkpoint = 4;
+
+  static WorkloadSpec gtc();
+  static WorkloadSpec lammps_rhodo();
+  static WorkloadSpec cm1();
+
+  std::size_t total_ckpt_bytes() const;
+  std::size_t chunk_count() const { return chunks.size(); }
+
+  /// Count-based chunk-size distribution over Table IV's buckets:
+  /// [500K-1MB, 10-20MB, 50-100MB, >100MB] plus an "other" bucket,
+  /// as percentages.
+  std::array<double, 5> size_distribution() const;
+};
+
+}  // namespace nvmcp::apps

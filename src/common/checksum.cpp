@@ -1,0 +1,71 @@
+#include "common/checksum.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace nvmcp {
+namespace {
+
+constexpr std::uint64_t kPoly = 0x42F0E1EBA9EA3693ULL;  // ECMA-182
+
+// Slice-by-8 tables: table[0] is the classic byte table; table[k] rolls a
+// byte through k additional zero bytes, letting the hot loop fold 8 input
+// bytes per iteration (checksums sit on the checkpoint critical path).
+using SliceTables = std::array<std::array<std::uint64_t, 256>, 8>;
+
+SliceTables build_tables() {
+  SliceTables t{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i << 56;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & (1ULL << 63)) ? (crc << 1) ^ kPoly : crc << 1;
+    }
+    t[0][static_cast<std::size_t>(i)] = crc;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::size_t i = 0; i < 256; ++i) {
+      const std::uint64_t prev = t[k - 1][i];
+      t[k][i] = (prev << 8) ^ t[0][static_cast<std::size_t>(prev >> 56)];
+    }
+  }
+  return t;
+}
+
+const SliceTables& tables() {
+  static const SliceTables t = build_tables();
+  return t;
+}
+
+}  // namespace
+
+std::uint64_t crc64_update(std::uint64_t state, const void* data,
+                           std::size_t n) {
+  const SliceTables& t = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    // Little-endian fold: the high state byte pairs with the first input
+    // byte (the MSB-first bit order of ECMA-182 over the state).
+    state ^= __builtin_bswap64(word);
+    state = t[7][(state >> 56) & 0xff] ^ t[6][(state >> 48) & 0xff] ^
+            t[5][(state >> 40) & 0xff] ^ t[4][(state >> 32) & 0xff] ^
+            t[3][(state >> 24) & 0xff] ^ t[2][(state >> 16) & 0xff] ^
+            t[1][(state >> 8) & 0xff] ^ t[0][state & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    state =
+        (state << 8) ^
+        t[0][static_cast<std::size_t>((state >> 56) ^ p[i])];
+  }
+  return state;
+}
+
+std::uint64_t crc64(const void* data, std::size_t n) {
+  return crc64_final(crc64_update(crc64_init(), data, n));
+}
+
+}  // namespace nvmcp

@@ -1,0 +1,22 @@
+// CRC-64 (ECMA-182 polynomial) for checkpoint payload verification.
+// The paper's optional restart feature: "after every checkpoint, a chunk
+// data checksum is calculated and stored along with the chunk metadata.
+// On restart, the checksum is recalculated and verified."
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvmcp {
+
+/// One-shot CRC-64 of a buffer.
+std::uint64_t crc64(const void* data, std::size_t n);
+
+/// Streaming form: crc64_update(crc64_init(), ...) chained over fragments
+/// equals the one-shot value over the concatenation.
+constexpr std::uint64_t crc64_init() { return ~0ULL; }
+std::uint64_t crc64_update(std::uint64_t state, const void* data,
+                           std::size_t n);
+constexpr std::uint64_t crc64_final(std::uint64_t state) { return ~state; }
+
+}  // namespace nvmcp

@@ -1,0 +1,60 @@
+#include "common/clock.hpp"
+
+#include <thread>
+
+namespace nvmcp {
+namespace {
+
+const TimePoint kEpoch = Clock::now();
+
+// Below this threshold sleeping via the scheduler is less accurate than
+// spinning; 50us is conservative for Linux with default timer slack.
+constexpr double kSpinThresholdSec = 50e-6;
+
+}  // namespace
+
+double now_seconds() {
+  return std::chrono::duration<double>(Clock::now() - kEpoch).count();
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           kEpoch)
+          .count());
+}
+
+void precise_sleep(double seconds) {
+  if (seconds <= 0) return;
+  const TimePoint deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  sleep_until(deadline);
+}
+
+void busy_spin(double seconds) {
+  if (seconds <= 0) return;
+  const TimePoint deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (Clock::now() < deadline) {
+    // spin
+  }
+}
+
+void sleep_until(TimePoint deadline) {
+  for (;;) {
+    const auto remaining =
+        std::chrono::duration<double>(deadline - Clock::now()).count();
+    if (remaining <= 0) return;
+    if (remaining > kSpinThresholdSec) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          remaining - kSpinThresholdSec * 0.5));
+    } else {
+      // Short final wait: yield-spin to hit the deadline precisely.
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace nvmcp

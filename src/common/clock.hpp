@@ -1,0 +1,53 @@
+// Monotonic time, stopwatches, and sleep-accurate waiting.
+//
+// All bandwidth emulation in nvmcp is *sleep based*: a throttled copier
+// sleeps between blocks to hit its target bandwidth. Sleeping (rather than
+// spinning) is what makes compute/copy overlap faithful even on a machine
+// with fewer physical cores than the modelled node, because a sleeping
+// pre-copy thread consumes "NVM bandwidth" without consuming CPU.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nvmcp {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+/// Seconds since an arbitrary (per-process) epoch.
+double now_seconds();
+
+/// Nanoseconds since an arbitrary (per-process) epoch.
+std::uint64_t now_ns();
+
+/// Sleep for the given duration. Uses nanosleep for the bulk and a short
+/// spin for the final ~50us so waits stay accurate at microsecond scale
+/// without burning CPU for long waits.
+void precise_sleep(double seconds);
+
+/// Sleep until an absolute deadline on the steady clock.
+void sleep_until(TimePoint deadline);
+
+/// Burn CPU for the given duration. Use for emulated costs that are real
+/// processor work (e.g. in-kernel page handling): unlike a sleep, a busy
+/// wait correctly contends for the CPU with other threads.
+void busy_spin(double seconds);
+
+/// Simple stopwatch over the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  TimePoint start_;
+};
+
+}  // namespace nvmcp

@@ -1,0 +1,37 @@
+// Error types for nvmcp. Recoverable conditions in the checkpoint/restart
+// path (e.g. a checksum mismatch on restart) are reported via status codes
+// so callers can fall back (local -> remote -> fail); programming errors and
+// unrecoverable environment failures throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nvmcp {
+
+/// Thrown for unrecoverable errors (mmap failure, invalid configuration,
+/// API misuse). Checkpoint *data* problems use RestoreStatus instead.
+class NvmcpError : public std::runtime_error {
+ public:
+  explicit NvmcpError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Outcome of attempting to restore one chunk or a whole checkpoint.
+enum class RestoreStatus {
+  kOk,                 // restored from local NVM
+  kOkFromRemote,       // local copy bad/missing, restored from remote NVM
+  kNoData,             // no committed version anywhere
+  kChecksumMismatch,   // data found but failed verification everywhere
+};
+
+inline const char* to_string(RestoreStatus s) {
+  switch (s) {
+    case RestoreStatus::kOk: return "ok";
+    case RestoreStatus::kOkFromRemote: return "ok-from-remote";
+    case RestoreStatus::kNoData: return "no-data";
+    case RestoreStatus::kChecksumMismatch: return "checksum-mismatch";
+  }
+  return "?";
+}
+
+}  // namespace nvmcp

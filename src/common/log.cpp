@@ -1,0 +1,55 @@
+#include "common/log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/clock.hpp"
+
+namespace nvmcp {
+namespace log_detail {
+
+LogLevel& level_ref() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void vlog(LogLevel lvl, const char* tag, const char* fmt, std::va_list ap) {
+  if (!log_enabled(lvl)) return;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%10.4f] %-5s ", now_seconds(), tag);
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace log_detail
+
+void set_log_level(LogLevel lvl) { log_detail::level_ref() = lvl; }
+
+void init_log_from_env() {
+  const char* env = std::getenv("NVMCP_LOG");
+  if (!env) return;
+  if (!std::strcmp(env, "debug")) set_log_level(LogLevel::kDebug);
+  else if (!std::strcmp(env, "info")) set_log_level(LogLevel::kInfo);
+  else if (!std::strcmp(env, "warn")) set_log_level(LogLevel::kWarn);
+  else if (!std::strcmp(env, "error")) set_log_level(LogLevel::kError);
+  else if (!std::strcmp(env, "off")) set_log_level(LogLevel::kOff);
+}
+
+#define NVMCP_DEFINE_LOG_FN(name, level, tag)            \
+  void name(const char* fmt, ...) {                      \
+    std::va_list ap;                                     \
+    va_start(ap, fmt);                                   \
+    log_detail::vlog(level, tag, fmt, ap);               \
+    va_end(ap);                                          \
+  }
+
+NVMCP_DEFINE_LOG_FN(log_debug, LogLevel::kDebug, "debug")
+NVMCP_DEFINE_LOG_FN(log_info, LogLevel::kInfo, "info")
+NVMCP_DEFINE_LOG_FN(log_warn, LogLevel::kWarn, "warn")
+NVMCP_DEFINE_LOG_FN(log_error, LogLevel::kError, "error")
+
+#undef NVMCP_DEFINE_LOG_FN
+
+}  // namespace nvmcp

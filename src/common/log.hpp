@@ -1,0 +1,38 @@
+// Minimal leveled logger. Logging defaults to Warn so tests and benches are
+// quiet; benches raise it via NVMCP_LOG=info|debug or set_level().
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace nvmcp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_detail {
+LogLevel& level_ref();
+void vlog(LogLevel lvl, const char* tag, const char* fmt, std::va_list ap);
+}  // namespace log_detail
+
+/// Set the global log level programmatically.
+void set_log_level(LogLevel lvl);
+
+/// Initialize the log level from the NVMCP_LOG environment variable.
+void init_log_from_env();
+
+inline bool log_enabled(LogLevel lvl) {
+  return static_cast<int>(lvl) >= static_cast<int>(log_detail::level_ref());
+}
+
+#if defined(__GNUC__)
+#define NVMCP_PRINTF_ATTR(a, b) __attribute__((format(printf, a, b)))
+#else
+#define NVMCP_PRINTF_ATTR(a, b)
+#endif
+
+void log_debug(const char* fmt, ...) NVMCP_PRINTF_ATTR(1, 2);
+void log_info(const char* fmt, ...) NVMCP_PRINTF_ATTR(1, 2);
+void log_warn(const char* fmt, ...) NVMCP_PRINTF_ATTR(1, 2);
+void log_error(const char* fmt, ...) NVMCP_PRINTF_ATTR(1, 2);
+
+}  // namespace nvmcp

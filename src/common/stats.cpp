@@ -1,0 +1,119 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nvmcp {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (buckets == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: empty range or zero buckets");
+  }
+}
+
+void Histogram::add(double x) {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+      return bucket_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+void TimeSeries::add(double t, double value) {
+  if (t < 0) t = 0;
+  const auto idx = static_cast<std::size_t>(t / bucket_width_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += value;
+}
+
+void TimeSeries::add_range(double t0, double t1, double value) {
+  if (t0 < 0) t0 = 0;
+  if (t1 <= t0) {
+    add(t0, value);
+    return;
+  }
+  const double span = t1 - t0;
+  double t = t0;
+  while (t < t1) {
+    const auto idx = static_cast<std::size_t>(t / bucket_width_);
+    const double bucket_end = static_cast<double>(idx + 1) * bucket_width_;
+    const double seg_end = std::min(bucket_end, t1);
+    add(t, value * (seg_end - t) / span);
+    t = seg_end;
+  }
+}
+
+double TimeSeries::peak() const {
+  double p = 0.0;
+  for (double v : buckets_) p = std::max(p, v);
+  return p;
+}
+
+double TimeSeries::total() const {
+  double s = 0.0;
+  for (double v : buckets_) s += v;
+  return s;
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(),
+                   xs.begin() + static_cast<std::ptrdiff_t>(mid - 1),
+                   xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (hi + xs[mid - 1]);
+}
+
+}  // namespace nvmcp

@@ -1,0 +1,110 @@
+// Statistics accumulators used by benches and the simulator:
+//  - OnlineStats: Welford mean/variance plus min/max.
+//  - Histogram: fixed-width bucket histogram with percentile queries.
+//  - TimeSeries: time-bucketed accumulation, used to record interconnect
+//    utilization timelines (paper Fig 10) and CPU utilization (Table V).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nvmcp {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const OnlineStats& other);
+  void reset() { *this = OnlineStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket. Percentiles are linear-interpolated within a bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+  double percentile(double p) const;  // p in [0, 100]
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::size_t buckets() const { return counts_.size(); }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Accumulates quantities into fixed-width time buckets. `add(t, v)` adds
+/// `v` to the bucket containing time `t`; the series grows as needed.
+/// Used for "bytes transferred per second of application time" timelines.
+class TimeSeries {
+ public:
+  explicit TimeSeries(double bucket_width_sec)
+      : bucket_width_(bucket_width_sec) {}
+
+  void add(double t, double value);
+
+  /// Distribute `value` uniformly over the interval [t0, t1), splitting it
+  /// across all buckets the interval covers (used by fluid-flow models
+  /// where work accrues continuously between events).
+  void add_range(double t0, double t1, double value);
+
+  double bucket_width() const { return bucket_width_; }
+  std::size_t size() const { return buckets_.size(); }
+  double bucket_time(std::size_t i) const {
+    return static_cast<double>(i) * bucket_width_;
+  }
+  double value(std::size_t i) const { return buckets_[i]; }
+
+  /// Largest single-bucket value (e.g. peak bytes in any window).
+  double peak() const;
+  double total() const;
+
+  /// Peak expressed as a rate (value / bucket width).
+  double peak_rate() const { return peak() / bucket_width_; }
+
+ private:
+  double bucket_width_;
+  std::vector<double> buckets_;
+};
+
+/// Median of a (copied) sample vector; 0 for an empty sample.
+double median(std::vector<double> xs);
+
+}  // namespace nvmcp

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nvmcp {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> columns,
+                         std::string csv_path)
+    : title_(std::move(title)),
+      columns_(std::move(columns)),
+      csv_path_(std::move(csv_path)) {}
+
+TableWriter::~TableWriter() {
+  if (!printed_) print();
+}
+
+void TableWriter::row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string TableWriter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TableWriter::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void TableWriter::print() {
+  printed_ = true;
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::size_t total = columns_.size() * 2;
+  for (auto w : widths) total += w;
+  for (std::size_t i = 0; i < total; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const auto& r : rows_) print_row(r);
+  std::fflush(stdout);
+
+  if (!csv_path_.empty()) {
+    if (std::FILE* f = std::fopen(csv_path_.c_str(), "w")) {
+      auto csv_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+          std::fprintf(f, "%s%s", c ? "," : "", cells[c].c_str());
+        }
+        std::fputc('\n', f);
+      };
+      csv_row(columns_);
+      for (const auto& r : rows_) csv_row(r);
+      std::fclose(f);
+    }
+  }
+}
+
+}  // namespace nvmcp

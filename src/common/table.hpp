@@ -1,0 +1,42 @@
+// Console table writer for the benchmark harness. Every figure/table bench
+// prints its rows through this so output is uniform and easy to diff
+// against the paper. Also emits CSV when a path is given (for plotting).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nvmcp {
+
+class TableWriter {
+ public:
+  /// `title` is printed as a header banner. If `csv_path` is non-empty the
+  /// same rows are mirrored to that CSV file.
+  explicit TableWriter(std::string title, std::vector<std::string> columns,
+                       std::string csv_path = {});
+  ~TableWriter();
+
+  TableWriter(const TableWriter&) = delete;
+  TableWriter& operator=(const TableWriter&) = delete;
+
+  /// Add a row; cells are stringified already by the caller.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: format helpers for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Print the accumulated table to stdout (also called by destructor if
+  /// not yet printed).
+  void print();
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string csv_path_;
+  bool printed_ = false;
+};
+
+}  // namespace nvmcp

@@ -1,0 +1,60 @@
+// Small fixed-size thread pool + reusable spin-free barrier. Used by the
+// multi-rank workload driver (one worker per emulated MPI rank) and by the
+// parallel memcpy benchmark.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nvmcp {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for all.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Reusable barrier for N participants (generation-counted).
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties) : parties_(parties) {}
+
+  /// Block until all parties arrive. Returns true for exactly one caller
+  /// per generation (the "serial" thread), like std::barrier's completion.
+  bool arrive_and_wait();
+
+ private:
+  std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace nvmcp

@@ -1,0 +1,49 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace nvmcp {
+namespace {
+
+std::string format_scaled(double value, const char* const* suffixes,
+                          int n_suffixes, double base) {
+  int idx = 0;
+  double v = value;
+  while (std::abs(v) >= base && idx + 1 < n_suffixes) {
+    v /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static const char* kSuffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return format_scaled(bytes, kSuffix, 5, 1024.0);
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  static const char* kSuffix[] = {"B/s", "KiB/s", "MiB/s", "GiB/s", "TiB/s"};
+  return format_scaled(bytes_per_sec, kSuffix, 5, 1024.0);
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace nvmcp

@@ -1,0 +1,40 @@
+// Byte-size and time units used throughout nvmcp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nvmcp {
+
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * KiB;
+inline constexpr std::size_t GiB = 1024 * MiB;
+
+/// Page size assumed by the emulated NVM device. Kept independent of the
+/// host page size so tests are portable; the protection manager rounds to
+/// the host page size where the MMU is involved.
+inline constexpr std::size_t kNvmPageSize = 4096;
+
+constexpr std::size_t pages_for(std::size_t bytes) {
+  return (bytes + kNvmPageSize - 1) / kNvmPageSize;
+}
+
+constexpr std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+constexpr bool is_aligned(std::size_t v, std::size_t align) {
+  return v % align == 0;
+}
+
+/// Render a byte count as a human-readable string ("412.0 MiB").
+std::string format_bytes(double bytes);
+
+/// Render a bandwidth (bytes/second) as e.g. "2.0 GiB/s".
+std::string format_bandwidth(double bytes_per_sec);
+
+/// Render a duration in seconds with an adaptive unit ("1.2 ms").
+std::string format_seconds(double seconds);
+
+}  // namespace nvmcp

@@ -1,0 +1,41 @@
+// Fast LZ77-family block compression for checkpoint payloads.
+//
+// Motivation: the paper's reference [7] (mcrEngine) shows checkpoint
+// aggregation + compression cuts checkpoint I/O volume substantially.
+// Compressing before the remote put trades helper CPU for interconnect
+// bytes -- the ablation bench quantifies when that wins under our
+// bandwidth model.
+//
+// Format (LZ4-flavoured, self-contained):
+//   repeated sequences of
+//     token: 1 byte -- high nibble = literal length (15 = extended),
+//                      low nibble  = match length - 4 (15 = extended)
+//     [extended literal length: 255-run bytes]
+//     literals
+//     match offset: 2 bytes little-endian (0 < offset <= 65535)
+//     [extended match length: 255-run bytes]
+//   the final sequence carries literals only (no offset/match).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvmcp::compress {
+
+/// Worst-case output size for an n-byte input (incompressible data plus
+/// token overhead).
+constexpr std::size_t max_compressed_size(std::size_t n) {
+  return n + n / 255 + 16;
+}
+
+/// Compress src[0..n) into dst (capacity cap). Returns the compressed
+/// size, or 0 if dst is too small (callers fall back to raw).
+std::size_t lz_compress(const void* src, std::size_t n, void* dst,
+                        std::size_t cap);
+
+/// Decompress src[0..n) into dst (capacity cap). Returns the decompressed
+/// size. Throws NvmcpError on a malformed stream or overflow.
+std::size_t lz_decompress(const void* src, std::size_t n, void* dst,
+                          std::size_t cap);
+
+}  // namespace nvmcp::compress

@@ -1,0 +1,203 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace nvmcp::core {
+
+CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
+                                     CheckpointConfig cfg)
+    : alloc_(&allocator), cfg_(cfg), stream_(cfg.nvm_bw_per_core),
+      prediction_(cfg.learn_alpha) {
+  interval_start_ = now_seconds();
+}
+
+CheckpointManager::~CheckpointManager() { stop(); }
+
+void CheckpointManager::start() {
+  if (cfg_.local_policy == PrecopyPolicy::kNone) return;
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  engine_ = std::thread([this] { precopy_loop(); });
+}
+
+void CheckpointManager::stop() {
+  if (!running_.exchange(false)) {
+    if (engine_.joinable()) engine_.join();
+    return;
+  }
+  engine_cv_.notify_all();
+  if (engine_.joinable()) engine_.join();
+}
+
+double CheckpointManager::learned_interval() const {
+  std::lock_guard<std::mutex> lock(learn_mu_);
+  return learned_interval_;
+}
+
+double CheckpointManager::learned_data_size() const {
+  std::lock_guard<std::mutex> lock(learn_mu_);
+  return learned_data_;
+}
+
+bool CheckpointManager::threshold_reached() const {
+  std::lock_guard<std::mutex> lock(learn_mu_);
+  if (learned_interval_ <= 0) return false;  // still in the learning phase
+  double rate = stream_.rate();
+  if (rate <= 0) {
+    rate = alloc_->container().device().config().spec.write_bandwidth;
+  }
+  const double t_c = learned_data_ / rate;           // checkpoint time
+  const double t_p = learned_interval_ - cfg_.dcpc_margin * t_c;  // threshold
+  return now_seconds() - interval_start_ >= std::max(0.0, t_p);
+}
+
+void CheckpointManager::precopy_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(engine_mu_);
+      engine_cv_.wait_for(
+          lock,
+          std::chrono::duration<double>(cfg_.precopy_scan_period),
+          [this] { return !running_.load(std::memory_order_acquire); });
+    }
+    if (!running_.load(std::memory_order_acquire)) return;
+
+    const bool delayed = cfg_.local_policy == PrecopyPolicy::kDcpc ||
+                         cfg_.local_policy == PrecopyPolicy::kDcpcp;
+    if (delayed && !threshold_reached()) continue;
+
+    const std::uint64_t epoch = next_epoch();
+    for (alloc::Chunk* c : alloc_->chunks()) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      if (!c->persistent() || !c->dirty_local()) continue;
+      if (cfg_.local_policy == PrecopyPolicy::kDcpcp &&
+          !prediction_.ready_for_precopy(
+              c->id(),
+              c->tracker().mods_in_interval.load(
+                  std::memory_order_acquire))) {
+        continue;  // hot chunk: expected to be modified again, skip
+      }
+      double secs = 0;
+      {
+        std::lock_guard<std::mutex> lock(ckpt_mu_);
+        if (!c->dirty_local()) continue;  // raced with the coordinated step
+        secs = alloc_->precopy_chunk(*c, epoch, &stream_);
+      }
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.bytes_precopied += c->size();
+      stats_.precopy_seconds += secs;
+      ++stats_.precopy_passes;
+    }
+  }
+}
+
+double CheckpointManager::nvchkptall() {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  const Stopwatch sw;
+  const double interval_len = now_seconds() - interval_start_;
+  const std::uint64_t epoch = next_epoch();
+
+  std::uint64_t bytes_this_step = 0;
+  std::uint64_t bytes_committed_total = 0;
+  std::uint64_t committed_precopy = 0, recopied = 0, skipped = 0;
+
+  for (alloc::Chunk* c : alloc_->chunks()) {
+    if (!c->persistent()) continue;
+    const bool dirty =
+        c->dirty_local() ||
+        (!cfg_.skip_unmodified && c->precopied_epoch() != epoch);
+    if (!dirty && c->precopied_epoch() == epoch) {
+      // Pre-copied and untouched since: the in-progress slot is exactly
+      // the current contents; just flip the commit pointer.
+      alloc_->commit_chunk(*c, epoch);
+      bytes_committed_total += c->size();
+      ++committed_precopy;
+    } else if (dirty || !c->record().has_committed()) {
+      // Residual dirty data: this is the copying the blocking step pays.
+      alloc_->checkpoint_chunk(*c, epoch, &stream_);
+      bytes_this_step += c->size();
+      bytes_committed_total += c->size();
+      ++recopied;
+    } else {
+      // Unmodified since its last commit; its committed payload is still
+      // its current value. No copy, no commit (Fig 8's shrinking
+      // checkpoint size for GTC's init-only chunks).
+      ++skipped;
+    }
+    prediction_.observe_interval(
+        c->id(),
+        c->tracker().mods_in_interval.exchange(0,
+                                               std::memory_order_acq_rel));
+  }
+
+  next_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const double blocking = sw.elapsed();
+
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.local_checkpoints;
+    stats_.local_blocking_seconds += blocking;
+    stats_.bytes_coordinated += bytes_this_step;
+    stats_.chunks_committed_from_precopy += committed_precopy;
+    stats_.chunks_recopied_dirty += recopied;
+    stats_.chunks_skipped_unmodified += skipped;
+  }
+  {
+    std::lock_guard<std::mutex> llock(learn_mu_);
+    const double a = cfg_.learn_alpha;
+    learned_interval_ = learned_interval_ <= 0
+                            ? interval_len
+                            : a * interval_len + (1 - a) * learned_interval_;
+    const double data = static_cast<double>(bytes_committed_total);
+    learned_data_ =
+        learned_data_ <= 0 ? data : a * data + (1 - a) * learned_data_;
+    interval_start_ = now_seconds();
+  }
+  log_debug("nvchkptall: epoch=%llu blocking=%s coordinated=%s "
+            "(precopy-committed=%llu recopied=%llu skipped=%llu)",
+            static_cast<unsigned long long>(epoch),
+            format_seconds(blocking).c_str(),
+            format_bytes(static_cast<double>(bytes_this_step)).c_str(),
+            static_cast<unsigned long long>(committed_precopy),
+            static_cast<unsigned long long>(recopied),
+            static_cast<unsigned long long>(skipped));
+  return blocking;
+}
+
+double CheckpointManager::nvchkptid(std::uint64_t id) {
+  alloc::Chunk* c = alloc_->find(id);
+  if (!c) throw NvmcpError("nvchkptid: unknown chunk");
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  const std::uint64_t epoch = next_epoch();
+  const double secs = alloc_->checkpoint_chunk(*c, epoch, &stream_);
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.bytes_coordinated += c->size();
+  return secs;
+}
+
+RestoreStatus CheckpointManager::restore_all() {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  RestoreStatus worst = RestoreStatus::kOk;
+  for (alloc::Chunk* c : alloc_->chunks()) {
+    if (!c->persistent()) continue;
+    const RestoreStatus st = alloc_->restore_chunk(*c);
+    if (static_cast<int>(st) > static_cast<int>(worst)) worst = st;
+  }
+  return worst;
+}
+
+CheckpointStats CheckpointManager::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  CheckpointStats s = stats_;
+  std::uint64_t faults = 0;
+  for (const alloc::Chunk* c : alloc_->chunks()) {
+    faults += c->tracker().faults.load(std::memory_order_relaxed);
+  }
+  s.protection_faults = faults;
+  return s;
+}
+
+}  // namespace nvmcp::core

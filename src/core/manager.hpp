@@ -1,0 +1,114 @@
+// CheckpointManager: the NVM-checkpoint facade for one rank/process.
+//
+// Owns the background pre-copy engine (CPC / DCPC / DCPCP) and the
+// coordinated local checkpoint step (nvchkptall / nvchkptid), on top of the
+// chunk allocator's shadow-buffering primitives.
+//
+// Timeline per paper Fig 5:
+//   compute  [precopy overlapped]  nvchkptall (blocking, residual dirty
+//   chunks only)  compute ...
+//
+// The manager learns the checkpoint interval I and data size D after the
+// first coordinated checkpoint and continuously adapts the DCPC threshold
+// T_p = I - margin * (D / NVMBW_core).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "alloc/nvmalloc.hpp"
+#include "core/config.hpp"
+#include "core/prediction.hpp"
+#include "core/stats.hpp"
+
+namespace nvmcp::core {
+
+class CheckpointManager {
+ public:
+  CheckpointManager(alloc::ChunkAllocator& allocator, CheckpointConfig cfg);
+  ~CheckpointManager();
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  /// Launch the background pre-copy engine (no-op for kNone).
+  void start();
+  /// Stop the engine (joins the thread). Safe to call twice.
+  void stop();
+
+  /// Coordinated local checkpoint of all persistent chunks. The caller is
+  /// the application thread, so the application is paused for exactly the
+  /// duration of this call — its return value is the paper's t_lcl.
+  double nvchkptall();
+
+  /// Checkpoint (copy + commit) one chunk immediately.
+  double nvchkptid(std::uint64_t id);
+
+  /// Restore every persistent chunk from its committed local version.
+  /// Returns the worst status encountered.
+  RestoreStatus restore_all();
+
+  alloc::ChunkAllocator& allocator() { return *alloc_; }
+  const CheckpointConfig& config() const { return cfg_; }
+  CheckpointStats stats() const;
+  PredictionTable& prediction() { return prediction_; }
+
+  /// Epoch of the next checkpoint to be taken (committed epoch + 1).
+  std::uint64_t next_epoch() const {
+    return next_epoch_.load(std::memory_order_acquire);
+  }
+  /// Epoch of the last completed coordinated checkpoint (0 = none yet).
+  std::uint64_t committed_epoch() const {
+    return next_epoch() - 1;
+  }
+
+  /// Learned estimates (0 until the first checkpoint completes).
+  double learned_interval() const;
+  double learned_data_size() const;
+
+  /// Held across local commits; the remote helper takes it for its brief
+  /// commit pass so remote rounds see a stable cut.
+  std::mutex& commit_mutex() { return ckpt_mu_; }
+
+  /// Per-rank NVM write stream limiter (NVMBW_core). Shared between the
+  /// pre-copy engine and the coordinated step of this rank.
+  BandwidthLimiter& stream_limiter() { return stream_; }
+
+ private:
+  void precopy_loop();
+  bool threshold_reached() const;
+  void end_interval_bookkeeping(double blocking_secs,
+                                std::uint64_t bytes_this_ckpt);
+
+  alloc::ChunkAllocator* alloc_;
+  CheckpointConfig cfg_;
+  BandwidthLimiter stream_;
+  PredictionTable prediction_;
+
+  std::atomic<std::uint64_t> next_epoch_{1};
+
+  // Serializes the coordinated step against the pre-copy engine (and the
+  // remote helper's commit pass).
+  std::mutex ckpt_mu_;
+
+  // Learned interval/data estimates (guarded by learn_mu_).
+  mutable std::mutex learn_mu_;
+  double learned_interval_ = 0;
+  double learned_data_ = 0;
+  double interval_start_ = 0;  // now_seconds() at last checkpoint end
+
+  // Engine thread control.
+  std::thread engine_;
+  std::atomic<bool> running_{false};
+  std::condition_variable engine_cv_;
+  std::mutex engine_mu_;
+
+  // Stats (guarded by stats_mu_).
+  mutable std::mutex stats_mu_;
+  CheckpointStats stats_;
+};
+
+}  // namespace nvmcp::core

@@ -1,0 +1,36 @@
+#include "core/prediction.hpp"
+
+#include <cmath>
+
+namespace nvmcp::core {
+
+void PredictionTable::observe_interval(std::uint64_t chunk_id,
+                                       std::uint32_t mods) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(chunk_id);
+  if (it == table_.end()) {
+    table_.emplace(chunk_id, static_cast<double>(mods));
+  } else {
+    it->second = alpha_ * static_cast<double>(mods) +
+                 (1.0 - alpha_) * it->second;
+  }
+  learned_ = true;
+}
+
+bool PredictionTable::ready_for_precopy(std::uint64_t chunk_id,
+                                        std::uint32_t mods_so_far) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!learned_) return true;  // learning phase: no gating
+  auto it = table_.find(chunk_id);
+  if (it == table_.end()) return true;
+  return static_cast<double>(mods_so_far) >= std::floor(it->second);
+}
+
+std::uint32_t PredictionTable::predicted(std::uint64_t chunk_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(chunk_id);
+  if (it == table_.end()) return 0;
+  return static_cast<std::uint32_t>(std::lround(it->second));
+}
+
+}  // namespace nvmcp::core

@@ -1,0 +1,61 @@
+// Prediction table for delayed pre-copy with prediction (DCPCP, Fig 6).
+//
+// The paper: "a simple prediction table mechanism which captures the
+// frequency of chunk modification by maintaining a counter for each chunk
+// and a state machine representing the modification order. During the
+// initial learning phase (first checkpoint), chunks are tracked for changes
+// and the prediction counter is updated. For subsequent iterations, when
+// the processor issues a write fault, the chunk ... is marked dirty, but
+// not copied to NVM until the modification count is equal to or greater
+// than the value in the prediction table."
+//
+// A miss is harmless: a chunk whose prediction never fires is still dirty
+// at the coordinated checkpoint and gets copied there ("if the prediction
+// fails, the data would be copied during the coordinated checkpoint step").
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace nvmcp::core {
+
+class PredictionTable {
+ public:
+  /// Smoothing for continuous adaptation across intervals.
+  explicit PredictionTable(double alpha = 0.5) : alpha_(alpha) {}
+
+  /// Record the modification count a chunk accumulated over a finished
+  /// interval. First observation enters learning; later ones adapt.
+  void observe_interval(std::uint64_t chunk_id, std::uint32_t mods);
+
+  /// True once at least one full interval has been observed (the paper's
+  /// learning phase is the first checkpoint interval).
+  bool learned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return learned_;
+  }
+
+  /// DCPCP gate: given the modifications seen so far this interval, is the
+  /// chunk expected to be done changing (and therefore worth pre-copying)?
+  /// Unknown chunks gate open (they fall back to threshold-only behaviour).
+  bool ready_for_precopy(std::uint64_t chunk_id,
+                         std::uint32_t mods_so_far) const;
+
+  /// Expected modifications per interval for a chunk (rounded), 0 if
+  /// unknown.
+  std::uint32_t predicted(std::uint64_t chunk_id) const;
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
+
+ private:
+  double alpha_;
+  mutable std::mutex mu_;
+  bool learned_ = false;
+  std::unordered_map<std::uint64_t, double> table_;
+};
+
+}  // namespace nvmcp::core

@@ -1,0 +1,232 @@
+#include "core/remote.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace nvmcp::core {
+
+RemoteCheckpointer::RemoteCheckpointer(
+    std::vector<CheckpointManager*> managers, net::RemoteMemory remote,
+    RemoteConfig cfg)
+    : managers_(std::move(managers)), remote_(remote), cfg_(cfg) {
+  round_start_ = now_seconds();
+}
+
+RemoteCheckpointer::~RemoteCheckpointer() { stop(); }
+
+void RemoteCheckpointer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  wall_.reset();
+  round_start_ = now_seconds();
+  helper_ = std::thread([this] { helper_loop(); });
+}
+
+void RemoteCheckpointer::stop() {
+  if (!running_.exchange(false)) {
+    if (helper_.joinable()) helper_.join();
+    return;
+  }
+  cv_.notify_all();
+  if (helper_.joinable()) helper_.join();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.wall_seconds = wall_.elapsed();
+}
+
+bool RemoteCheckpointer::precopy_gate_open(double round_elapsed) const {
+  switch (cfg_.policy) {
+    case PrecopyPolicy::kNone:
+      return false;  // everything moves in the coordination burst
+    case PrecopyPolicy::kCpc:
+      return true;
+    case PrecopyPolicy::kDcpc:
+    case PrecopyPolicy::kDcpcp:
+      // Delay remote pre-copy into the later part of the interval
+      // ("the delay time before a remote pre-copy is dependent on the
+      // remote checkpoint interval").
+      return round_elapsed >= cfg_.delay_fraction * cfg_.interval;
+  }
+  return false;
+}
+
+std::uint64_t RemoteCheckpointer::send_chunk(std::size_t mgr_idx,
+                                             alloc::Chunk& c,
+                                             bool count_as_precopy,
+                                             bool paced) {
+  CheckpointManager& mgr = *managers_[mgr_idx];
+  const vmem::ChunkRecord& rec = c.record();
+  if (!rec.has_committed()) return 0;
+  const std::uint64_t epoch = rec.epoch[rec.committed];
+  if (staging_.size() < c.size()) staging_.resize(c.size());
+  // Read the stable committed payload from local NVM ("shared NVM
+  // support"); a torn read is impossible because committed slots are only
+  // replaced after the *next* commit flips away from them, and the commit
+  // pass below re-verifies epochs under the commit mutex.
+  if (!mgr.allocator().read_committed(c, staging_.data())) return 0;
+  // Pace *before* the busy window: waiting for pace credit is idle time,
+  // not helper work (Table V measures the helper core's utilization).
+  if (paced && !pace_.unlimited()) {
+    sleep_until(pace_.acquire(c.size()));
+  }
+  const Stopwatch sw;
+  remote_.put(mgr.config().rank, c.id(), staging_.data(), c.size(), epoch,
+              /*commit=*/false);
+  const double secs = sw.elapsed();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bytes_sent += c.size();
+    stats_.busy_seconds += secs;
+    if (count_as_precopy) {
+      ++stats_.precopy_puts;
+    } else {
+      ++stats_.coordinated_puts;
+    }
+  }
+  return epoch;
+}
+
+void RemoteCheckpointer::helper_loop() {
+  double deadline = round_start_ + cfg_.interval;
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(cv_mu_);
+      cv_.wait_for(lock, std::chrono::duration<double>(cfg_.scan_period),
+                   [this] { return !running_.load(std::memory_order_acquire); });
+    }
+    if (!running_.load(std::memory_order_acquire)) return;
+
+    const double now = now_seconds();
+    if (now >= deadline) {
+      coordinate_now();
+      deadline = now_seconds() + cfg_.interval;
+      continue;
+    }
+
+    if (!precopy_gate_open(now - round_start_)) continue;
+
+    // Eager pre-copy: ship chunks whose local committed epoch moved past
+    // what the remote in-progress slot holds.
+    for (std::size_t m = 0; m < managers_.size(); ++m) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      for (alloc::Chunk* c : managers_[m]->allocator().chunks()) {
+        if (!c->persistent()) continue;
+        const vmem::ChunkRecord& rec = c->record();
+        if (!rec.has_committed()) continue;
+        const std::uint64_t local_epoch = rec.epoch[rec.committed];
+        const Key key{m, c->id()};
+        std::uint64_t last_sent = 0;
+        {
+          std::lock_guard<std::mutex> lock(round_mu_);
+          auto it = sent_epoch_.find(key);
+          if (it != sent_epoch_.end()) last_sent = it->second;
+        }
+        if (local_epoch <= last_sent) continue;
+        const std::uint64_t sent =
+            send_chunk(m, *c, /*count_as_precopy=*/true, /*paced=*/true);
+        if (sent) {
+          std::lock_guard<std::mutex> lock(round_mu_);
+          sent_epoch_[key] = sent;
+        }
+      }
+    }
+  }
+}
+
+void RemoteCheckpointer::coordinate_now() {
+  std::lock_guard<std::mutex> round_lock(round_mu_);
+  const Stopwatch round_sw;
+
+  // Phase 1 (concurrent with the application): top up every chunk whose
+  // remote in-progress payload is stale.
+  for (std::size_t m = 0; m < managers_.size(); ++m) {
+    for (alloc::Chunk* c : managers_[m]->allocator().chunks()) {
+      if (!c->persistent()) continue;
+      const vmem::ChunkRecord& rec = c->record();
+      if (!rec.has_committed()) continue;
+      const Key key{m, c->id()};
+      const std::uint64_t local_epoch = rec.epoch[rec.committed];
+      auto it = sent_epoch_.find(key);
+      if (it != sent_epoch_.end() && it->second == local_epoch) continue;
+      // Pre-copy policies smooth even the coordination top-up (it is
+      // asynchronous to the application); kNone bursts by definition.
+      const std::uint64_t sent =
+          send_chunk(m, *c, /*count_as_precopy=*/false,
+                     /*paced=*/cfg_.policy != PrecopyPolicy::kNone);
+      if (sent) sent_epoch_[key] = sent;
+    }
+  }
+
+  // Phase 2 (brief): hold every manager's commit mutex so no local commit
+  // interleaves; re-verify epochs (re-sending any chunk that committed
+  // since phase 1) and flip the remote commit pointers. The remote cut is
+  // a single moment's local committed state.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(managers_.size());
+  for (CheckpointManager* mgr : managers_) {
+    locks.emplace_back(mgr->commit_mutex());
+  }
+  for (std::size_t m = 0; m < managers_.size(); ++m) {
+    CheckpointManager& mgr = *managers_[m];
+    for (alloc::Chunk* c : mgr.allocator().chunks()) {
+      if (!c->persistent()) continue;
+      const vmem::ChunkRecord& rec = c->record();
+      if (!rec.has_committed()) continue;
+      const Key key{m, c->id()};
+      const std::uint64_t local_epoch = rec.epoch[rec.committed];
+      auto it = sent_epoch_.find(key);
+      if (it == sent_epoch_.end() || it->second != local_epoch) {
+        const std::uint64_t sent =
+            send_chunk(m, *c, /*count_as_precopy=*/false, /*paced=*/false);
+        if (!sent) continue;
+        sent_epoch_[key] = sent;
+      }
+      remote_.commit(mgr.config().rank, c->id(), local_epoch);
+      remote_epoch_[key] = local_epoch;
+    }
+  }
+  locks.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.coordinations;
+    stats_.last_round_seconds = round_sw.elapsed();
+    // Learning: pace the next interval's eager sends so that this round's
+    // data volume spreads over ~80% of the interval instead of bursting.
+    const std::uint64_t round_bytes =
+        stats_.bytes_sent - bytes_at_round_start_;
+    bytes_at_round_start_ = stats_.bytes_sent;
+    if (round_bytes > 0 && cfg_.interval > 0) {
+      pace_.set_rate(static_cast<double>(round_bytes) /
+                     (0.8 * cfg_.interval));
+    }
+  }
+  round_start_ = now_seconds();
+}
+
+RemoteStats RemoteCheckpointer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  RemoteStats s = stats_;
+  s.wall_seconds = wall_.elapsed();
+  return s;
+}
+
+RestoreStatus restore_with_remote(CheckpointManager& mgr,
+                                  net::RemoteMemory& remote) {
+  RestoreStatus worst = RestoreStatus::kOk;
+  for (alloc::Chunk* c : mgr.allocator().chunks()) {
+    if (!c->persistent()) continue;
+    RestoreStatus st = mgr.allocator().restore_chunk(*c);
+    if (st != RestoreStatus::kOk) {
+      if (remote.get(mgr.config().rank, c->id(), c->data(), c->size())) {
+        c->tracker().mark_dirty();
+        st = RestoreStatus::kOkFromRemote;
+      }
+    }
+    if (static_cast<int>(st) > static_cast<int>(worst)) worst = st;
+  }
+  return worst;
+}
+
+}  // namespace nvmcp::core

@@ -1,0 +1,91 @@
+#include "core/restart.hpp"
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace nvmcp::core {
+
+RestartCoordinator::RestartCoordinator(CheckpointManager& mgr,
+                                       net::RemoteMemory* remote)
+    : RestartCoordinator(mgr, remote, Options{}) {}
+
+RestartCoordinator::RestartCoordinator(CheckpointManager& mgr,
+                                       net::RemoteMemory* remote,
+                                       Options opts)
+    : mgr_(&mgr), remote_(remote), opts_(opts) {}
+
+bool RestartCoordinator::fetch_remote(alloc::Chunk& c) {
+  if (!remote_) return false;
+  if (!remote_->get(mgr_->config().rank, c.id(), c.data(), c.size())) {
+    return false;
+  }
+  c.tracker().mark_dirty();  // fetched data must be re-persisted locally
+  return true;
+}
+
+RestartReport RestartCoordinator::restart_soft() {
+  RestartReport rep;
+  auto& allocator = mgr_->allocator();
+  RestoreStatus worst = RestoreStatus::kOk;
+  for (alloc::Chunk* c : allocator.chunks()) {
+    if (!c->persistent()) continue;
+    if (opts_.lazy_local && allocator.restore_chunk_lazy(*c)) {
+      ++rep.chunks_lazy_armed;
+      continue;  // bytes move on first touch, not here
+    }
+    RestoreStatus st = allocator.restore_chunk(*c);
+    if (st == RestoreStatus::kOk) {
+      ++rep.chunks_local;
+      rep.bytes_local += c->size();
+    } else if (fetch_remote(*c)) {
+      st = RestoreStatus::kOkFromRemote;
+      ++rep.chunks_remote;
+      rep.bytes_remote += c->size();
+    } else {
+      ++rep.chunks_failed;
+    }
+    if (static_cast<int>(st) > static_cast<int>(worst)) worst = st;
+  }
+  rep.status = worst;
+  return rep;
+}
+
+RestartReport RestartCoordinator::restart_hard() {
+  RestartReport rep;
+  auto& allocator = mgr_->allocator();
+  RestoreStatus worst = RestoreStatus::kOk;
+  for (alloc::Chunk* c : allocator.chunks()) {
+    if (!c->persistent()) continue;
+    if (fetch_remote(*c)) {
+      ++rep.chunks_remote;
+      rep.bytes_remote += c->size();
+      if (static_cast<int>(RestoreStatus::kOkFromRemote) >
+          static_cast<int>(worst)) {
+        worst = RestoreStatus::kOkFromRemote;
+      }
+    } else {
+      ++rep.chunks_failed;
+      worst = RestoreStatus::kNoData;
+    }
+  }
+  rep.status = rep.chunks_remote == 0 && rep.chunks_failed == 0
+                   ? RestoreStatus::kNoData
+                   : worst;
+  return rep;
+}
+
+RestartReport RestartCoordinator::restart_after(FailureKind kind) {
+  const Stopwatch sw;
+  RestartReport rep =
+      kind == FailureKind::kSoft ? restart_soft() : restart_hard();
+  rep.seconds = sw.elapsed();
+  log_info("restart(%s): status=%s local=%d remote=%d lazy=%d failed=%d "
+           "in %s",
+           kind == FailureKind::kSoft ? "soft" : "hard",
+           to_string(rep.status), rep.chunks_local, rep.chunks_remote,
+           rep.chunks_lazy_armed, rep.chunks_failed,
+           format_seconds(rep.seconds).c_str());
+  return rep;
+}
+
+}  // namespace nvmcp::core

@@ -1,0 +1,73 @@
+// RestartCoordinator: the multilevel recovery flow as one component.
+//
+// The paper's model splits failures into soft errors (node reboots or
+// process restarts; ~64% of failures on ASCI Q) recoverable from local
+// NVM, and hard errors that lose the node and need the buddy copy. This
+// coordinator implements the corresponding restart paths over the pieces
+// the library already has:
+//
+//   soft failure:  local committed slots -> DRAM (checksum-verified);
+//                  per-chunk fallback to the remote store on corruption;
+//                  optional lazy mode arms restore-on-first-access instead
+//                  of copying eagerly.
+//   hard failure:  local NVM is presumed gone; everything fetches from the
+//                  buddy store (or a parity group rebuild, when one is
+//                  registered).
+//
+// The report carries what the Section III model calls R_lcl / R_rmt --
+// measured, not assumed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/manager.hpp"
+#include "net/remote_memory.hpp"
+
+namespace nvmcp::core {
+
+enum class FailureKind {
+  kSoft,  // process/OS restart; local NVM intact
+  kHard,  // node lost; only remote data available
+};
+
+struct RestartReport {
+  RestoreStatus status = RestoreStatus::kNoData;
+  double seconds = 0;            // measured restart (fetch) time
+  std::uint64_t bytes_local = 0;   // restored from local NVM
+  std::uint64_t bytes_remote = 0;  // fetched from the buddy store
+  int chunks_local = 0;
+  int chunks_remote = 0;
+  int chunks_lazy_armed = 0;
+  int chunks_failed = 0;
+};
+
+class RestartCoordinator {
+ public:
+  struct Options {
+    /// Soft restarts arm lazy restore-on-first-access instead of copying
+    /// eagerly (restart latency becomes O(touched data)).
+    bool lazy_local = false;
+  };
+
+  /// `remote` may be null when no buddy store exists (local-only jobs);
+  /// hard-failure restarts then report kNoData.
+  RestartCoordinator(CheckpointManager& mgr, net::RemoteMemory* remote);
+  RestartCoordinator(CheckpointManager& mgr, net::RemoteMemory* remote,
+                     Options opts);
+
+  /// Run the restart path for the given failure kind over every
+  /// persistent chunk of the manager.
+  RestartReport restart_after(FailureKind kind);
+
+ private:
+  RestartReport restart_soft();
+  RestartReport restart_hard();
+  bool fetch_remote(alloc::Chunk& c);
+
+  CheckpointManager* mgr_;
+  net::RemoteMemory* remote_;
+  Options opts_;
+};
+
+}  // namespace nvmcp::core

@@ -1,0 +1,52 @@
+// Checkpoint statistics, the measurements behind every figure:
+//   - blocking (coordinated) local checkpoint time and bytes  (Figs 7/8)
+//   - background pre-copy bytes (total data moved to NVM)     (Figs 7/8)
+//   - chunks skipped because unmodified                       (Fig 8 note)
+//   - remote transfer volume and helper busy time             (Fig 10, Table V)
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace nvmcp::core {
+
+struct CheckpointStats {
+  // Local coordinated step.
+  std::uint64_t local_checkpoints = 0;
+  double local_blocking_seconds = 0;  // app-visible checkpoint time
+  std::uint64_t bytes_coordinated = 0;  // copied during the blocking step
+
+  // Background pre-copy.
+  std::uint64_t bytes_precopied = 0;
+  double precopy_seconds = 0;  // background thread time in copies
+  std::uint64_t precopy_passes = 0;  // chunk copies done by the engine
+
+  // Commit outcomes at coordinated steps.
+  std::uint64_t chunks_committed_from_precopy = 0;  // clean since pre-copy
+  std::uint64_t chunks_recopied_dirty = 0;          // dirty at the step
+  std::uint64_t chunks_skipped_unmodified = 0;      // not touched at all
+
+  // Dirty tracking.
+  std::uint64_t protection_faults = 0;
+
+  std::uint64_t total_nvm_bytes() const {
+    return bytes_coordinated + bytes_precopied;
+  }
+};
+
+struct RemoteStats {
+  std::uint64_t coordinations = 0;      // remote checkpoint rounds
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t precopy_puts = 0;       // eager chunk sends
+  std::uint64_t coordinated_puts = 0;   // sends during the commit round
+  double busy_seconds = 0;              // helper time in transfers
+  double wall_seconds = 0;              // helper thread lifetime
+  double last_round_seconds = 0;
+
+  double helper_utilization() const {
+    return wall_seconds > 0 ? busy_seconds / wall_seconds : 0.0;
+  }
+};
+
+}  // namespace nvmcp::core

@@ -1,0 +1,70 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nvmcp::core {
+
+model::SystemParams IntervalTuner::to_model(const TunerInputs& in) {
+  if (in.ckpt_data <= 0) {
+    throw NvmcpError("IntervalTuner: need a measured checkpoint size");
+  }
+  model::SystemParams p;
+  p.ckpt_data = in.ckpt_data;
+  p.precopy = in.precopy;
+  p.precopy_residual = in.precopy_residual;
+  if (in.nvm_bw_core > 0) {
+    p.nvm_bw_core = in.nvm_bw_core;
+  } else if (in.blocking_per_ckpt > 0) {
+    // The blocking step moves residual*D (or D without pre-copy).
+    const double moved =
+        (in.precopy ? in.precopy_residual : 1.0) * in.ckpt_data;
+    p.nvm_bw_core = moved / in.blocking_per_ckpt;
+  } else {
+    throw NvmcpError(
+        "IntervalTuner: need either nvm_bw_core or a blocking time");
+  }
+  p.mtbf_local = in.mtbf_local;
+  p.mtbf_remote = in.mtbf_remote;
+  p.t_compute = in.t_compute;
+  p.comm_fraction = in.comm_fraction;
+  p.link_bw = in.link_bw;
+  p.remote_interval = in.remote_interval;
+  return p;
+}
+
+TunerResult IntervalTuner::recommend(const TunerInputs& in,
+                                     double current_interval) {
+  TunerResult out;
+  out.params = to_model(in);
+  out.recommended_interval =
+      model::optimal_local_interval(out.params, 1.0, 3600.0);
+  model::SystemParams at_opt = out.params;
+  at_opt.local_interval = out.recommended_interval;
+  out.expected_efficiency = model::evaluate(at_opt).efficiency;
+  if (current_interval > 0) {
+    model::SystemParams at_cur = out.params;
+    at_cur.local_interval = current_interval;
+    out.current_efficiency = model::evaluate(at_cur).efficiency;
+  }
+  return out;
+}
+
+TunerInputs IntervalTuner::from_manager(const CheckpointManager& mgr,
+                                        TunerInputs environment) {
+  TunerInputs in = environment;
+  in.ckpt_data = mgr.learned_data_size();
+  const CheckpointStats s = mgr.stats();
+  if (s.local_checkpoints > 0) {
+    in.blocking_per_ckpt =
+        s.local_blocking_seconds / static_cast<double>(s.local_checkpoints);
+  }
+  in.precopy = mgr.config().local_policy != PrecopyPolicy::kNone;
+  if (mgr.config().nvm_bw_per_core > 0) {
+    in.nvm_bw_core = mgr.config().nvm_bw_per_core;
+  }
+  return in;
+}
+
+}  // namespace nvmcp::core

@@ -1,0 +1,57 @@
+// Checkpoint-interval auto-tuner: feeds *measured* checkpoint behaviour
+// (learned data size, blocking time, pre-copy policy) and the operator's
+// failure-rate estimates into the Section III analytical model, and
+// recommends the local checkpoint interval minimizing expected runtime.
+//
+// This closes the loop the paper leaves open: its model explains the
+// interval tradeoff (more checkpoints = more overhead, fewer = more lost
+// work per failure) but the interval itself is chosen by hand in the
+// evaluation.
+#pragma once
+
+#include "core/manager.hpp"
+#include "model/model.hpp"
+
+namespace nvmcp::core {
+
+struct TunerInputs {
+  double ckpt_data = 0;        // bytes per rank per checkpoint
+  double blocking_per_ckpt = 0;  // measured coordinated-step seconds
+  double nvm_bw_core = 0;      // bytes/s (0 = derive from measurements)
+  bool precopy = false;
+  double precopy_residual = 0.15;
+
+  // Operator-supplied environment estimates.
+  double mtbf_local = 600;
+  double mtbf_remote = 3600;
+  double t_compute = 3600;
+  double comm_fraction = 0.2;
+  double link_bw = 5e9;
+  double remote_interval = 120;
+};
+
+struct TunerResult {
+  double recommended_interval = 0;  // seconds
+  double expected_efficiency = 0;   // at the recommendation
+  double current_efficiency = 0;    // at `current_interval` (if given)
+  model::SystemParams params;       // the model instance used
+};
+
+class IntervalTuner {
+ public:
+  /// Build model parameters from the inputs. If nvm_bw_core is 0 it is
+  /// derived from the measured blocking time (bw = residual*D / t_block).
+  static model::SystemParams to_model(const TunerInputs& in);
+
+  /// Recommend the interval; `current_interval` (optional, 0 = skip) also
+  /// reports the efficiency the caller is getting today.
+  static TunerResult recommend(const TunerInputs& in,
+                               double current_interval = 0);
+
+  /// Convenience: pull the measured quantities from a live manager that
+  /// has completed at least one checkpoint.
+  static TunerInputs from_manager(const CheckpointManager& mgr,
+                                  TunerInputs environment = {});
+};
+
+}  // namespace nvmcp::core

@@ -1,0 +1,47 @@
+#include "ecc/gf256.hpp"
+
+#include "common/error.hpp"
+
+namespace nvmcp::ecc {
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t = [] {
+    Tables tt;
+    // Generator 3 under the AES polynomial 0x11b.
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      tt.exp[static_cast<std::size_t>(i)] = x;
+      tt.log[x] = i;
+      // x *= 3 in GF(2^8): x*2 ^ x, with modular reduction.
+      const std::uint8_t x2 = static_cast<std::uint8_t>(
+          (x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+      x = static_cast<std::uint8_t>(x2 ^ x);
+    }
+    tt.exp[255] = tt.exp[0];
+    tt.log[0] = 0;  // never used; mul/div guard zero explicitly
+    return tt;
+  }();
+  return t;
+}
+
+std::uint8_t GF256::div(std::uint8_t a, std::uint8_t b) {
+  if (b == 0) throw NvmcpError("GF256: division by zero");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[(t.log[a] - t.log[b] + 255) % 255];
+}
+
+std::uint8_t GF256::inv(std::uint8_t a) {
+  if (a == 0) throw NvmcpError("GF256: zero has no inverse");
+  const Tables& t = tables();
+  return t.exp[(255 - t.log[a]) % 255];
+}
+
+std::uint8_t GF256::pow(std::uint8_t a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[(static_cast<unsigned>(t.log[a]) * n) % 255];
+}
+
+}  // namespace nvmcp::ecc

@@ -1,0 +1,45 @@
+// GF(2^8) arithmetic for erasure coding.
+//
+// The paper's related work (Plank et al.) proposes erasure coding to cut
+// the memory cost of diskless/remote checkpointing: instead of a full
+// replica per node, a group of k nodes stores m parity shards and any k of
+// the k+m shards reconstruct the data. This field implementation backs the
+// Reed-Solomon coder in rs.hpp.
+//
+// Field: GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11b),
+// log/antilog tables built from generator 3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace nvmcp::ecc {
+
+class GF256 {
+ public:
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+    return a ^ b;  // characteristic 2: addition == subtraction == XOR
+  }
+
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+    if (a == 0 || b == 0) return 0;
+    const Tables& t = tables();
+    return t.exp[(t.log[a] + t.log[b]) % 255];
+  }
+
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+  static std::uint8_t inv(std::uint8_t a);
+
+  /// a^n for n >= 0.
+  static std::uint8_t pow(std::uint8_t a, unsigned n);
+
+ private:
+  struct Tables {
+    std::array<std::uint8_t, 256> exp{};
+    std::array<int, 256> log{};
+  };
+  static const Tables& tables();
+};
+
+}  // namespace nvmcp::ecc

@@ -1,0 +1,62 @@
+// Erasure-coded remote checkpoint policy.
+//
+// Full buddy replication ships every rank's checkpoint (k x D bytes) to
+// remote NVM. A parity group instead encodes the k ranks' committed chunk
+// payloads into m Reed-Solomon parity shards and ships only those
+// (m x D bytes, m < k): any m lost ranks are reconstructed from the
+// surviving ranks' local NVM plus the remote parity. This trades remote
+// bandwidth/storage (factor k/m lower) against recovery that needs k-m
+// survivors -- the diskless-checkpointing tradeoff from the paper's
+// related work (Plank et al.), built here on the same chunk/commit
+// machinery as the replicating RemoteCheckpointer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "ecc/rs.hpp"
+#include "net/remote_memory.hpp"
+
+namespace nvmcp::ecc {
+
+struct ParityGroupStats {
+  std::uint64_t epochs_protected = 0;
+  std::uint64_t parity_bytes_sent = 0;
+  /// What full replication of the same payloads would have shipped.
+  std::uint64_t replication_bytes_equiv = 0;
+  std::uint64_t chunks_recovered = 0;
+};
+
+class ParityCheckpointGroup {
+ public:
+  /// One group over `managers.size()` ranks with `parity_shards` parities
+  /// stored in `remote`. All ranks must register the same chunk ids (the
+  /// SPMD pattern the workload driver produces).
+  ParityCheckpointGroup(std::vector<core::CheckpointManager*> managers,
+                        net::RemoteMemory remote, int parity_shards);
+
+  /// Encode the group's current committed payloads chunk by chunk and put
+  /// the parity shards to remote NVM (committed immediately; the caller
+  /// runs this after a coordinated local checkpoint, so the cut is
+  /// consistent). Returns parity bytes shipped.
+  std::size_t protect_epoch();
+
+  /// Reconstruct the given (distinct) lost ranks' chunk payloads into
+  /// their DRAM working buffers, using surviving ranks' local NVM and the
+  /// remote parity. The recovered chunks are marked dirty so the next
+  /// local checkpoint re-persists them. Returns false if more ranks are
+  /// lost than parity can cover or shards are missing.
+  bool recover_ranks(const std::vector<std::size_t>& lost_ranks);
+
+  const ParityGroupStats& stats() const { return stats_; }
+  const ReedSolomon& code() const { return rs_; }
+
+ private:
+  std::vector<core::CheckpointManager*> managers_;
+  net::RemoteMemory remote_;
+  ReedSolomon rs_;
+  ParityGroupStats stats_;
+};
+
+}  // namespace nvmcp::ecc

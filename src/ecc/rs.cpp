@@ -1,0 +1,209 @@
+#include "ecc/rs.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "ecc/gf256.hpp"
+
+namespace nvmcp::ecc {
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  if (k <= 0 || m <= 0 || k + m > 255) {
+    throw NvmcpError("ReedSolomon: need k>0, m>0, k+m<=255");
+  }
+  parity_rows_ = build_cauchy();
+}
+
+ReedSolomon::Matrix ReedSolomon::build_cauchy() const {
+  // Cauchy matrix C[i][j] = 1 / (x_i + y_j) with disjoint {x}, {y}:
+  // any square submatrix is invertible, which is exactly the MDS property
+  // reconstruction needs.
+  Matrix rows(static_cast<std::size_t>(m_) * static_cast<std::size_t>(k_));
+  for (int i = 0; i < m_; ++i) {
+    const auto x = static_cast<std::uint8_t>(k_ + i);
+    for (int j = 0; j < k_; ++j) {
+      const auto y = static_cast<std::uint8_t>(j);
+      rows[static_cast<std::size_t>(i * k_ + j)] =
+          GF256::inv(GF256::add(x, y));
+    }
+  }
+  return rows;
+}
+
+void ReedSolomon::encode(std::span<const std::uint8_t* const> data,
+                         std::span<std::uint8_t* const> parity,
+                         std::size_t len) const {
+  if (data.size() != static_cast<std::size_t>(k_) ||
+      parity.size() != static_cast<std::size_t>(m_)) {
+    throw NvmcpError("ReedSolomon::encode: shard count mismatch");
+  }
+  for (int i = 0; i < m_; ++i) {
+    std::memset(parity[static_cast<std::size_t>(i)], 0, len);
+    for (int j = 0; j < k_; ++j) {
+      const std::uint8_t coef =
+          parity_rows_[static_cast<std::size_t>(i * k_ + j)];
+      const std::uint8_t* src = data[static_cast<std::size_t>(j)];
+      std::uint8_t* dst = parity[static_cast<std::size_t>(i)];
+      for (std::size_t b = 0; b < len; ++b) {
+        dst[b] = GF256::add(dst[b], GF256::mul(coef, src[b]));
+      }
+    }
+  }
+}
+
+ReedSolomon::Matrix ReedSolomon::invert(Matrix a, int n) {
+  // Gauss-Jordan with an appended identity, all over GF(256).
+  Matrix inv(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    inv[static_cast<std::size_t>(i * n + i)] = 1;
+  }
+  auto A = [&a, n](int r, int c) -> std::uint8_t& {
+    return a[static_cast<std::size_t>(r * n + c)];
+  };
+  auto I = [&inv, n](int r, int c) -> std::uint8_t& {
+    return inv[static_cast<std::size_t>(r * n + c)];
+  };
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (A(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) throw NvmcpError("ReedSolomon: singular matrix");
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(A(pivot, c), A(col, c));
+        std::swap(I(pivot, c), I(col, c));
+      }
+    }
+    const std::uint8_t piv_inv = GF256::inv(A(col, col));
+    for (int c = 0; c < n; ++c) {
+      A(col, c) = GF256::mul(A(col, c), piv_inv);
+      I(col, c) = GF256::mul(I(col, c), piv_inv);
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == col || A(r, col) == 0) continue;
+      const std::uint8_t f = A(r, col);
+      for (int c = 0; c < n; ++c) {
+        A(r, c) = GF256::add(A(r, c), GF256::mul(f, A(col, c)));
+        I(r, c) = GF256::add(I(r, c), GF256::mul(f, I(col, c)));
+      }
+    }
+  }
+  return inv;
+}
+
+bool ReedSolomon::reconstruct(std::span<std::uint8_t* const> shards,
+                              const std::vector<bool>& present,
+                              std::size_t len) const {
+  const int total = k_ + m_;
+  if (shards.size() != static_cast<std::size_t>(total) ||
+      present.size() != static_cast<std::size_t>(total)) {
+    throw NvmcpError("ReedSolomon::reconstruct: shard count mismatch");
+  }
+  // Collect k surviving shards (prefer data shards for the identity rows).
+  std::vector<int> survivors;
+  for (int i = 0; i < total && static_cast<int>(survivors.size()) < k_;
+       ++i) {
+    if (present[static_cast<std::size_t>(i)]) survivors.push_back(i);
+  }
+  if (static_cast<int>(survivors.size()) < k_) return false;
+
+  bool data_missing = false;
+  for (int i = 0; i < k_; ++i) {
+    if (!present[static_cast<std::size_t>(i)]) data_missing = true;
+  }
+
+  if (data_missing) {
+    // Rows of the generator matrix for the chosen survivors: identity row
+    // for a data shard, Cauchy row for a parity shard.
+    Matrix sub(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_),
+               0);
+    for (int r = 0; r < k_; ++r) {
+      const int s = survivors[static_cast<std::size_t>(r)];
+      if (s < k_) {
+        sub[static_cast<std::size_t>(r * k_ + s)] = 1;
+      } else {
+        for (int c = 0; c < k_; ++c) {
+          sub[static_cast<std::size_t>(r * k_ + c)] =
+              parity_rows_[static_cast<std::size_t>((s - k_) * k_ + c)];
+        }
+      }
+    }
+    const Matrix dec = invert(std::move(sub), k_);
+
+    // data[j] = sum_r dec[j][r] * survivor_r, computed only for missing
+    // data shards (into scratch, then copied, so survivors stay intact).
+    std::vector<std::vector<std::uint8_t>> scratch;
+    std::vector<int> targets;
+    for (int j = 0; j < k_; ++j) {
+      if (present[static_cast<std::size_t>(j)]) continue;
+      targets.push_back(j);
+      auto& out = scratch.emplace_back(len, 0);
+      for (int r = 0; r < k_; ++r) {
+        const std::uint8_t coef =
+            dec[static_cast<std::size_t>(j * k_ + r)];
+        if (coef == 0) continue;
+        const std::uint8_t* src =
+            shards[static_cast<std::size_t>(survivors[
+                static_cast<std::size_t>(r)])];
+        for (std::size_t b = 0; b < len; ++b) {
+          out[b] = GF256::add(out[b], GF256::mul(coef, src[b]));
+        }
+      }
+    }
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      std::memcpy(shards[static_cast<std::size_t>(targets[t])],
+                  scratch[t].data(), len);
+    }
+  }
+
+  // Re-encode any missing parity from the (now complete) data shards.
+  bool parity_missing = false;
+  for (int i = k_; i < total; ++i) {
+    if (!present[static_cast<std::size_t>(i)]) parity_missing = true;
+  }
+  if (parity_missing) {
+    std::vector<const std::uint8_t*> data(static_cast<std::size_t>(k_));
+    for (int j = 0; j < k_; ++j) {
+      data[static_cast<std::size_t>(j)] =
+          shards[static_cast<std::size_t>(j)];
+    }
+    std::vector<std::vector<std::uint8_t>> fresh;
+    std::vector<std::uint8_t*> parity(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      fresh.emplace_back(len);
+      parity[static_cast<std::size_t>(i)] = fresh.back().data();
+    }
+    encode(data, parity, len);
+    for (int i = 0; i < m_; ++i) {
+      if (!present[static_cast<std::size_t>(k_ + i)]) {
+        std::memcpy(shards[static_cast<std::size_t>(k_ + i)],
+                    fresh[static_cast<std::size_t>(i)].data(), len);
+      }
+    }
+  }
+  return true;
+}
+
+bool ReedSolomon::verify(std::span<const std::uint8_t* const> shards,
+                         std::size_t len) const {
+  std::vector<std::vector<std::uint8_t>> fresh;
+  std::vector<std::uint8_t*> parity(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    fresh.emplace_back(len);
+    parity[static_cast<std::size_t>(i)] = fresh.back().data();
+  }
+  encode(shards.subspan(0, static_cast<std::size_t>(k_)), parity, len);
+  for (int i = 0; i < m_; ++i) {
+    if (std::memcmp(fresh[static_cast<std::size_t>(i)].data(),
+                    shards[static_cast<std::size_t>(k_ + i)], len) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nvmcp::ecc

@@ -1,0 +1,53 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8), Cauchy-matrix
+// construction: k data shards, m parity shards; any k of the k+m shards
+// reconstruct the originals. Used by the erasure-coded remote-checkpoint
+// policy (an alternative to full buddy replication, following the diskless
+// checkpointing line of work the paper cites).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nvmcp::ecc {
+
+class ReedSolomon {
+ public:
+  /// k data shards + m parity shards; k + m <= 255.
+  ReedSolomon(int k, int m);
+
+  int data_shards() const { return k_; }
+  int parity_shards() const { return m_; }
+  int total_shards() const { return k_ + m_; }
+
+  /// Compute parity shards from data shards. `data[i]` and `parity[j]`
+  /// are buffers of `len` bytes each.
+  void encode(std::span<const std::uint8_t* const> data,
+              std::span<std::uint8_t* const> parity, std::size_t len) const;
+
+  /// Reconstruct missing shards in place. `shards` has k+m entries (data
+  /// first, then parity), each a buffer of `len` bytes; `present[i]` says
+  /// whether shard i survived. Missing shards' buffers are overwritten
+  /// with the reconstructed contents (parity shards are re-encoded too).
+  /// Returns false if fewer than k shards are present.
+  bool reconstruct(std::span<std::uint8_t* const> shards,
+                   const std::vector<bool>& present, std::size_t len) const;
+
+  /// Verify parity consistency (true if parity matches the data shards).
+  bool verify(std::span<const std::uint8_t* const> shards,
+              std::size_t len) const;
+
+ private:
+  /// rows x cols matrix in row-major order.
+  using Matrix = std::vector<std::uint8_t>;
+
+  Matrix build_cauchy() const;        // m x k parity rows
+  static Matrix invert(Matrix a, int n);  // Gauss-Jordan over GF(256)
+
+  int k_;
+  int m_;
+  Matrix parity_rows_;  // m x k
+};
+
+}  // namespace nvmcp::ecc

@@ -1,0 +1,103 @@
+#include "model/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace nvmcp::model {
+
+ModelResult evaluate(const SystemParams& p) {
+  ModelResult r;
+
+  const double residual = p.precopy ? p.precopy_residual : 1.0;
+  r.t_lcl_blocking = residual * p.ckpt_data / p.nvm_bw_core;
+  r.t_rmt = p.ckpt_data / p.link_bw;
+
+  r.n_lcl = p.t_compute / p.local_interval;
+  r.n_rmt = p.t_compute / p.remote_interval;
+  r.k_locals_per_remote = p.remote_interval / p.local_interval;
+
+  r.t_local_total = r.n_lcl * r.t_lcl_blocking;
+
+  // Asynchronous remote checkpointing: the overhead is the noise it
+  // imposes on the application's communication phases.
+  const double noise = p.precopy ? p.noise_precopy : p.noise_no_precopy;
+  r.o_rmt_total = p.t_compute * p.comm_fraction * noise;
+
+  // Restart/recompute terms. Local failures depend on compute time only;
+  // hard failures on total time (implicit -> fixed-point iteration).
+  const double i_seg = p.local_interval + r.t_lcl_blocking;
+  const double r_lcl = p.restart_local_factor *
+                       (p.ckpt_data / p.nvm_bw_core);  // fetch full D back
+  const double r_rmt = p.restart_remote_factor * (p.ckpt_data / p.link_bw);
+
+  r.f_lcl = p.t_compute / p.mtbf_local;
+  r.t_restart_recomp_local = r.f_lcl * (r_lcl + i_seg / 2.0);
+
+  double t_total = p.t_compute + r.t_local_total + r.o_rmt_total +
+                   r.t_restart_recomp_local;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double f_rmt = t_total / p.mtbf_remote;
+    const double t_remote_cost =
+        f_rmt * (r_rmt + r.k_locals_per_remote * i_seg / 2.0);
+    const double next = p.t_compute + r.t_local_total + r.o_rmt_total +
+                        r.t_restart_recomp_local + t_remote_cost;
+    if (std::abs(next - t_total) < 1e-9 * std::max(1.0, t_total)) {
+      t_total = next;
+      break;
+    }
+    t_total = next;
+  }
+  r.f_rmt = t_total / p.mtbf_remote;
+  r.t_restart_recomp_remote =
+      r.f_rmt * (r_rmt + r.k_locals_per_remote * i_seg / 2.0);
+  r.t_total = t_total;
+  r.efficiency = p.t_compute / t_total;
+
+  const double inflation = p.precopy ? p.precopy_extra_data : 1.0;
+  r.nvm_bytes_total = r.n_lcl * p.ckpt_data * inflation;
+  return r;
+}
+
+double optimal_local_interval(SystemParams p, double lo, double hi) {
+  auto cost = [&p](double interval) {
+    p.local_interval = interval;
+    return evaluate(p).t_total;
+  };
+  // Coarse grid then golden-section refinement.
+  double best_i = lo, best_c = cost(lo);
+  const int kGrid = 64;
+  for (int g = 1; g <= kGrid; ++g) {
+    const double i = lo + (hi - lo) * static_cast<double>(g) / kGrid;
+    const double c = cost(i);
+    if (c < best_c) {
+      best_c = c;
+      best_i = i;
+    }
+  }
+  double a = std::max(lo, best_i - (hi - lo) / kGrid);
+  double b = std::min(hi, best_i + (hi - lo) / kGrid);
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  for (int it = 0; it < 60; ++it) {
+    const double x1 = b - phi * (b - a);
+    const double x2 = a + phi * (b - a);
+    if (cost(x1) < cost(x2)) {
+      b = x2;
+    } else {
+      a = x1;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+std::string summarize(const ModelResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "T_total=%.1fs eff=%.4f (lcl=%.1fs rmt-noise=%.1fs "
+                "restart_l=%.1fs restart_r=%.1fs)",
+                r.t_total, r.efficiency, r.t_local_total, r.o_rmt_total,
+                r.t_restart_recomp_local, r.t_restart_recomp_remote);
+  return buf;
+}
+
+}  // namespace nvmcp::model

@@ -1,0 +1,98 @@
+// Analytical multilevel-checkpoint performance model (paper Section III).
+//
+// Extends the classic 2-level model to the paper's NVM setting:
+//
+//   T_total = T_compute + T_lcl + O_rmt + T_restart + T_recomp
+//
+//   t_lcl  = D / NVMBW_core                  (blocking local checkpoint)
+//   N_lcl  = T_compute / I                   (I = local interval)
+//   T_lcl  = N_lcl * t_lcl
+//
+//   o_rmt  = alpha_comm + alpha_others       (async remote overhead rates)
+//
+//   F_lcl  = T_compute / MTBF_lcl
+//   T_lclrstart + T_lclrecomp = F_lcl * (R_lcl + (I + t_lcl)/2)
+//
+//   F_rmt  = T_total / MTBF_rmt              (implicit -> fixed point)
+//   T_rmtrstart  = F_rmt * R_rmt
+//   T_rmtrecomp  = F_rmt * K * (I + t_lcl)/2 (K local ckpts per remote
+//                                             interval; half a segment is
+//                                             lost on average)
+//
+// Restart times are proportional to checkpoint times (paper assumption,
+// following Dong et al.): R_lcl = r_l * t_lcl, R_rmt = r_r * t_rmt.
+//
+// Pre-copy enters the model in two places:
+//  * locally, only the residual dirty fraction moves during the blocking
+//    step: t_lcl_blocking = residual * D / NVMBW_core;
+//  * remotely, the contention noise imposed on application communication
+//    (alpha_comm) drops because peak link usage is roughly halved.
+#pragma once
+
+#include <string>
+
+namespace nvmcp::model {
+
+struct SystemParams {
+  // Application.
+  double t_compute = 1200.0;     // total compute-only seconds
+  double ckpt_data = 433.0e6;    // checkpoint bytes per core (D)
+  double comm_fraction = 0.2;    // fraction of compute that is communication
+
+  // Devices.
+  double nvm_bw_core = 400.0e6;  // NVMBW_core, bytes/s
+  double link_bw = 5.0e9;        // interconnect bytes/s (per core share)
+
+  // Intervals.
+  double local_interval = 40.0;  // I, seconds
+  double remote_interval = 120.0;
+
+  // Failure model (per the *job*, i.e. system-level MTBFs).
+  double mtbf_local = 600.0;     // soft failures (locally recoverable)
+  double mtbf_remote = 3600.0;   // hard failures (need remote data)
+
+  // Restart proportionality (R = factor * t).
+  double restart_local_factor = 1.0;
+  double restart_remote_factor = 1.0;
+
+  // Pre-copy behaviour.
+  bool precopy = false;
+  double precopy_residual = 0.15;  // dirty fraction left for the blocking step
+  double precopy_extra_data = 1.03;  // total data inflation from re-copies
+
+  // Async remote-checkpoint noise as a slowdown fraction on communication
+  // time (paper cites ~22-25% contention for bursty no-pre-copy overlap).
+  double noise_no_precopy = 0.22;
+  double noise_precopy = 0.08;
+};
+
+struct ModelResult {
+  double t_lcl_blocking = 0;  // per-checkpoint blocking seconds
+  double t_rmt = 0;           // per-remote-checkpoint transfer seconds
+  double n_lcl = 0;
+  double n_rmt = 0;
+  double k_locals_per_remote = 0;
+  double t_local_total = 0;   // T_lcl
+  double o_rmt_total = 0;     // O_rmt
+  double f_lcl = 0;
+  double f_rmt = 0;
+  double t_restart_recomp_local = 0;
+  double t_restart_recomp_remote = 0;
+  double t_total = 0;
+  double efficiency = 0;      // t_compute / t_total
+  double nvm_bytes_total = 0; // data volume written to NVM
+};
+
+/// Evaluate the model (fixed-point iteration on T_total for the implicit
+/// hard-failure count).
+ModelResult evaluate(const SystemParams& p);
+
+/// Grid+refine search for the local interval minimizing T_total, holding
+/// everything else fixed. Returns the interval in seconds.
+double optimal_local_interval(SystemParams p, double lo = 5.0,
+                              double hi = 600.0);
+
+/// Human-readable one-line summary for tables.
+std::string summarize(const ModelResult& r);
+
+}  // namespace nvmcp::model

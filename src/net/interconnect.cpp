@@ -1,0 +1,76 @@
+#include "net/interconnect.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvmcp::net {
+
+Interconnect::Interconnect(double bandwidth_bytes_per_sec,
+                           double timeline_bucket_sec)
+    : limiter_(bandwidth_bytes_per_sec),
+      ckpt_timeline_(timeline_bucket_sec),
+      app_timeline_(timeline_bucket_sec) {}
+
+double Interconnect::transfer(std::size_t bytes, TrafficClass cls) {
+  return transfer_copy(nullptr, nullptr, bytes, cls);
+}
+
+double Interconnect::transfer_copy(void* dst, const void* src,
+                                   std::size_t bytes, TrafficClass cls) {
+  const Stopwatch sw;
+  auto* d = static_cast<std::byte*>(dst);
+  const auto* s = static_cast<const std::byte*>(src);
+  std::size_t off = 0;
+  while (off < bytes) {
+    const std::size_t len =
+        std::min(ThrottledCopier::kBlockSize, bytes - off);
+    if (d && s) std::memcpy(d + off, s + off, len);
+    sleep_until(limiter_.acquire(len));
+    // Attribute each block to the bucket in which it finished, so a long
+    // transfer shows up spread over the timeline instead of as one spike.
+    record(len, cls, 0.0);
+    off += len;
+  }
+  const double secs = sw.elapsed();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cls == TrafficClass::kApplication) {
+      stats_.app_seconds += secs;
+    } else {
+      stats_.checkpoint_seconds += secs;
+    }
+  }
+  return secs;
+}
+
+void Interconnect::record(std::size_t bytes, TrafficClass cls, double) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double t = epoch_.elapsed();
+  if (cls == TrafficClass::kApplication) {
+    stats_.app_bytes += bytes;
+    app_timeline_.add(t, static_cast<double>(bytes));
+  } else {
+    stats_.checkpoint_bytes += bytes;
+    ckpt_timeline_.add(t, static_cast<double>(bytes));
+  }
+}
+
+LinkStats Interconnect::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double Interconnect::peak_checkpoint_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ckpt_timeline_.peak_rate();
+}
+
+void Interconnect::reset_accounting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = LinkStats{};
+  ckpt_timeline_ = TimeSeries(ckpt_timeline_.bucket_width());
+  app_timeline_ = TimeSeries(app_timeline_.bucket_width());
+  epoch_.reset();
+}
+
+}  // namespace nvmcp::net

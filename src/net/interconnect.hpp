@@ -1,0 +1,91 @@
+// Interconnect model: a shared link (InfiniBand-style fabric port) whose
+// bandwidth is divided among concurrent flows, with a utilization timeline
+// recorder used to reproduce the paper's Fig 10 (peak interconnect usage of
+// remote checkpointing with and without pre-copy).
+//
+// Transfers are executed with the same sleep-based throttling as NVM
+// writes, so a remote-checkpoint helper thread genuinely overlaps with
+// compute. Application communication phases and checkpoint flows share the
+// same limiter, which reproduces the contention the paper measures
+// ("communication noise caused by interconnect contention between a
+// communication intensive application and asynchronous checkpoint data
+// movement").
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "nvm/throttle.hpp"
+
+namespace nvmcp::net {
+
+enum class TrafficClass { kApplication = 0, kCheckpoint = 1 };
+
+struct LinkStats {
+  std::uint64_t app_bytes = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  double app_seconds = 0;        // wall time spent in app transfers
+  double checkpoint_seconds = 0;
+};
+
+/// One full-duplex-ish link with a single shared bandwidth pipe.
+class Interconnect {
+ public:
+  /// 40 Gbps InfiniBand ~ 5 GB/s payload bandwidth (the paper's fabric).
+  explicit Interconnect(double bandwidth_bytes_per_sec = 5.0e9,
+                        double timeline_bucket_sec = 0.1);
+
+  Interconnect(const Interconnect&) = delete;
+  Interconnect& operator=(const Interconnect&) = delete;
+
+  /// Block until `bytes` have traversed the link (sharing bandwidth with
+  /// concurrent callers). Records the transfer on the utilization timeline
+  /// under its traffic class. Returns seconds spent.
+  double transfer(std::size_t bytes, TrafficClass cls);
+
+  /// Transfer while also moving real payload between buffers (used by the
+  /// real-thread remote checkpointer: local NVM -> remote NVM staging).
+  double transfer_copy(void* dst, const void* src, std::size_t bytes,
+                       TrafficClass cls);
+
+  double bandwidth() const { return limiter_.rate(); }
+  void set_bandwidth(double bytes_per_sec) { limiter_.set_rate(bytes_per_sec); }
+
+  LinkStats stats() const;
+
+  /// Checkpoint-traffic timeline: bytes per bucket of application time.
+  const TimeSeries& checkpoint_timeline() const { return ckpt_timeline_; }
+  const TimeSeries& app_timeline() const { return app_timeline_; }
+
+  /// Peak checkpoint-class bytes observed in any single timeline bucket,
+  /// expressed as a rate. This is the paper's "peak interconnect usage".
+  double peak_checkpoint_rate() const;
+
+  void reset_accounting();
+
+  /// Direct access for callers that pipeline the link against another
+  /// limiter (e.g. RDMA into remote NVM): acquire on the limiter, then
+  /// note the bytes so timelines and totals stay accurate.
+  BandwidthLimiter& limiter() { return limiter_; }
+  void note_bytes(std::size_t bytes, TrafficClass cls) {
+    record(bytes, cls, 0.0);
+  }
+
+ private:
+  void record(std::size_t bytes, TrafficClass cls, double secs);
+
+  BandwidthLimiter limiter_;
+
+  mutable std::mutex mu_;
+  LinkStats stats_;
+  TimeSeries ckpt_timeline_;
+  TimeSeries app_timeline_;
+  Stopwatch epoch_;  // time base for the timelines
+};
+
+}  // namespace nvmcp::net

@@ -1,0 +1,114 @@
+// ARMCI-style remote memory interface over the interconnect model, plus the
+// remote-node NVM store that holds buddy checkpoints.
+//
+// The paper extends ARMCI so applications (and the per-node helper process)
+// can "allocate, access and copy NVM buffers to local as well as remote
+// destination nodes", leveraging RDMA to remote NVM. Here a RemoteStore is
+// the buddy node's NVM (a device + chunk records with the same two-version
+// commit discipline as local checkpoints), and RemoteMemory::put/get move
+// chunk payloads through the shared interconnect, pipelined against the
+// remote NVM's own write bandwidth (a transfer is throttled by whichever of
+// the link or the device is slower, as RDMA-to-NVM would be).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/checksum.hpp"
+#include "net/interconnect.hpp"
+#include "nvm/device.hpp"
+#include "vmem/container.hpp"
+
+namespace nvmcp::net {
+
+/// The buddy/IO node's NVM checkpoint store.
+class RemoteStore {
+ public:
+  explicit RemoteStore(NvmConfig cfg);
+
+  RemoteStore(const RemoteStore&) = delete;
+  RemoteStore& operator=(const RemoteStore&) = delete;
+
+  NvmDevice& device() { return dev_; }
+
+  /// Write `n` bytes into the in-progress slot of (src_rank, chunk_id),
+  /// allocating record + slots on first use. `link` (may be null) paces
+  /// the transfer at interconnect speed, pipelined with the remote NVM
+  /// write bandwidth, and records it as checkpoint traffic. If `commit`,
+  /// the slot is committed with `epoch`. Returns seconds spent.
+  /// `pace` (optional) additionally rate-limits the transfer; the remote
+  /// checkpoint helper uses it to spread pre-copy traffic over the remote
+  /// interval instead of bursting at link speed.
+  double put(std::uint32_t src_rank, std::uint64_t chunk_id, const void* data,
+             std::size_t n, std::uint64_t epoch, bool commit,
+             Interconnect* link, BandwidthLimiter* pace = nullptr);
+
+  /// Commit whatever the in-progress slot of the pair holds as `epoch`.
+  /// Used for coordinated remote checkpoints where the payload arrived in
+  /// earlier pre-copy puts. No-op if the pair is unknown.
+  void commit(std::uint32_t src_rank, std::uint64_t chunk_id,
+              std::uint64_t epoch);
+
+  /// Read the committed payload back (restart path). Returns false if the
+  /// pair is unknown, uncommitted, or fails checksum verification.
+  bool get(std::uint32_t src_rank, std::uint64_t chunk_id, void* dst,
+           std::size_t n, Interconnect* link);
+
+  /// Committed epoch for a pair, 0 if none.
+  std::uint64_t committed_epoch(std::uint32_t src_rank,
+                                std::uint64_t chunk_id) const;
+
+  std::size_t stored_chunks() const;
+
+ private:
+  static std::uint64_t pair_id(std::uint32_t src_rank, std::uint64_t chunk_id);
+  vmem::ChunkRecord* find_or_create(std::uint64_t id, std::size_t n);
+
+  NvmDevice dev_;
+  vmem::Container container_;
+  mutable std::mutex mu_;
+  // Checksums of data currently sitting (uncommitted) in in-progress slots.
+  struct Pending {
+    std::uint64_t checksum = 0;
+    std::uint64_t epoch = 0;
+  };
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+/// The node-side handle pairing a link with a destination store.
+class RemoteMemory {
+ public:
+  RemoteMemory(Interconnect& link, RemoteStore& store)
+      : link_(&link), store_(&store) {}
+
+  /// Remote put of a chunk payload; accounted as checkpoint traffic.
+  double put(std::uint32_t src_rank, std::uint64_t chunk_id, const void* data,
+             std::size_t n, std::uint64_t epoch, bool commit,
+             BandwidthLimiter* pace = nullptr);
+
+  void commit(std::uint32_t src_rank, std::uint64_t chunk_id,
+              std::uint64_t epoch) {
+    store_->commit(src_rank, chunk_id, epoch);
+  }
+
+  /// Remote get (restart fetch); accounted as checkpoint traffic.
+  bool get(std::uint32_t src_rank, std::uint64_t chunk_id, void* dst,
+           std::size_t n);
+
+  /// Application communication phase: occupy the link with `bytes` of
+  /// app-class traffic (MPI halo exchanges etc. in the workload driver).
+  double app_communicate(std::size_t bytes) {
+    return link_->transfer(bytes, TrafficClass::kApplication);
+  }
+
+  Interconnect& link() { return *link_; }
+  RemoteStore& store() { return *store_; }
+
+ private:
+  Interconnect* link_;
+  RemoteStore* store_;
+};
+
+}  // namespace nvmcp::net

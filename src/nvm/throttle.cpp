@@ -1,0 +1,54 @@
+#include "nvm/throttle.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvmcp {
+
+TimePoint BandwidthLimiter::acquire(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimePoint now = Clock::now();
+  if (rate_ <= 0.0) return now;  // unlimited
+  const auto duration = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(bytes) / rate_));
+  const TimePoint start = std::max(now, next_free_);
+  next_free_ = start + duration;
+  return next_free_;
+}
+
+namespace {
+
+template <typename BlockFn>
+double run_throttled(std::size_t n, BandwidthLimiter* a, BandwidthLimiter* b,
+                     BlockFn&& block_fn) {
+  const Stopwatch sw;
+  std::size_t off = 0;
+  while (off < n) {
+    const std::size_t len = std::min(ThrottledCopier::kBlockSize, n - off);
+    block_fn(off, len);
+    TimePoint deadline = Clock::now();
+    if (a) deadline = std::max(deadline, a->acquire(len));
+    if (b) deadline = std::max(deadline, b->acquire(len));
+    sleep_until(deadline);
+    off += len;
+  }
+  return sw.elapsed();
+}
+
+}  // namespace
+
+double ThrottledCopier::copy(void* dst, const void* src, std::size_t n,
+                             BandwidthLimiter* a, BandwidthLimiter* b) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  return run_throttled(n, a, b, [&](std::size_t off, std::size_t len) {
+    std::memcpy(d + off, s + off, len);
+  });
+}
+
+double ThrottledCopier::consume(std::size_t n, BandwidthLimiter* a,
+                                BandwidthLimiter* b) {
+  return run_throttled(n, a, b, [](std::size_t, std::size_t) {});
+}
+
+}  // namespace nvmcp

@@ -1,0 +1,73 @@
+// Bandwidth throttling: the mechanism behind the paper's NVM emulation
+// ("we introduce data copy delays derived using the LANL memcpy benchmark
+// ... and vary the effective per core bandwidth").
+//
+// A BandwidthLimiter models a pipe with a fixed byte rate as a virtual
+// transfer timeline: each acquire(bytes) reserves the next slot on the
+// timeline and returns the deadline at which the transfer would complete
+// on real hardware; the caller memcpy's the block and then sleeps until
+// that deadline. Concurrent users therefore share the pipe fairly and the
+// aggregate rate never exceeds the configured bandwidth, while sleeping
+// keeps the CPU free for compute threads (faithful overlap on small hosts).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <span>
+
+#include "common/clock.hpp"
+
+namespace nvmcp {
+
+class BandwidthLimiter {
+ public:
+  /// rate of 0 (or +inf) disables throttling.
+  explicit BandwidthLimiter(double bytes_per_sec = 0.0)
+      : rate_(bytes_per_sec) {}
+
+  /// Reserve a slot for `bytes`; returns the completion deadline.
+  /// Thread-safe. A limiter that has been idle does not accumulate burst
+  /// credit: the slot starts no earlier than now.
+  TimePoint acquire(std::size_t bytes);
+
+  void set_rate(double bytes_per_sec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rate_ = bytes_per_sec;
+  }
+
+  double rate() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rate_;
+  }
+
+  bool unlimited() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rate_ <= 0.0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double rate_;
+  TimePoint next_free_{};  // epoch => idle
+};
+
+/// Copies memory while respecting up to two bandwidth limiters (e.g. a
+/// per-core rate and a shared device rate); sleeps between blocks.
+class ThrottledCopier {
+ public:
+  static constexpr std::size_t kBlockSize = 256 * 1024;
+
+  /// Copy n bytes from src to dst at the speed allowed by the limiters.
+  /// Any limiter pointer may be null (= unlimited). Returns seconds spent.
+  static double copy(void* dst, const void* src, std::size_t n,
+                     BandwidthLimiter* a, BandwidthLimiter* b = nullptr);
+
+  /// "Transfer" without data movement: consume limiter budget and sleep as
+  /// if n bytes moved. Used by the interconnect model where no real
+  /// payload exists.
+  static double consume(std::size_t n, BandwidthLimiter* a,
+                        BandwidthLimiter* b = nullptr);
+};
+
+}  // namespace nvmcp

@@ -1,0 +1,23 @@
+// Umbrella header for the nvmcp public API.
+//
+//   #include "nvmcp.hpp"
+//
+// pulls in everything an application needs for NVM checkpointing:
+// the emulated device, the nvmalloc heap, the checkpoint manager with its
+// pre-copy policies, remote (buddy) checkpointing, the restart
+// coordinator, and the analytical model / interval tuner. Substrate
+// internals (simulator, workload generators, ramdisk baseline) stay
+// opt-in via their own headers.
+#pragma once
+
+#include "alloc/nvmalloc.hpp"     // nvalloc / chunks / Table III API
+#include "common/units.hpp"       // KiB/MiB/GiB, formatting
+#include "core/manager.hpp"       // CheckpointManager, policies
+#include "core/remote.hpp"        // RemoteCheckpointer, restore_with_remote
+#include "core/restart.hpp"       // RestartCoordinator
+#include "core/tuner.hpp"         // IntervalTuner
+#include "ecc/parity_group.hpp"   // erasure-coded remote checkpoints
+#include "model/model.hpp"        // Section III analytical model
+#include "net/remote_memory.hpp"  // ARMCI-style remote memory
+#include "nvm/device.hpp"         // emulated NVM device
+#include "vmem/container.hpp"     // NVM container / metadata

@@ -1,0 +1,209 @@
+#include "ramdisk/ramdisk.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/clock.hpp"
+#include "common/units.hpp"
+
+namespace nvmcp::ramdisk {
+
+void RamDiskFs::File::ensure(std::size_t end) {
+  const std::size_t need = (end + kBlock - 1) / kBlock;
+  while (blocks.size() < need) {
+    blocks.push_back(std::make_unique<std::byte[]>(kBlock));
+  }
+  size = std::max(size, end);
+}
+
+void RamDiskFs::File::write(std::size_t pos, const void* src,
+                            std::size_t n) {
+  const auto* s = static_cast<const std::byte*>(src);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t blk = (pos + done) / kBlock;
+    const std::size_t off = (pos + done) % kBlock;
+    const std::size_t len = std::min(kBlock - off, n - done);
+    std::memcpy(blocks[blk].get() + off, s + done, len);
+    done += len;
+  }
+}
+
+std::size_t RamDiskFs::File::read(std::size_t pos, void* dst,
+                                  std::size_t n) const {
+  auto* d = static_cast<std::byte*>(dst);
+  std::size_t done = 0;
+  while (done < n && pos + done < size) {
+    const std::size_t blk = (pos + done) / kBlock;
+    const std::size_t off = (pos + done) % kBlock;
+    const std::size_t len =
+        std::min({kBlock - off, n - done, size - (pos + done)});
+    std::memcpy(d + done, blocks[blk].get() + off, len);
+    done += len;
+  }
+  return done;
+}
+
+RamDiskFs::RamDiskFs(RamDiskConfig cfg) : cfg_(cfg) {}
+
+void RamDiskFs::charge_syscall() {
+  precise_sleep(cfg_.syscall_latency);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.syscalls;
+}
+
+int RamDiskFs::open(const std::string& path, bool truncate) {
+  charge_syscall();
+  std::lock_guard<std::mutex> lock(vfs_lock_);
+  auto it = files_.find(path);
+  std::shared_ptr<File> file;
+  if (it == files_.end()) {
+    file = std::make_shared<File>();
+    files_[path] = file;
+  } else {
+    file = it->second;
+    if (truncate) {
+      file->blocks.clear();
+      file->size = 0;
+    }
+  }
+  const int fd = next_fd_++;
+  open_files_[fd] = OpenFile{std::move(file), 0};
+  return fd;
+}
+
+std::size_t RamDiskFs::write(int fd, const void* buf, std::size_t n) {
+  charge_syscall();
+  // Resolve the fd under the lock, then do the data path block by block,
+  // taking the global VFS lock per block (serialization point).
+  OpenFile* of = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(vfs_lock_);
+    auto it = open_files_.find(fd);
+    if (it == open_files_.end()) throw NvmcpError("ramdisk: bad fd");
+    of = &it->second;
+    of->file->ensure(of->pos + n);
+  }
+  const auto* src = static_cast<const std::byte*>(buf);
+  std::size_t done = 0;
+  double lock_wait = 0.0;
+  double kernel_time = 0.0;
+  std::uint64_t locks_taken = 0;
+  while (done < n) {
+    const std::size_t len = std::min(cfg_.vfs_block, n - done);
+    const Stopwatch wait_sw;
+    vfs_lock_.lock();
+    lock_wait += wait_sw.elapsed();
+    ++locks_taken;
+    // Under the lock: the serialized copy into the page cache plus the
+    // lock's own cost. Concurrent writers contend here, which is what the
+    // paper's profile shows ("31% more time waiting for kernel locks").
+    busy_spin(cfg_.lock_acquire_cost);
+    of->file->write(of->pos + done, src + done, len);
+    vfs_lock_.unlock();
+    // Outside the lock: per-page bookkeeping (page allocation, radix
+    // insertion). This is CPU work, so it burns cycles rather than
+    // sleeping -- on a loaded node it competes with application threads.
+    const double kcost = cfg_.per_page_kernel_cost *
+                         static_cast<double>(pages_for(len));
+    busy_spin(kcost);
+    kernel_time += kcost + cfg_.lock_acquire_cost;
+    done += len;
+  }
+  {
+    std::lock_guard<std::mutex> lock(vfs_lock_);
+    of->pos += n;
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.lock_acquisitions += locks_taken;
+    stats_.lock_wait_seconds += lock_wait;
+    stats_.kernel_seconds += kernel_time;
+    stats_.bytes_written += n;
+  }
+  return n;
+}
+
+std::size_t RamDiskFs::read(int fd, void* buf, std::size_t n) {
+  charge_syscall();
+  OpenFile* of = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(vfs_lock_);
+    auto it = open_files_.find(fd);
+    if (it == open_files_.end()) throw NvmcpError("ramdisk: bad fd");
+    of = &it->second;
+  }
+  auto* dst = static_cast<std::byte*>(buf);
+  std::size_t done = 0;
+  double lock_wait = 0.0;
+  std::uint64_t locks_taken = 0;
+  while (done < n) {
+    const Stopwatch wait_sw;
+    std::lock_guard<std::mutex> lock(vfs_lock_);
+    lock_wait += wait_sw.elapsed();
+    ++locks_taken;
+    if (of->pos >= of->file->size) break;
+    const std::size_t avail = of->file->size - of->pos;
+    const std::size_t len = std::min({cfg_.vfs_block, n - done, avail});
+    if (len == 0) break;
+    of->file->read(of->pos, dst + done, len);
+    of->pos += len;
+    done += len;
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.lock_acquisitions += locks_taken;
+  stats_.lock_wait_seconds += lock_wait;
+  stats_.bytes_read += done;
+  return done;
+}
+
+std::size_t RamDiskFs::lseek(int fd, std::size_t offset) {
+  charge_syscall();
+  std::lock_guard<std::mutex> lock(vfs_lock_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) throw NvmcpError("ramdisk: bad fd");
+  it->second.pos = offset;
+  return offset;
+}
+
+void RamDiskFs::fsync(int fd) {
+  charge_syscall();
+  std::lock_guard<std::mutex> lock(vfs_lock_);
+  if (!open_files_.count(fd)) throw NvmcpError("ramdisk: bad fd");
+  // tmpfs-like: nothing to write back; the call itself is the cost.
+}
+
+void RamDiskFs::close(int fd) {
+  charge_syscall();
+  std::lock_guard<std::mutex> lock(vfs_lock_);
+  open_files_.erase(fd);
+}
+
+void RamDiskFs::unlink(const std::string& path) {
+  charge_syscall();
+  std::lock_guard<std::mutex> lock(vfs_lock_);
+  files_.erase(path);
+}
+
+bool RamDiskFs::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(vfs_lock_);
+  return files_.count(path) > 0;
+}
+
+std::size_t RamDiskFs::file_size(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(vfs_lock_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second->size;
+}
+
+RamDiskStats RamDiskFs::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void RamDiskFs::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = RamDiskStats{};
+}
+
+}  // namespace nvmcp::ramdisk

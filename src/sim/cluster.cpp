@@ -1,0 +1,257 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace nvmcp::sim {
+namespace {
+
+constexpr int kAppClass = 0;
+constexpr int kCkptClass = 1;
+
+/// One simulated node driving the whole experiment.
+class NodeSim {
+ public:
+  explicit NodeSim(const ClusterConfig& cfg)
+      : cfg_(cfg),
+        rng_(cfg.seed),
+        nvm_(eng_, cfg.nvm_bw, cfg.timeline_bucket),
+        link_(eng_, cfg.link_bw, cfg.timeline_bucket) {}
+
+  ClusterResult run() {
+    schedule_failures();
+    start_iteration();
+    // The event chain re-arms itself until `finished_`; run to quiescence
+    // or the safety limit.
+    while (!finished_ && eng_.now() < cfg_.max_wall && eng_.step()) {
+    }
+    if (!finished_) {
+      throw NvmcpError("cluster sim: did not finish before max_wall");
+    }
+
+    ClusterResult r;
+    r.wall = finish_time_;
+    const double iters =
+        cfg_.total_compute / cfg_.compute_per_iter;
+    r.ideal = cfg_.total_compute +
+              iters * cfg_.comm_bytes_per_iter / cfg_.link_bw;
+    r.efficiency = r.ideal / r.wall;
+    r.iterations = iterations_;
+    r.local_checkpoints = local_ckpts_;
+    r.remote_checkpoints = remote_ckpts_;
+    r.soft_failures = soft_failures_;
+    r.hard_failures = hard_failures_;
+    r.local_blocking = local_blocking_;
+    r.restart_seconds = restart_seconds_;
+    r.lost_work = lost_work_;
+    r.nvm_bytes = nvm_.total_bytes(kCkptClass);
+    r.link_ckpt_bytes = link_.total_bytes(kCkptClass);
+    r.peak_link_ckpt_rate = link_.timeline(kCkptClass).peak_rate();
+    r.app_comm_seconds = app_comm_seconds_;
+    return r;
+  }
+
+ private:
+  // ---- failure injection ----------------------------------------------
+  void schedule_failures() {
+    if (cfg_.mtbf_local > 0) schedule_soft();
+    if (cfg_.mtbf_remote > 0) schedule_hard();
+  }
+
+  void schedule_soft() {
+    eng_.schedule_in(rng_.exponential(cfg_.mtbf_local), [this] {
+      if (!finished_) on_failure(/*hard=*/false);
+      schedule_soft();
+    });
+  }
+
+  void schedule_hard() {
+    eng_.schedule_in(rng_.exponential(cfg_.mtbf_remote), [this] {
+      if (!finished_) on_failure(/*hard=*/true);
+      schedule_hard();
+    });
+  }
+
+  void on_failure(bool hard) {
+    ++generation_;
+    nvm_.cancel_all();
+    link_.cancel_all();
+    double restart;
+    if (hard) {
+      ++hard_failures_;
+      // Local NVM is gone with the node; roll back to the remote cut.
+      lost_work_ += compute_done_ - committed_remote_;
+      compute_done_ = committed_remote_;
+      committed_local_ = committed_remote_;
+      restart = cfg_.restart_remote_factor * cfg_.ckpt_bytes / cfg_.link_bw;
+    } else {
+      ++soft_failures_;
+      lost_work_ += compute_done_ - committed_local_;
+      compute_done_ = committed_local_;
+      restart = cfg_.restart_local_factor * cfg_.ckpt_bytes / cfg_.nvm_bw;
+    }
+    restart_seconds_ += restart;
+    work_in_iter_ = 0;
+    const int gen = generation_;
+    eng_.schedule_in(restart, [this, gen] {
+      if (gen != generation_ || finished_) return;
+      start_iteration();
+    });
+  }
+
+  // ---- application loop -------------------------------------------------
+  void start_iteration() {
+    if (compute_done_ >= cfg_.total_compute) {
+      finish();
+      return;
+    }
+    const int gen = generation_;
+    const double work =
+        std::min(cfg_.compute_per_iter, cfg_.total_compute - compute_done_);
+    work_in_iter_ = work;
+
+    // Local pre-copy streams to NVM in the background during compute.
+    if (cfg_.local_precopy && local_ckpts_ + soft_failures_ > 0) {
+      const double bg_bytes =
+          cfg_.ckpt_bytes * (cfg_.precopy_inflation - cfg_.precopy_residual);
+      // One slice per iteration, sized so the full interval carries ~the
+      // whole background volume.
+      const double iters_per_interval =
+          std::max(1.0, cfg_.local_interval / cfg_.compute_per_iter);
+      precopy_flow_ =
+          nvm_.submit(bg_bytes / iters_per_interval, kCkptClass, nullptr);
+    }
+
+    eng_.schedule_in(work, [this, gen] {
+      if (gen != generation_ || finished_) return;
+      start_communication();
+    });
+  }
+
+  void start_communication() {
+    const int gen = generation_;
+    const double t0 = eng_.now();
+    comm_flow_ = link_.submit(
+        cfg_.comm_bytes_per_iter, kAppClass, [this, gen, t0](double) {
+          if (gen != generation_ || finished_) return;
+          app_comm_seconds_ += eng_.now() - t0;
+          end_iteration();
+        });
+  }
+
+  void end_iteration() {
+    compute_done_ += work_in_iter_;
+    work_in_iter_ = 0;
+    ++iterations_;
+    if (eng_.now() - last_local_ckpt_ >= cfg_.local_interval &&
+        compute_done_ < cfg_.total_compute) {
+      start_local_checkpoint();
+    } else {
+      start_iteration();
+    }
+  }
+
+  // ---- checkpointing ----------------------------------------------------
+  void start_local_checkpoint() {
+    const int gen = generation_;
+    if (precopy_flow_ && !precopy_flow_->done()) {
+      nvm_.cancel(precopy_flow_);  // the engine pauses during the step
+    }
+    const double residual =
+        (cfg_.local_precopy && local_ckpts_ + soft_failures_ > 0)
+            ? cfg_.precopy_residual
+            : 1.0;
+    const double t0 = eng_.now();
+    nvm_.submit(cfg_.ckpt_bytes * residual, kCkptClass,
+                [this, gen, t0](double) {
+                  if (gen != generation_ || finished_) return;
+                  local_blocking_ += eng_.now() - t0;
+                  ++local_ckpts_;
+                  last_local_ckpt_ = eng_.now();
+                  committed_local_ = compute_done_;
+                  after_local_checkpoint();
+                });
+  }
+
+  void after_local_checkpoint() {
+    if (cfg_.remote_enabled) {
+      if (cfg_.remote_precopy) {
+        // Ship this local checkpoint's slice asynchronously.
+        const double k = std::max(
+            1.0, cfg_.remote_interval / cfg_.local_interval);
+        submit_remote(cfg_.ckpt_bytes / k, committed_local_,
+                      /*is_coordination=*/false);
+      }
+      if (eng_.now() - last_remote_ckpt_ >= cfg_.remote_interval) {
+        // Coordination: without pre-copy the full volume moves now; with
+        // pre-copy only a residual top-up slice does.
+        const double bytes = cfg_.remote_precopy
+                                 ? cfg_.ckpt_bytes * cfg_.precopy_residual
+                                 : cfg_.ckpt_bytes;
+        submit_remote(bytes, committed_local_, /*is_coordination=*/true);
+        last_remote_ckpt_ = eng_.now();
+      }
+    }
+    start_iteration();  // remote transfers overlap the next compute phase
+  }
+
+  void submit_remote(double bytes, double work_mark, bool is_coordination) {
+    const int gen = generation_;
+    link_.submit(bytes, kCkptClass, [this, gen, work_mark,
+                                     is_coordination](double) {
+      if (gen != generation_) return;
+      if (is_coordination) {
+        ++remote_ckpts_;
+        committed_remote_ = work_mark;
+      }
+    });
+  }
+
+  void finish() {
+    finished_ = true;
+    finish_time_ = eng_.now();
+  }
+
+  const ClusterConfig& cfg_;
+  Engine eng_;
+  Rng rng_;
+  SharedBandwidth nvm_;
+  SharedBandwidth link_;
+
+  int generation_ = 0;
+  bool finished_ = false;
+  double finish_time_ = 0;
+
+  double compute_done_ = 0;
+  double work_in_iter_ = 0;
+  double committed_local_ = 0;
+  double committed_remote_ = 0;
+  double last_local_ckpt_ = 0;
+  double last_remote_ckpt_ = 0;
+
+  int iterations_ = 0;
+  int local_ckpts_ = 0;
+  int remote_ckpts_ = 0;
+  int soft_failures_ = 0;
+  int hard_failures_ = 0;
+  double local_blocking_ = 0;
+  double restart_seconds_ = 0;
+  double lost_work_ = 0;
+  double app_comm_seconds_ = 0;
+
+  SharedBandwidth::FlowHandle precopy_flow_;
+  SharedBandwidth::FlowHandle comm_flow_;
+};
+
+}  // namespace
+
+ClusterResult run_cluster(const ClusterConfig& cfg) {
+  NodeSim node(cfg);
+  return node.run();
+}
+
+}  // namespace nvmcp::sim

@@ -1,0 +1,83 @@
+// Cluster-scale checkpoint simulation (drives paper Fig 9 and the
+// failure-model experiments).
+//
+// Simulates a representative node of a synchronized SPMD job: iterations of
+// compute + communication, periodic coordinated local checkpoints to NVM,
+// and asynchronous remote checkpoints over a shared link. System-level
+// failures (soft = recover from local NVM, hard = recover from the buddy
+// node) are injected with exponential inter-arrival times.
+//
+// Pre-copy effects modeled:
+//  * local: only the residual dirty fraction moves during the blocking
+//    step; the rest streams to NVM in the background during compute (at the
+//    cost of precopy_inflation x total NVM traffic);
+//  * remote: checkpoint data is shipped in per-local-interval slices
+//    instead of one coordinated burst, so link contention with application
+//    communication (processor sharing) drops -- the paper's "communication
+//    noise" reduction -- and so does peak link usage (Fig 10's shape).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace nvmcp::sim {
+
+struct ClusterConfig {
+  // Application shape (per node).
+  double compute_per_iter = 4.0;      // seconds of pure compute
+  double comm_bytes_per_iter = 1.0e9; // application communication bytes
+  double total_compute = 1200.0;      // compute-seconds of useful work
+
+  // Checkpoint volume (per node).
+  double ckpt_bytes = 4.7e9;
+
+  // Intervals.
+  double local_interval = 40.0;
+  double remote_interval = 120.0;
+  bool remote_enabled = true;
+
+  // Policies.
+  bool local_precopy = true;
+  bool remote_precopy = true;
+  double precopy_residual = 0.15;   // dirty fraction at the blocking step
+  double precopy_inflation = 1.03;  // total-data inflation from re-copies
+
+  // Resources.
+  double nvm_bw = 2.0e9;   // node NVM write bandwidth
+  double link_bw = 5.0e9;  // node interconnect bandwidth
+
+  // Failure model; 0 disables a class.
+  double mtbf_local = 0.0;   // soft failures (restart from local NVM)
+  double mtbf_remote = 0.0;  // hard failures (restart from remote NVM)
+  double restart_local_factor = 1.0;
+  double restart_remote_factor = 1.0;
+
+  std::uint64_t seed = 42;
+  double max_wall = 1.0e7;  // simulation safety stop
+  double timeline_bucket = 5.0;
+};
+
+struct ClusterResult {
+  double wall = 0;             // actual application runtime
+  double ideal = 0;            // no-failure, no-checkpoint runtime
+  double efficiency = 0;       // ideal / wall
+  int iterations = 0;
+  int local_checkpoints = 0;
+  int remote_checkpoints = 0;
+  int soft_failures = 0;
+  int hard_failures = 0;
+  double local_blocking = 0;   // total blocking local-checkpoint seconds
+  double restart_seconds = 0;  // restart (fetch) time
+  double lost_work = 0;        // recomputed seconds
+  double nvm_bytes = 0;        // total data written to NVM
+  double link_ckpt_bytes = 0;  // checkpoint bytes over the link
+  double peak_link_ckpt_rate = 0;  // peak checkpoint link usage (bytes/s)
+  double app_comm_seconds = 0; // total time in communication phases
+};
+
+/// Run one configuration to completion; deterministic for a given seed.
+ClusterResult run_cluster(const ClusterConfig& cfg);
+
+}  // namespace nvmcp::sim

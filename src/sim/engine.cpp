@@ -1,0 +1,46 @@
+#include "sim/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace nvmcp::sim {
+
+EventHandle Engine::schedule_at(double t, Callback cb) {
+  if (t < now_) {
+    throw NvmcpError("sim::Engine: cannot schedule into the past");
+  }
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(cb), flag});
+  return EventHandle(flag);
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.time;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(double t_end) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t_end) break;
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace nvmcp::sim

@@ -1,0 +1,73 @@
+// Discrete-event simulation engine.
+//
+// Used for the cluster-scale experiments (paper Fig 9) that need multi-node
+// timing, failure injection over hours of modeled time, and bandwidth
+// contention -- none of which require real packets or real seconds. The
+// engine is a classic time-ordered event queue with cancellable events;
+// determinism comes from (time, sequence) ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace nvmcp::sim {
+
+class Engine;
+
+/// Handle to a scheduled event; cancel() is idempotent.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (auto p = flag_.lock()) *p = true;
+  }
+  bool valid() const { return !flag_.expired(); }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::weak_ptr<bool> flag) : flag_(std::move(flag)) {}
+  std::weak_ptr<bool> flag_;
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  EventHandle schedule_at(double t, Callback cb);
+  EventHandle schedule_in(double dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Execute the next pending event; returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or simulated time would exceed `t_end`.
+  void run_until(double t_end);
+
+  /// Run until the queue drains.
+  void run();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace nvmcp::sim

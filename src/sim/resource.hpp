@@ -1,0 +1,81 @@
+// Processor-sharing bandwidth resource for the simulator.
+//
+// Models a pipe (NVM write port, interconnect link) whose rate is divided
+// equally among concurrent flows -- the same fluid model the real-thread
+// BandwidthLimiter realizes with sleeps, here advanced analytically in
+// simulated time. Flow arrivals/departures trigger exact recomputation of
+// the next completion, so contention between application communication and
+// checkpoint traffic (the paper's "communication noise") emerges naturally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "sim/engine.hpp"
+
+namespace nvmcp::sim {
+
+class SharedBandwidth {
+ public:
+  /// `classes`: number of traffic classes tracked on the timeline
+  /// (0 = application, 1 = checkpoint, by convention).
+  SharedBandwidth(Engine& eng, double rate_bytes_per_sec,
+                  double timeline_bucket = 1.0, int classes = 2);
+
+  SharedBandwidth(const SharedBandwidth&) = delete;
+  SharedBandwidth& operator=(const SharedBandwidth&) = delete;
+
+  class Flow;
+  using FlowHandle = std::shared_ptr<Flow>;
+
+  /// Start a flow; `on_done(elapsed)` fires at completion in sim time.
+  /// The handle allows cancellation (failure injection).
+  FlowHandle submit(double bytes, int traffic_class,
+                    std::function<void(double)> on_done);
+
+  /// Cancel a flow (no completion callback fires).
+  void cancel(const FlowHandle& flow);
+
+  /// Cancel every active flow.
+  void cancel_all();
+
+  std::size_t active_flows() const { return flows_.size(); }
+  double rate() const { return rate_; }
+
+  /// Per-class byte timeline (bucketed over sim time).
+  const TimeSeries& timeline(int traffic_class) const {
+    return timelines_[static_cast<std::size_t>(traffic_class)];
+  }
+  double total_bytes(int traffic_class) const {
+    return timelines_[static_cast<std::size_t>(traffic_class)].total();
+  }
+
+  class Flow {
+   public:
+    bool done() const { return done_; }
+
+   private:
+    friend class SharedBandwidth;
+    double remaining = 0;
+    double start_time = 0;
+    int cls = 0;
+    std::function<void(double)> on_done;
+    bool done_ = false;
+  };
+
+ private:
+  void advance();     // progress all flows to eng.now(), attribute bytes
+  void reschedule();  // (re)arm the next-completion event
+
+  Engine* eng_;
+  double rate_;
+  double last_t_ = 0;
+  std::list<FlowHandle> flows_;
+  EventHandle next_completion_;
+  std::vector<TimeSeries> timelines_;
+};
+
+}  // namespace nvmcp::sim

@@ -1,0 +1,80 @@
+#include "vmem/container.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace nvmcp::vmem {
+namespace {
+
+MetadataRegion open_or_create(NvmDevice& dev, std::size_t table_capacity,
+                              bool* attached) {
+  if (dev.reopened() && dev.root() != 0) {
+    *attached = true;
+    return MetadataRegion::attach(dev);
+  }
+  *attached = false;
+  // Offset 0 is reserved: a device root of 0 means "no metadata", so the
+  // region lives one page into the arena.
+  return MetadataRegion::create(dev, /*region_off=*/kNvmPageSize,
+                                table_capacity);
+}
+
+}  // namespace
+
+Container::Container(NvmDevice& dev) : Container(dev, Options{}) {}
+
+Container::Container(NvmDevice& dev, Options opts)
+    : dev_(&dev),
+      meta_(open_or_create(dev, opts.chunk_table_capacity, &attached_)) {
+  log_info("Container: %s, cursor=%zu",
+           attached_ ? "attached to existing metadata" : "created fresh",
+           static_cast<std::size_t>(meta_.header().alloc_cursor));
+}
+
+std::size_t Container::alloc_region(std::size_t bytes) {
+  const std::size_t need = round_up(bytes, kNvmPageSize);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->bytes >= need) {
+      const std::size_t off = it->off;
+      if (it->bytes > need) {
+        it->off += need;
+        it->bytes -= need;
+      } else {
+        free_list_.erase(it);
+      }
+      return off;
+    }
+  }
+  auto& hdr = meta_.header();
+  const std::size_t off = hdr.alloc_cursor;
+  if (off + need > dev_->capacity()) {
+    throw NvmcpError("Container: NVM exhausted (need " +
+                     std::to_string(need) + " bytes, free " +
+                     std::to_string(dev_->capacity() - off) + ")");
+  }
+  hdr.alloc_cursor = off + need;
+  meta_.persist_header();
+  return off;
+}
+
+void Container::free_region(std::size_t off, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_list_.push_back({off, round_up(bytes, kNvmPageSize)});
+}
+
+std::size_t Container::bytes_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t free_bytes = 0;
+  for (const auto& b : free_list_) free_bytes += b.bytes;
+  return meta_.header().alloc_cursor - free_bytes;
+}
+
+std::size_t Container::bytes_free() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t free_bytes = 0;
+  for (const auto& b : free_list_) free_bytes += b.bytes;
+  return dev_->capacity() - meta_.header().alloc_cursor + free_bytes;
+}
+
+}  // namespace nvmcp::vmem

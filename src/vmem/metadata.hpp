@@ -1,0 +1,115 @@
+// Persistent per-process metadata region, stored inside the NVM device.
+//
+// The paper's kernel manager "maintains a metadata structure for each
+// process that keeps track of all NVM pages used by a process. During
+// application restart, the information in the metadata structure ... is
+// used to load the persistent pages to the process address space."
+//
+// We store a fixed-capacity table of chunk records plus an allocation
+// cursor. Records are updated with a crash-safe ordering: chunk payload is
+// written and flushed to its in-progress slot first, then the record's
+// committed-slot index is flipped and the record flushed. A crash between
+// the two steps leaves the previous committed version intact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "nvm/device.hpp"
+
+namespace nvmcp::vmem {
+
+/// On-NVM chunk record (POD; lives in the metadata table).
+struct ChunkRecord {
+  static constexpr std::uint32_t kValid = 1u << 0;
+  static constexpr std::uint32_t kPersistent = 1u << 1;
+  static constexpr std::uint32_t kNoneCommitted = 2;
+
+  std::uint64_t id = 0;          // genid(varname)
+  std::uint64_t size = 0;        // payload bytes
+  std::uint64_t slot_off[2] = {0, 0};   // device offsets, two versions
+  std::uint64_t checksum[2] = {0, 0};   // crc64 of each slot's payload
+  std::uint64_t epoch[2] = {0, 0};      // checkpoint epoch stored per slot
+  std::uint32_t committed = kNoneCommitted;  // 0/1, or kNoneCommitted
+  std::uint32_t flags = 0;
+  char name[44] = {};
+
+  bool valid() const { return flags & kValid; }
+  bool has_committed() const { return committed != kNoneCommitted; }
+  std::uint32_t in_progress_slot() const {
+    return committed == 0 ? 1u : 0u;  // kNoneCommitted also writes slot 0
+  }
+};
+
+static_assert(sizeof(ChunkRecord) == 120, "ChunkRecord layout is persistent");
+
+struct MetadataHeader {
+  std::uint64_t magic = 0;
+  std::uint64_t capacity = 0;     // record slots
+  std::uint64_t alloc_cursor = 0; // bump pointer for region allocation
+  std::uint64_t checkpoint_epoch = 0;
+};
+
+/// View over the metadata region of one device. The region's device offset
+/// is recorded in the device header root, so a reopened device finds its
+/// metadata automatically.
+class MetadataRegion {
+ public:
+  static constexpr std::uint64_t kMagic = 0x6e766d6d65746131ULL;
+
+  /// Create a fresh region at `region_off` with space for `capacity`
+  /// records, and point the device root at it.
+  static MetadataRegion create(NvmDevice& dev, std::size_t region_off,
+                               std::size_t capacity);
+
+  /// Attach to the region named by the device root. Throws if absent.
+  static MetadataRegion attach(NvmDevice& dev);
+
+  static std::size_t bytes_required(std::size_t capacity);
+
+  std::size_t capacity() const;
+  std::size_t record_count() const;  // valid records
+
+  /// Find a record by chunk id; nullptr if absent. The pointer aliases NVM
+  /// and stays valid for the life of the device.
+  ChunkRecord* find(std::uint64_t id);
+  const ChunkRecord* find(std::uint64_t id) const;
+
+  /// Allocate (or reuse a previously-freed) record slot for `id`.
+  ChunkRecord* insert(std::uint64_t id, std::string_view name);
+
+  /// Invalidate a record (nvdelete).
+  void erase(std::uint64_t id);
+
+  /// Persist one record (flush its cache lines).
+  void persist_record(const ChunkRecord& rec);
+
+  MetadataHeader& header();
+  const MetadataHeader& header() const;
+  void persist_header();
+
+  /// Enumerate valid records.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const auto* recs = records();
+    for (std::size_t i = 0; i < capacity(); ++i) {
+      if (recs[i].valid()) fn(recs[i]);
+    }
+  }
+
+  std::size_t region_offset() const { return region_off_; }
+
+ private:
+  MetadataRegion(NvmDevice& dev, std::size_t region_off);
+
+  ChunkRecord* records();
+  const ChunkRecord* records() const;
+  std::size_t device_offset_of(const void* p) const;
+
+  NvmDevice* dev_;
+  std::size_t region_off_;
+};
+
+}  // namespace nvmcp::vmem

@@ -1,0 +1,348 @@
+#include "vmem/protection.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+
+namespace nvmcp::vmem {
+namespace {
+
+struct sigaction g_old_action;
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+// Out-of-line trampoline so the raw handler signature stays C-compatible.
+struct SigsegvTrampoline {
+  static void handler(int sig, siginfo_t* info, void* ucontext) {
+    if (ProtectionManager::instance().handle_fault(info->si_addr)) return;
+    // Not ours: chain to the previous handler or re-raise with defaults.
+    if (g_old_action.sa_flags & SA_SIGINFO) {
+      if (g_old_action.sa_sigaction) {
+        g_old_action.sa_sigaction(sig, info, ucontext);
+        return;
+      }
+    } else if (g_old_action.sa_handler != SIG_DFL &&
+               g_old_action.sa_handler != SIG_IGN) {
+      g_old_action.sa_handler(sig);
+      return;
+    }
+    signal(SIGSEGV, SIG_DFL);
+    raise(SIGSEGV);
+  }
+};
+
+ProtectionManager& ProtectionManager::instance() {
+  static ProtectionManager mgr;
+  return mgr;
+}
+
+std::size_t ProtectionManager::host_page_size() {
+  static const std::size_t page =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+void ProtectionManager::install_handler_locked() {
+  if (handler_installed_) return;
+  struct sigaction sa{};
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sa.sa_sigaction = &SigsegvTrampoline::handler;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGSEGV, &sa, &g_old_action) != 0) {
+    throw NvmcpError("ProtectionManager: sigaction failed");
+  }
+  handler_installed_ = true;
+}
+
+void ProtectionManager::publish_locked() {
+  auto snap = std::make_unique<Snapshot>();
+  snap->reserve(ranges_.size());
+  for (const auto& r : ranges_) snap->push_back(r.get());
+  std::sort(snap->begin(), snap->end(), [](const Range* a, const Range* b) {
+    return a->start < b->start;
+  });
+  Snapshot* raw = snap.get();
+  retired_.push_back(std::move(snap));
+  snapshot_.store(raw, std::memory_order_release);
+}
+
+int ProtectionManager::register_range(void* addr, std::size_t len,
+                                      WriteTracker* tracker, TrackMode mode) {
+  if (!addr || len == 0 || !tracker) {
+    throw NvmcpError("ProtectionManager: bad registration");
+  }
+  const bool uses_mmu =
+      mode == TrackMode::kMprotect || mode == TrackMode::kMprotectPage;
+  if (uses_mmu) {
+    const std::size_t page = host_page_size();
+    if (reinterpret_cast<std::uintptr_t>(addr) % page != 0 ||
+        len % page != 0) {
+      throw NvmcpError(
+          "ProtectionManager: mprotect range must be page aligned");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (uses_mmu) install_handler_locked();
+  auto range = std::make_unique<Range>();
+  range->start = static_cast<std::byte*>(addr);
+  range->len = len;
+  range->tracker = tracker;
+  range->mode = mode;
+  range->handle = next_handle_++;
+  if (mode == TrackMode::kMprotectPage) {
+    range->pages = std::make_unique<AtomicBitmap>(len / host_page_size());
+  }
+  const int handle = range->handle;
+  ranges_.push_back(std::move(range));
+  publish_locked();
+  return handle;
+}
+
+void ProtectionManager::unregister_range(int handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = ranges_.begin(); it != ranges_.end(); ++it) {
+    if ((*it)->handle != handle) continue;
+    if ((*it)->mode != TrackMode::kSoftware &&
+        (*it)->armed.load(std::memory_order_acquire)) {
+      ::mprotect((*it)->start, (*it)->len, PROT_READ | PROT_WRITE);
+    }
+    // The Range object must stay alive for any in-flight handler lookups
+    // over an old snapshot; keep it in the retired graveyard via ranges_
+    // swap-to-retired semantics: move ownership into a retired snapshot
+    // holder is overkill here -- we simply require quiescence (documented)
+    // and free it.
+    ranges_.erase(it);
+    publish_locked();
+    return;
+  }
+  throw NvmcpError("ProtectionManager: unknown handle");
+}
+
+void ProtectionManager::protect(int handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : ranges_) {
+    if (r->handle != handle) continue;
+    if (r->mode != TrackMode::kSoftware) {
+      if (::mprotect(r->start, r->len, PROT_READ) != 0) {
+        throw NvmcpError("ProtectionManager: mprotect(PROT_READ) failed");
+      }
+    }
+    r->armed.store(true, std::memory_order_release);
+    return;
+  }
+  throw NvmcpError("ProtectionManager: unknown handle");
+}
+
+void ProtectionManager::unprotect(int handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : ranges_) {
+    if (r->handle != handle) continue;
+    if (r->mode != TrackMode::kSoftware) {
+      ::mprotect(r->start, r->len, PROT_READ | PROT_WRITE);
+    }
+    r->armed.store(false, std::memory_order_release);
+    return;
+  }
+  throw NvmcpError("ProtectionManager: unknown handle");
+}
+
+std::vector<std::size_t> ProtectionManager::collect_dirty_pages(int handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : ranges_) {
+    if (r->handle != handle) continue;
+    std::vector<std::size_t> out;
+    if (r->pages) {
+      // Clear each bit as it is collected (atomically per bit): a page
+      // dirtied concurrently either makes this batch or stays set for the
+      // next one -- never lost.
+      r->pages->for_each_set(0, r->pages->size(), [&](std::size_t i) {
+        out.push_back(i);
+        r->pages->clear(i);
+      });
+    }
+    return out;
+  }
+  throw NvmcpError("ProtectionManager: unknown handle");
+}
+
+bool ProtectionManager::is_protected(int handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : ranges_) {
+    if (r->handle == handle) {
+      return r->armed.load(std::memory_order_acquire);
+    }
+  }
+  throw NvmcpError("ProtectionManager: unknown handle");
+}
+
+void ProtectionManager::notify_write(int handle) {
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  if (!snap) return;
+  for (Range* r : *snap) {
+    if (r->handle != handle) continue;
+    bool expected = true;
+    if (r->armed.compare_exchange_strong(expected, false,
+                                         std::memory_order_acq_rel)) {
+      if (r->mode != TrackMode::kSoftware) {
+        ::mprotect(r->start, r->len, PROT_READ | PROT_WRITE);
+      }
+      if (r->pages) r->pages->set_range(0, r->pages->size());
+      r->tracker->mark_dirty();
+    }
+    return;
+  }
+}
+
+void ProtectionManager::arm_lazy_restore(int handle, const std::byte* src,
+                                         std::size_t len,
+                                         std::uint64_t crc) {
+  // Force CRC table initialization now: first use must not happen inside
+  // the signal handler (static-local init guards are not signal safe).
+  (void)crc64("", 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : ranges_) {
+    if (r->handle != handle) continue;
+    if (r->mode == TrackMode::kSoftware) {
+      throw NvmcpError("arm_lazy_restore: needs an mprotect registration");
+    }
+    if (len > r->len) {
+      throw NvmcpError("arm_lazy_restore: source larger than the range");
+    }
+    r->lazy_src = src;
+    r->lazy_len = len;
+    r->lazy_crc = crc;
+    if (::mprotect(r->start, r->len, PROT_NONE) != 0) {
+      throw NvmcpError("arm_lazy_restore: mprotect(PROT_NONE) failed");
+    }
+    r->lazy_state.store(static_cast<int>(LazyState::kArmed),
+                        std::memory_order_release);
+    return;
+  }
+  throw NvmcpError("ProtectionManager: unknown handle");
+}
+
+ProtectionManager::LazyState ProtectionManager::lazy_state(
+    int handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : ranges_) {
+    if (r->handle == handle) {
+      return static_cast<LazyState>(
+          r->lazy_state.load(std::memory_order_acquire));
+    }
+  }
+  throw NvmcpError("ProtectionManager: unknown handle");
+}
+
+void ProtectionManager::set_extra_fault_latency(double seconds) {
+  extra_fault_ns_.store(static_cast<std::uint64_t>(seconds * 1e9),
+                        std::memory_order_relaxed);
+}
+
+bool ProtectionManager::handle_fault(void* addr) {
+  const std::uint64_t t0 = monotonic_ns();
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  if (!snap) return false;
+  auto* fault = static_cast<std::byte*>(addr);
+  // Binary search: first range with start > fault, step back one.
+  std::size_t lo = 0, hi = snap->size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if ((*snap)[mid]->start <= fault) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return false;
+  Range* r = (*snap)[lo - 1];
+  if (fault < r->start || fault >= r->start + r->len) return false;
+  if (r->mode == TrackMode::kSoftware) return false;
+
+  // Lazy restore: the first toucher copies the committed payload in; any
+  // thread racing it spins until the copy lands, then retries its access.
+  int lazy = r->lazy_state.load(std::memory_order_acquire);
+  if (lazy == static_cast<int>(LazyState::kArmed) ||
+      lazy == static_cast<int>(LazyState::kCopying)) {
+    int expected = static_cast<int>(LazyState::kArmed);
+    if (r->lazy_state.compare_exchange_strong(
+            expected, static_cast<int>(LazyState::kCopying),
+            std::memory_order_acq_rel)) {
+      if (::mprotect(r->start, r->len, PROT_READ | PROT_WRITE) != 0) {
+        r->lazy_state.store(static_cast<int>(LazyState::kFailed),
+                            std::memory_order_release);
+        return false;
+      }
+      std::memcpy(r->start, r->lazy_src, r->lazy_len);
+      const bool ok = crc64(r->start, r->lazy_len) == r->lazy_crc;
+      r->armed.store(false, std::memory_order_release);
+      r->tracker->faults.fetch_add(1, std::memory_order_acq_rel);
+      r->tracker->mark_dirty();  // restored data needs re-persisting
+      total_faults_.fetch_add(1, std::memory_order_relaxed);
+      r->lazy_state.store(static_cast<int>(ok ? LazyState::kDone
+                                              : LazyState::kFailed),
+                          std::memory_order_release);
+    } else {
+      while (r->lazy_state.load(std::memory_order_acquire) <=
+             static_cast<int>(LazyState::kCopying)) {
+        // spin: the copier is filling the range
+      }
+    }
+    fault_ns_.fetch_add(monotonic_ns() - t0, std::memory_order_relaxed);
+    return true;
+  }
+
+  if (r->mode == TrackMode::kMprotectPage) {
+    // Page-level tracking: unprotect and record only the faulting page --
+    // every page pays its own 6-12 us fault (the cost the paper's
+    // chunk-level design avoids).
+    const std::size_t page = host_page_size();
+    auto* page_start = reinterpret_cast<std::byte*>(
+        reinterpret_cast<std::uintptr_t>(fault) & ~(page - 1));
+    if (::mprotect(page_start, page, PROT_READ | PROT_WRITE) != 0) {
+      return false;
+    }
+    // Fault count is bumped BEFORE the dirty flags so the pre-copy path
+    // can detect a fault racing its clear of dirty_local (see
+    // ChunkAllocator::precopy_chunk).
+    r->tracker->faults.fetch_add(1, std::memory_order_acq_rel);
+    r->pages->set(static_cast<std::size_t>(page_start - r->start) / page);
+    r->tracker->mark_dirty();
+  } else {
+    // Chunk-level fault amortization: unprotect the WHOLE chunk and mark
+    // the whole chunk dirty, so later stores to any of its pages are free.
+    if (::mprotect(r->start, r->len, PROT_READ | PROT_WRITE) != 0) {
+      return false;
+    }
+    r->armed.store(false, std::memory_order_release);
+    r->tracker->faults.fetch_add(1, std::memory_order_acq_rel);
+    r->tracker->mark_dirty();
+  }
+  total_faults_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t extra =
+      extra_fault_ns_.load(std::memory_order_relaxed);
+  if (extra) {
+    const std::uint64_t deadline = monotonic_ns() + extra;
+    while (monotonic_ns() < deadline) {
+      // busy wait: sleeping in a SIGSEGV handler that must return to the
+      // faulting store should stay minimal and predictable
+    }
+  }
+  fault_ns_.fetch_add(monotonic_ns() - t0, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace nvmcp::vmem

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "nvm/bitmap.hpp"
+
+namespace nvmcp {
+namespace {
+
+TEST(AtomicBitmap, SetTestClear) {
+  AtomicBitmap bm(200);
+  EXPECT_FALSE(bm.test(63));
+  bm.set(63);
+  bm.set(64);
+  bm.set(199);
+  EXPECT_TRUE(bm.test(63));
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_TRUE(bm.test(199));
+  bm.clear(64);
+  EXPECT_FALSE(bm.test(64));
+  EXPECT_EQ(bm.count_all(), 2u);
+}
+
+TEST(AtomicBitmap, RangeOperations) {
+  AtomicBitmap bm(128);
+  bm.set_range(10, 20);
+  EXPECT_EQ(bm.count_range(0, 128), 20u);
+  EXPECT_EQ(bm.count_range(10, 20), 20u);
+  EXPECT_EQ(bm.count_range(0, 10), 0u);
+  bm.clear_range(15, 5);
+  EXPECT_EQ(bm.count_all(), 15u);
+}
+
+TEST(AtomicBitmap, ClearAll) {
+  AtomicBitmap bm(100);
+  bm.set_range(0, 100);
+  bm.clear_all();
+  EXPECT_EQ(bm.count_all(), 0u);
+}
+
+TEST(AtomicBitmap, ForEachSetVisitsExactly) {
+  AtomicBitmap bm(64);
+  bm.set(3);
+  bm.set(17);
+  bm.set(63);
+  std::vector<std::size_t> seen;
+  bm.for_each_set(0, 64, [&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 17, 63}));
+}
+
+TEST(AtomicBitmap, ConcurrentSetsAllLand) {
+  AtomicBitmap bm(4096);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&bm, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < 4096; i += 4) {
+        bm.set(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bm.count_all(), 4096u);
+}
+
+TEST(AtomicBitmap, ResizePreservesNothingButSizes) {
+  AtomicBitmap bm(10);
+  bm.set(5);
+  bm.resize(100);
+  EXPECT_EQ(bm.size(), 100u);
+  EXPECT_EQ(bm.count_all(), 0u);
+}
+
+}  // namespace
+}  // namespace nvmcp

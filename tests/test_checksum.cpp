@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/checksum.hpp"
+
+namespace nvmcp {
+namespace {
+
+TEST(Crc64, EmptyInput) {
+  EXPECT_EQ(crc64(nullptr, 0), crc64("", 0));
+}
+
+TEST(Crc64, DeterministicAndSensitive) {
+  const std::string a = "checkpoint payload";
+  const std::string b = "checkpoint payloae";  // one byte differs
+  EXPECT_EQ(crc64(a.data(), a.size()), crc64(a.data(), a.size()));
+  EXPECT_NE(crc64(a.data(), a.size()), crc64(b.data(), b.size()));
+}
+
+TEST(Crc64, SingleBitFlipDetected) {
+  std::vector<unsigned char> buf(4096, 0xA5);
+  const std::uint64_t ref = crc64(buf.data(), buf.size());
+  for (std::size_t pos : {std::size_t{0}, std::size_t{2047},
+                          std::size_t{4095}}) {
+    buf[pos] ^= 0x01;
+    EXPECT_NE(crc64(buf.data(), buf.size()), ref);
+    buf[pos] ^= 0x01;
+  }
+  EXPECT_EQ(crc64(buf.data(), buf.size()), ref);
+}
+
+TEST(Crc64, StreamingMatchesOneShot) {
+  std::vector<unsigned char> buf(10000);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 7 + 3);
+  }
+  const std::uint64_t oneshot = crc64(buf.data(), buf.size());
+
+  std::uint64_t state = crc64_init();
+  std::size_t off = 0;
+  const std::size_t steps[] = {1, 10, 100, 1000, 8889};
+  for (std::size_t s : steps) {
+    state = crc64_update(state, buf.data() + off, s);
+    off += s;
+  }
+  ASSERT_EQ(off, buf.size());
+  EXPECT_EQ(crc64_final(state), oneshot);
+}
+
+TEST(Crc64, LengthSensitive) {
+  std::vector<unsigned char> buf(128, 0);
+  EXPECT_NE(crc64(buf.data(), 64), crc64(buf.data(), 128));
+}
+
+}  // namespace
+}  // namespace nvmcp

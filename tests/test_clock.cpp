@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+
+namespace nvmcp {
+namespace {
+
+TEST(Clock, NowIsMonotone) {
+  const double a = now_seconds();
+  const double b = now_seconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(Clock, StopwatchMeasuresSleep) {
+  Stopwatch sw;
+  precise_sleep(0.02);
+  const double t = sw.elapsed();
+  EXPECT_GE(t, 0.019);
+  EXPECT_LT(t, 0.2);  // generous: loaded CI machines
+}
+
+TEST(Clock, StopwatchReset) {
+  Stopwatch sw;
+  precise_sleep(0.01);
+  sw.reset();
+  EXPECT_LT(sw.elapsed(), 0.005);
+}
+
+TEST(Clock, PreciseSleepShortDurationsAccurate) {
+  // Sub-millisecond sleeps are the pre-copy engine's cadence; they must
+  // not overshoot wildly.
+  const Stopwatch sw;
+  for (int i = 0; i < 10; ++i) precise_sleep(200e-6);
+  const double t = sw.elapsed();
+  EXPECT_GE(t, 10 * 200e-6 * 0.9);
+  EXPECT_LT(t, 10 * 200e-6 * 5 + 0.01);
+}
+
+TEST(Clock, ZeroAndNegativeSleepReturnImmediately) {
+  const Stopwatch sw;
+  precise_sleep(0.0);
+  precise_sleep(-1.0);
+  EXPECT_LT(sw.elapsed(), 0.005);
+}
+
+TEST(Clock, SleepUntilPastDeadlineReturns) {
+  const Stopwatch sw;
+  sleep_until(Clock::now() - std::chrono::milliseconds(5));
+  EXPECT_LT(sw.elapsed(), 0.005);
+}
+
+}  // namespace
+}  // namespace nvmcp

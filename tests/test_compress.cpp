@@ -1,0 +1,178 @@
+// LZ block compression: round trips across data shapes, format edge
+// cases, corrupt-stream rejection, and property sweeps.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "compress/lz.hpp"
+
+namespace nvmcp::compress {
+namespace {
+
+std::vector<std::uint8_t> roundtrip(const std::vector<std::uint8_t>& in,
+                                    double* ratio = nullptr) {
+  std::vector<std::uint8_t> packed(max_compressed_size(in.size()));
+  const std::size_t csize =
+      lz_compress(in.data(), in.size(), packed.data(), packed.size());
+  EXPECT_GT(csize, 0u);
+  if (ratio && !in.empty()) {
+    *ratio = static_cast<double>(csize) / static_cast<double>(in.size());
+  }
+  packed.resize(csize);
+  std::vector<std::uint8_t> out(in.size() + 16);
+  const std::size_t dsize =
+      lz_decompress(packed.data(), packed.size(), out.data(), out.size());
+  out.resize(dsize);
+  return out;
+}
+
+TEST(Lz, EmptyInput) {
+  const std::vector<std::uint8_t> in;
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Lz, TinyInputs) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    std::vector<std::uint8_t> in(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = static_cast<std::uint8_t>(i * 41);
+    }
+    EXPECT_EQ(roundtrip(in), in) << "n=" << n;
+  }
+}
+
+TEST(Lz, ZerosCompressWell) {
+  std::vector<std::uint8_t> in(1 << 20, 0);
+  double ratio = 1;
+  EXPECT_EQ(roundtrip(in, &ratio), in);
+  EXPECT_LT(ratio, 0.01);
+}
+
+TEST(Lz, RepetitivePatternCompresses) {
+  std::vector<std::uint8_t> in;
+  const std::string word = "checkpoint-restart-";
+  while (in.size() < 100000) {
+    in.insert(in.end(), word.begin(), word.end());
+  }
+  double ratio = 1;
+  EXPECT_EQ(roundtrip(in, &ratio), in);
+  EXPECT_LT(ratio, 0.1);
+}
+
+TEST(Lz, RandomDataRoundTripsWithoutBlowup) {
+  Rng rng(3);
+  std::vector<std::uint8_t> in(256 * 1024);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next_u64());
+  double ratio = 0;
+  EXPECT_EQ(roundtrip(in, &ratio), in);
+  EXPECT_LT(ratio, 1.05);  // bounded expansion on incompressible input
+}
+
+TEST(Lz, OverlappingMatchReplication) {
+  // "abcabcabc..." forces matches with offset < length.
+  std::vector<std::uint8_t> in;
+  for (int i = 0; i < 5000; ++i) {
+    in.push_back(static_cast<std::uint8_t>('a' + i % 3));
+  }
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Lz, SmoothFloatArrayCompresses) {
+  // HPC-checkpoint-like payload: a smooth double array.
+  std::vector<double> field(32768);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = 300.0 + 0.001 * static_cast<double>(i % 1000);
+  }
+  std::vector<std::uint8_t> in(field.size() * 8);
+  std::memcpy(in.data(), field.data(), in.size());
+  double ratio = 1;
+  EXPECT_EQ(roundtrip(in, &ratio), in);
+  EXPECT_LT(ratio, 0.7);
+}
+
+TEST(Lz, InsufficientOutputCapacityReturnsZero) {
+  Rng rng(4);
+  std::vector<std::uint8_t> in(10000);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next_u64());
+  std::vector<std::uint8_t> small(100);
+  EXPECT_EQ(lz_compress(in.data(), in.size(), small.data(), small.size()),
+            0u);
+}
+
+TEST(Lz, DecompressRejectsTruncatedStream) {
+  std::vector<std::uint8_t> in(5000, 7);
+  std::vector<std::uint8_t> packed(max_compressed_size(in.size()));
+  const std::size_t csize =
+      lz_compress(in.data(), in.size(), packed.data(), packed.size());
+  std::vector<std::uint8_t> out(in.size());
+  EXPECT_THROW(
+      lz_decompress(packed.data(), csize / 2, out.data(), out.size()),
+      NvmcpError);
+}
+
+TEST(Lz, DecompressRejectsOutputOverflow) {
+  std::vector<std::uint8_t> in(5000, 7);
+  std::vector<std::uint8_t> packed(max_compressed_size(in.size()));
+  const std::size_t csize =
+      lz_compress(in.data(), in.size(), packed.data(), packed.size());
+  std::vector<std::uint8_t> out(10);  // far too small
+  EXPECT_THROW(lz_decompress(packed.data(), csize, out.data(), out.size()),
+               NvmcpError);
+}
+
+TEST(Lz, DecompressRejectsBadOffset) {
+  // Token demanding a match before the output start: lit_len 0, match,
+  // offset 5 with nothing written yet.
+  const std::uint8_t bogus[] = {0x01, 0x05, 0x00};
+  std::vector<std::uint8_t> out(64);
+  EXPECT_THROW(lz_decompress(bogus, sizeof(bogus), out.data(), out.size()),
+               NvmcpError);
+}
+
+class LzPropertySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(LzPropertySweep, RoundTripMixedContent) {
+  const auto [size, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<std::uint8_t> in(size);
+  // Mixed content: runs of a repeated byte, ascending ramps, and noise.
+  std::size_t i = 0;
+  while (i < size) {
+    const std::size_t run =
+        std::min<std::size_t>(size - i, 1 + rng.next_below(512));
+    switch (rng.next_below(3)) {
+      case 0: {
+        const auto b = static_cast<std::uint8_t>(rng.next_u64());
+        for (std::size_t j = 0; j < run; ++j) in[i + j] = b;
+        break;
+      }
+      case 1:
+        for (std::size_t j = 0; j < run; ++j) {
+          in[i + j] = static_cast<std::uint8_t>(j);
+        }
+        break;
+      default:
+        for (std::size_t j = 0; j < run; ++j) {
+          in[i + j] = static_cast<std::uint8_t>(rng.next_u64());
+        }
+    }
+    i += run;
+  }
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LzPropertySweep,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{100},
+                                         std::size_t{4096},
+                                         std::size_t{65536},
+                                         std::size_t{1 << 20}),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace nvmcp::compress

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "vmem/container.hpp"
+
+namespace nvmcp::vmem {
+namespace {
+
+NvmConfig cfg(std::size_t cap = 8 * MiB) {
+  NvmConfig c;
+  c.capacity = cap;
+  c.throttle = false;
+  return c;
+}
+
+TEST(Container, FreshDeviceGetsFreshMetadata) {
+  NvmDevice dev(cfg());
+  Container c(dev);
+  EXPECT_FALSE(c.attached_existing());
+  EXPECT_GT(dev.root(), 0u);
+}
+
+TEST(Container, AllocationsArePageAlignedAndDisjoint) {
+  NvmDevice dev(cfg());
+  Container c(dev);
+  const std::size_t a = c.alloc_region(100);
+  const std::size_t b = c.alloc_region(5000);
+  const std::size_t d = c.alloc_region(1);
+  EXPECT_TRUE(is_aligned(a, kNvmPageSize));
+  EXPECT_TRUE(is_aligned(b, kNvmPageSize));
+  EXPECT_TRUE(is_aligned(d, kNvmPageSize));
+  EXPECT_GE(b, a + kNvmPageSize);
+  EXPECT_GE(d, b + 2 * kNvmPageSize);
+}
+
+TEST(Container, FreedRegionsAreReused) {
+  NvmDevice dev(cfg());
+  Container c(dev);
+  const std::size_t a = c.alloc_region(64 * KiB);
+  c.free_region(a, 64 * KiB);
+  const std::size_t b = c.alloc_region(32 * KiB);
+  EXPECT_EQ(b, a);  // first fit reuses the freed block
+  const std::size_t d = c.alloc_region(32 * KiB);
+  EXPECT_EQ(d, a + 32 * KiB);  // remainder of the split block
+}
+
+TEST(Container, ExhaustionThrows) {
+  NvmDevice dev(cfg(1 * MiB));
+  Container c(dev);
+  EXPECT_THROW(c.alloc_region(4 * MiB), NvmcpError);
+}
+
+TEST(Container, AccountingTracksUse) {
+  NvmDevice dev(cfg());
+  Container c(dev);
+  const std::size_t before = c.bytes_allocated();
+  c.alloc_region(128 * KiB);
+  EXPECT_EQ(c.bytes_allocated(), before + 128 * KiB);
+  EXPECT_LE(c.bytes_free(), dev.capacity() - 128 * KiB);
+}
+
+TEST(Container, CursorPersistsAcrossAttach) {
+  NvmDevice dev(cfg());
+  std::size_t a;
+  {
+    Container c(dev);
+    a = c.alloc_region(64 * KiB);
+  }
+  // Same device (still open): attach path via a second container requires
+  // reopened(); emulate by checking the metadata cursor moved.
+  MetadataRegion meta = MetadataRegion::attach(dev);
+  EXPECT_GE(meta.header().alloc_cursor, a + 64 * KiB);
+}
+
+}  // namespace
+}  // namespace nvmcp::vmem

@@ -1,0 +1,215 @@
+// Unit tests for the emulated NVM device: arena access, throttled write
+// timing, nvdirty bits, wear counters, the flush/crash durability model,
+// and file-backed persistence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nvm/device.hpp"
+
+namespace nvmcp {
+namespace {
+
+NvmConfig small_config(bool throttle = false) {
+  NvmConfig cfg;
+  cfg.capacity = 4 * MiB;
+  cfg.throttle = throttle;
+  return cfg;
+}
+
+TEST(NvmDevice, RejectsUnalignedCapacity) {
+  NvmConfig cfg;
+  cfg.capacity = 12345;
+  EXPECT_THROW(NvmDevice dev(cfg), NvmcpError);
+}
+
+TEST(NvmDevice, RejectsZeroCapacity) {
+  NvmConfig cfg;
+  cfg.capacity = 0;
+  EXPECT_THROW(NvmDevice dev(cfg), NvmcpError);
+}
+
+TEST(NvmDevice, WriteReadRoundTrip) {
+  NvmDevice dev(small_config());
+  std::vector<std::byte> src(64 * KiB);
+  Rng rng(7);
+  for (auto& b : src) b = static_cast<std::byte>(rng.next_u64());
+  dev.write(8 * KiB, src.data(), src.size());
+  std::vector<std::byte> dst(src.size());
+  dev.read(8 * KiB, dst.data(), dst.size());
+  EXPECT_EQ(0, std::memcmp(src.data(), dst.data(), src.size()));
+}
+
+TEST(NvmDevice, DirectLoadSeesWrites) {
+  NvmDevice dev(small_config());
+  const char msg[] = "byte addressable";
+  dev.write(0, msg, sizeof(msg));
+  EXPECT_EQ(0, std::memcmp(dev.data(), msg, sizeof(msg)));
+}
+
+TEST(NvmDevice, OutOfRangeAccessThrows) {
+  NvmDevice dev(small_config());
+  char b = 0;
+  EXPECT_THROW(dev.write(dev.capacity(), &b, 1), NvmcpError);
+  EXPECT_THROW(dev.read(dev.capacity() - 1, &b, 2), NvmcpError);
+}
+
+TEST(NvmDevice, ThrottledWriteRespectsBandwidth) {
+  NvmConfig cfg = small_config(/*throttle=*/true);
+  cfg.spec.write_bandwidth = 64.0 * MiB;  // slow: 2 MiB should take ~31 ms
+  cfg.spec.page_write_latency = 0;
+  NvmDevice dev(cfg);
+  std::vector<std::byte> src(2 * MiB, std::byte{1});
+  const double secs = dev.write(0, src.data(), src.size());
+  const double expected = static_cast<double>(src.size()) / (64.0 * MiB);
+  EXPECT_GT(secs, 0.7 * expected);
+  EXPECT_LT(secs, 2.0 * expected);
+}
+
+TEST(NvmDevice, UnthrottledWriteIsFast) {
+  NvmDevice dev(small_config(/*throttle=*/false));
+  std::vector<std::byte> src(2 * MiB, std::byte{1});
+  const double secs = dev.write(0, src.data(), src.size());
+  EXPECT_LT(secs, 0.1);
+}
+
+TEST(NvmDevice, NvdirtyBitsTrackWrites) {
+  NvmDevice dev(small_config());
+  std::vector<std::byte> src(3 * kNvmPageSize, std::byte{2});
+  dev.write(kNvmPageSize, src.data(), src.size());
+  EXPECT_FALSE(dev.nvdirty(0));
+  EXPECT_TRUE(dev.nvdirty(1));
+  EXPECT_TRUE(dev.nvdirty(2));
+  EXPECT_TRUE(dev.nvdirty(3));
+  EXPECT_FALSE(dev.nvdirty(4));
+  EXPECT_EQ(dev.nvdirty_bytes(kNvmPageSize, src.size()),
+            3 * kNvmPageSize);
+  dev.clear_nvdirty(kNvmPageSize, src.size());
+  EXPECT_EQ(dev.nvdirty_bytes(kNvmPageSize, src.size()), 0u);
+}
+
+TEST(NvmDevice, WearCountsAccumulate) {
+  NvmDevice dev(small_config());
+  std::vector<std::byte> src(kNvmPageSize, std::byte{3});
+  for (int i = 0; i < 5; ++i) dev.write(0, src.data(), src.size());
+  EXPECT_GE(dev.stats().max_page_wear, 5u);
+}
+
+TEST(NvmDevice, StatsCountBytes) {
+  NvmDevice dev(small_config());
+  std::vector<std::byte> buf(10 * KiB, std::byte{4});
+  dev.write(0, buf.data(), buf.size());
+  dev.read(0, buf.data(), buf.size());
+  const NvmDeviceStats s = dev.stats();
+  EXPECT_EQ(s.bytes_written, 10 * KiB);
+  EXPECT_EQ(s.bytes_read, 10 * KiB);
+  EXPECT_EQ(s.write_calls, 1u);
+  EXPECT_EQ(s.read_calls, 1u);
+}
+
+TEST(NvmDevice, FlushClearsUnflushedSet) {
+  NvmDevice dev(small_config());
+  std::vector<std::byte> src(2 * kNvmPageSize, std::byte{5});
+  dev.write(0, src.data(), src.size());
+  EXPECT_EQ(dev.unflushed_page_count(), 2u);
+  dev.flush(0, src.size());
+  dev.fence();
+  EXPECT_EQ(dev.unflushed_page_count(), 0u);
+}
+
+TEST(NvmDevice, CrashScramblesOnlyUnflushedPages) {
+  NvmDevice dev(small_config());
+  std::vector<std::byte> a(kNvmPageSize, std::byte{0xAA});
+  std::vector<std::byte> b(kNvmPageSize, std::byte{0xBB});
+  dev.write(0, a.data(), a.size());
+  dev.flush(0, a.size());
+  dev.write(kNvmPageSize, b.data(), b.size());  // not flushed
+
+  Rng rng(3);
+  dev.simulate_crash(rng);
+
+  EXPECT_EQ(0, std::memcmp(dev.data(), a.data(), a.size()))
+      << "flushed page must survive the crash";
+  EXPECT_NE(0, std::memcmp(dev.data() + kNvmPageSize, b.data(), b.size()))
+      << "unflushed page must be scrambled";
+  EXPECT_EQ(dev.unflushed_page_count(), 0u);
+}
+
+TEST(NvmDevice, RootOffsetPersistsInHeader) {
+  NvmDevice dev(small_config());
+  EXPECT_EQ(dev.root(), 0u);
+  dev.set_root(4096);
+  EXPECT_EQ(dev.root(), 4096u);
+}
+
+class NvmDeviceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("nvmcp_dev_test_" + std::to_string(::getpid()) + ".nvm");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(NvmDeviceFileTest, ContentsSurviveReopen) {
+  const char msg[] = "persists across sessions";
+  {
+    NvmConfig cfg = small_config();
+    cfg.backing_file = path_.string();
+    NvmDevice dev(cfg);
+    EXPECT_FALSE(dev.reopened());
+    dev.write(0, msg, sizeof(msg));
+    dev.flush(0, sizeof(msg));
+    dev.set_root(kNvmPageSize);
+  }
+  {
+    NvmConfig cfg = small_config();
+    cfg.backing_file = path_.string();
+    NvmDevice dev(cfg);
+    EXPECT_TRUE(dev.reopened());
+    EXPECT_EQ(dev.root(), kNvmPageSize);
+    EXPECT_EQ(0, std::memcmp(dev.data(), msg, sizeof(msg)));
+  }
+}
+
+TEST_F(NvmDeviceFileTest, CapacityMismatchMeansFreshDevice) {
+  {
+    NvmConfig cfg = small_config();
+    cfg.backing_file = path_.string();
+    NvmDevice dev(cfg);
+  }
+  NvmConfig cfg = small_config();
+  cfg.capacity = 8 * MiB;  // different size: treat as a new device
+  cfg.backing_file = path_.string();
+  NvmDevice dev(cfg);
+  EXPECT_FALSE(dev.reopened());
+}
+
+// Parameterized sweep: throttled writes should track the configured
+// bandwidth across two orders of magnitude.
+class DeviceBandwidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeviceBandwidthSweep, TimingTracksConfiguredRate) {
+  NvmConfig cfg = small_config(/*throttle=*/true);
+  cfg.spec.write_bandwidth = GetParam();
+  cfg.spec.page_write_latency = 0;
+  NvmDevice dev(cfg);
+  const std::size_t n = 1 * MiB;
+  std::vector<std::byte> src(n, std::byte{6});
+  const double secs = dev.write(0, src.data(), n);
+  const double expected = static_cast<double>(n) / GetParam();
+  EXPECT_GT(secs, 0.6 * expected);
+  EXPECT_LT(secs, 2.5 * expected + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DeviceBandwidthSweep,
+                         ::testing::Values(32.0 * MiB, 128.0 * MiB,
+                                           512.0 * MiB, 2048.0 * MiB));
+
+}  // namespace
+}  // namespace nvmcp

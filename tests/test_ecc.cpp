@@ -1,0 +1,315 @@
+// Erasure coding: GF(256) field laws, Reed-Solomon encode/reconstruct
+// properties (any m erasures recoverable, m+1 not), and the parity-group
+// checkpoint policy end to end.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ecc/gf256.hpp"
+#include "ecc/parity_group.hpp"
+#include "ecc/rs.hpp"
+
+namespace nvmcp::ecc {
+namespace {
+
+TEST(GF256, FieldLaws) {
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+    EXPECT_EQ(GF256::mul(a, GF256::mul(b, c)),
+              GF256::mul(GF256::mul(a, b), c));
+    // Distributivity.
+    EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+              GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+    EXPECT_EQ(GF256::mul(a, 1), a);
+    EXPECT_EQ(GF256::mul(a, 0), 0);
+  }
+}
+
+TEST(GF256, InverseAndDivision) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(GF256::mul(x, GF256::inv(x)), 1) << a;
+    EXPECT_EQ(GF256::div(x, x), 1);
+  }
+  EXPECT_THROW(GF256::inv(0), NvmcpError);
+  EXPECT_THROW(GF256::div(1, 0), NvmcpError);
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 17) {
+    std::uint8_t acc = 1;
+    for (unsigned n = 0; n < 10; ++n) {
+      EXPECT_EQ(GF256::pow(static_cast<std::uint8_t>(a), n), acc);
+      acc = GF256::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+class RsFixture {
+ public:
+  RsFixture(int k, int m, std::size_t len, std::uint64_t seed)
+      : rs_(k, m), len_(len) {
+    Rng rng(seed);
+    for (int i = 0; i < k + m; ++i) {
+      buffers_.emplace_back(len);
+    }
+    for (int i = 0; i < k; ++i) {
+      for (auto& byte : buffers_[static_cast<std::size_t>(i)]) {
+        byte = static_cast<std::uint8_t>(rng.next_u64());
+      }
+      originals_.push_back(buffers_[static_cast<std::size_t>(i)]);
+    }
+    std::vector<const std::uint8_t*> data;
+    std::vector<std::uint8_t*> parity;
+    for (int i = 0; i < k; ++i) {
+      data.push_back(buffers_[static_cast<std::size_t>(i)].data());
+    }
+    for (int i = 0; i < m; ++i) {
+      parity.push_back(buffers_[static_cast<std::size_t>(k + i)].data());
+    }
+    rs_.encode(data, parity, len);
+    for (int i = 0; i < m; ++i) {
+      originals_.push_back(buffers_[static_cast<std::size_t>(k + i)]);
+    }
+  }
+
+  bool erase_and_reconstruct(const std::vector<int>& erased) {
+    std::vector<bool> present(originals_.size(), true);
+    for (const int e : erased) {
+      present[static_cast<std::size_t>(e)] = false;
+      std::memset(buffers_[static_cast<std::size_t>(e)].data(), 0xEE,
+                  len_);
+    }
+    std::vector<std::uint8_t*> shards;
+    for (auto& b : buffers_) shards.push_back(b.data());
+    return rs_.reconstruct(shards, present, len_);
+  }
+
+  bool all_match() const {
+    for (std::size_t i = 0; i < originals_.size(); ++i) {
+      if (buffers_[i] != originals_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  ReedSolomon rs_;
+  std::size_t len_;
+  std::vector<std::vector<std::uint8_t>> buffers_;
+  std::vector<std::vector<std::uint8_t>> originals_;
+};
+
+TEST(ReedSolomon, BadParamsRejected) {
+  EXPECT_THROW(ReedSolomon(0, 1), NvmcpError);
+  EXPECT_THROW(ReedSolomon(1, 0), NvmcpError);
+  EXPECT_THROW(ReedSolomon(200, 100), NvmcpError);
+}
+
+TEST(ReedSolomon, VerifyDetectsCorruption) {
+  ReedSolomon rs(3, 2);
+  std::vector<std::vector<std::uint8_t>> bufs(5,
+                                              std::vector<std::uint8_t>(64));
+  Rng rng(1);
+  for (int i = 0; i < 3; ++i) {
+    for (auto& b : bufs[static_cast<std::size_t>(i)]) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+  }
+  std::vector<const std::uint8_t*> data = {bufs[0].data(), bufs[1].data(),
+                                           bufs[2].data()};
+  std::vector<std::uint8_t*> parity = {bufs[3].data(), bufs[4].data()};
+  rs.encode(data, parity, 64);
+  std::vector<const std::uint8_t*> all = {bufs[0].data(), bufs[1].data(),
+                                          bufs[2].data(), bufs[3].data(),
+                                          bufs[4].data()};
+  EXPECT_TRUE(rs.verify(all, 64));
+  bufs[1][10] ^= 0xFF;
+  EXPECT_FALSE(rs.verify(all, 64));
+}
+
+TEST(ReedSolomon, AnySingleErasureRecovers) {
+  for (int e = 0; e < 6; ++e) {
+    RsFixture fx(4, 2, 512, 77);
+    EXPECT_TRUE(fx.erase_and_reconstruct({e}));
+    EXPECT_TRUE(fx.all_match()) << "erased " << e;
+  }
+}
+
+TEST(ReedSolomon, AnyDoubleErasureRecovers) {
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      RsFixture fx(4, 2, 256, 99);
+      EXPECT_TRUE(fx.erase_and_reconstruct({a, b}));
+      EXPECT_TRUE(fx.all_match()) << "erased " << a << "," << b;
+    }
+  }
+}
+
+TEST(ReedSolomon, TooManyErasuresFails) {
+  RsFixture fx(4, 2, 128, 3);
+  EXPECT_FALSE(fx.erase_and_reconstruct({0, 1, 2}));
+}
+
+// Property sweep across code geometries.
+class RsGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(RsGeometry, MaxErasuresAlwaysRecover) {
+  const auto [k, m, len] = GetParam();
+  RsFixture fx(k, m, len, static_cast<std::uint64_t>(k * 1000 + m));
+  std::vector<int> erased;
+  for (int i = 0; i < m; ++i) erased.push_back(i * (k + m) / m);
+  EXPECT_TRUE(fx.erase_and_reconstruct(erased));
+  EXPECT_TRUE(fx.all_match());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RsGeometry,
+    ::testing::Values(std::make_tuple(2, 1, 100),
+                      std::make_tuple(4, 2, 1000),
+                      std::make_tuple(8, 3, 4096),
+                      std::make_tuple(12, 4, 257),
+                      std::make_tuple(6, 6, 64)));
+
+// --- parity group over real checkpoint stacks --------------------------
+
+class ParityGroupTest : public ::testing::Test {
+ protected:
+  static constexpr int kRanks = 4;
+  static constexpr std::size_t kChunkBytes = 64 * KiB;
+
+  ParityGroupTest() : link_(2.0e9, 0.1) {
+    for (int r = 0; r < kRanks; ++r) {
+      NvmConfig cfg;
+      cfg.capacity = 16 * MiB;
+      cfg.throttle = false;
+      devices_.push_back(std::make_unique<NvmDevice>(cfg));
+      containers_.push_back(
+          std::make_unique<vmem::Container>(*devices_.back()));
+      allocators_.push_back(
+          std::make_unique<alloc::ChunkAllocator>(*containers_.back()));
+      core::CheckpointConfig ccfg;
+      ccfg.rank = static_cast<std::uint32_t>(r);
+      managers_.push_back(std::make_unique<core::CheckpointManager>(
+          *allocators_.back(), ccfg));
+    }
+    NvmConfig scfg;
+    scfg.capacity = 32 * MiB;
+    scfg.throttle = false;
+    store_ = std::make_unique<net::RemoteStore>(scfg);
+    remote_ = std::make_unique<net::RemoteMemory>(link_, *store_);
+  }
+
+  void checkpoint_all(std::uint64_t seed) {
+    for (int r = 0; r < kRanks; ++r) {
+      alloc::Chunk* c = allocators_[static_cast<std::size_t>(r)]->find(
+          alloc::genid("grid"));
+      if (!c) {
+        c = allocators_[static_cast<std::size_t>(r)]->nvalloc(
+            "grid", kChunkBytes, true);
+      }
+      Rng rng(seed * 100 + static_cast<std::uint64_t>(r));
+      auto* p = static_cast<std::byte*>(c->data());
+      for (std::size_t i = 0; i + 8 <= c->size(); i += 8) {
+        const std::uint64_t v = rng.next_u64();
+        std::memcpy(p + i, &v, 8);
+      }
+      managers_[static_cast<std::size_t>(r)]->nvchkptall();
+    }
+  }
+
+  bool rank_matches(int r, std::uint64_t seed) {
+    alloc::Chunk* c = allocators_[static_cast<std::size_t>(r)]->find(
+        alloc::genid("grid"));
+    Rng rng(seed * 100 + static_cast<std::uint64_t>(r));
+    const auto* p = static_cast<const std::byte*>(c->data());
+    for (std::size_t i = 0; i + 8 <= c->size(); i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      if (std::memcmp(p + i, &v, 8) != 0) return false;
+    }
+    return true;
+  }
+
+  std::vector<core::CheckpointManager*> manager_ptrs() {
+    std::vector<core::CheckpointManager*> out;
+    for (auto& m : managers_) out.push_back(m.get());
+    return out;
+  }
+
+  net::Interconnect link_;
+  std::vector<std::unique_ptr<NvmDevice>> devices_;
+  std::vector<std::unique_ptr<vmem::Container>> containers_;
+  std::vector<std::unique_ptr<alloc::ChunkAllocator>> allocators_;
+  std::vector<std::unique_ptr<core::CheckpointManager>> managers_;
+  std::unique_ptr<net::RemoteStore> store_;
+  std::unique_ptr<net::RemoteMemory> remote_;
+};
+
+TEST_F(ParityGroupTest, ParityCostsFractionOfReplication) {
+  ParityCheckpointGroup group(manager_ptrs(), *remote_, /*parity=*/2);
+  checkpoint_all(1);
+  const std::size_t sent = group.protect_epoch();
+  EXPECT_EQ(sent, 2 * kChunkBytes);  // m shards, not k replicas
+  const auto& s = group.stats();
+  EXPECT_EQ(s.replication_bytes_equiv, 4 * kChunkBytes);
+  EXPECT_EQ(s.parity_bytes_sent, 2 * kChunkBytes);
+}
+
+TEST_F(ParityGroupTest, RecoversTwoLostRanks) {
+  ParityCheckpointGroup group(manager_ptrs(), *remote_, 2);
+  checkpoint_all(7);
+  group.protect_epoch();
+
+  // Ranks 1 and 3 lose everything: DRAM scribbled, local NVM slots
+  // corrupted.
+  for (const int r : {1, 3}) {
+    alloc::Chunk* c = allocators_[static_cast<std::size_t>(r)]->find(
+        alloc::genid("grid"));
+    std::memset(c->data(), 0xAB, c->size());
+    const auto& rec = c->record();
+    devices_[static_cast<std::size_t>(r)]
+        ->data()[rec.slot_off[0]] ^= std::byte{0xFF};
+    devices_[static_cast<std::size_t>(r)]
+        ->data()[rec.slot_off[1]] ^= std::byte{0xFF};
+  }
+
+  EXPECT_TRUE(group.recover_ranks({1, 3}));
+  EXPECT_TRUE(rank_matches(1, 7));
+  EXPECT_TRUE(rank_matches(3, 7));
+  // Survivors untouched.
+  EXPECT_TRUE(rank_matches(0, 7));
+  EXPECT_TRUE(rank_matches(2, 7));
+}
+
+TEST_F(ParityGroupTest, ThreeLostRanksExceedParity) {
+  ParityCheckpointGroup group(manager_ptrs(), *remote_, 2);
+  checkpoint_all(9);
+  group.protect_epoch();
+  EXPECT_FALSE(group.recover_ranks({0, 1, 2}));
+}
+
+TEST_F(ParityGroupTest, ReprotectAfterNewEpoch) {
+  ParityCheckpointGroup group(manager_ptrs(), *remote_, 1);
+  checkpoint_all(11);
+  group.protect_epoch();
+  checkpoint_all(12);  // new data, new epoch
+  group.protect_epoch();
+
+  alloc::Chunk* c = allocators_[2]->find(alloc::genid("grid"));
+  std::memset(c->data(), 0, c->size());
+  const auto& rec = c->record();
+  devices_[2]->data()[rec.slot_off[0]] ^= std::byte{0xFF};
+  devices_[2]->data()[rec.slot_off[1]] ^= std::byte{0xFF};
+
+  EXPECT_TRUE(group.recover_ranks({2}));
+  EXPECT_TRUE(rank_matches(2, 12));  // latest epoch, not the stale one
+}
+
+}  // namespace
+}  // namespace nvmcp::ecc

@@ -1,0 +1,158 @@
+// Lazy restore: restore-on-first-access semantics, checksum verification
+// in the fault path, untouched chunks costing nothing, and concurrent
+// first-touchers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "alloc/nvmalloc.hpp"
+#include "common/rng.hpp"
+
+namespace nvmcp {
+namespace {
+
+using LazyState = vmem::ProtectionManager::LazyState;
+
+class LazyRestoreTest : public ::testing::Test {
+ protected:
+  LazyRestoreTest() {
+    NvmConfig cfg;
+    cfg.capacity = 32 * MiB;
+    cfg.throttle = false;
+    dev_ = std::make_unique<NvmDevice>(cfg);
+    container_ = std::make_unique<vmem::Container>(*dev_);
+    allocator_ = std::make_unique<alloc::ChunkAllocator>(*container_);
+  }
+
+  alloc::Chunk* make_committed_chunk(const char* name, std::size_t size,
+                                     std::uint64_t seed) {
+    alloc::Chunk* c = allocator_->nvalloc(name, size, true);
+    fill(*c, seed);
+    allocator_->checkpoint_chunk(*c, 1);
+    return c;
+  }
+
+  void fill(alloc::Chunk& c, std::uint64_t seed) {
+    Rng rng(seed);
+    auto* p = static_cast<std::byte*>(c.data());
+    for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      std::memcpy(p + i, &v, 8);
+    }
+  }
+
+  bool matches(const alloc::Chunk& c, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto* p = static_cast<const std::byte*>(c.data());
+    for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      if (std::memcmp(p + i, &v, 8) != 0) return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<NvmDevice> dev_;
+  std::unique_ptr<vmem::Container> container_;
+  std::unique_ptr<alloc::ChunkAllocator> allocator_;
+};
+
+TEST_F(LazyRestoreTest, FirstReadTriggersRestore) {
+  alloc::Chunk* c = make_committed_chunk("lazy_read", 256 * KiB, 42);
+  fill(*c, 99);  // scribble after the checkpoint
+  ASSERT_TRUE(allocator_->restore_chunk_lazy(*c));
+  EXPECT_EQ(allocator_->lazy_state(*c), LazyState::kArmed);
+
+  // A *read* faults and pulls the committed data in.
+  volatile std::byte first = static_cast<const std::byte*>(c->data())[0];
+  (void)first;
+  EXPECT_EQ(allocator_->lazy_state(*c), LazyState::kDone);
+  EXPECT_TRUE(matches(*c, 42));
+  EXPECT_TRUE(c->dirty_local());  // restored data must re-persist
+}
+
+TEST_F(LazyRestoreTest, FirstWriteAlsoTriggersRestore) {
+  alloc::Chunk* c = make_committed_chunk("lazy_write", 64 * KiB, 7);
+  fill(*c, 100);
+  ASSERT_TRUE(allocator_->restore_chunk_lazy(*c));
+  static_cast<std::byte*>(c->data())[8] = std::byte{0xAA};
+  EXPECT_EQ(allocator_->lazy_state(*c), LazyState::kDone);
+  // Everything except the written byte matches the checkpoint.
+  auto* p = static_cast<std::byte*>(c->data());
+  EXPECT_EQ(p[8], std::byte{0xAA});
+  Rng rng(7);
+  std::uint64_t v = rng.next_u64();
+  EXPECT_EQ(0, std::memcmp(p, &v, 8));  // first word untouched
+}
+
+TEST_F(LazyRestoreTest, UntouchedChunkNeverCopies) {
+  alloc::Chunk* c = make_committed_chunk("lazy_idle", 1 * MiB, 3);
+  ASSERT_TRUE(allocator_->restore_chunk_lazy(*c));
+  const auto reads_before = dev_->stats().bytes_read;
+  // No access at all: no data movement (the whole point of laziness).
+  EXPECT_EQ(allocator_->lazy_state(*c), LazyState::kArmed);
+  EXPECT_EQ(dev_->stats().bytes_read, reads_before);
+}
+
+TEST_F(LazyRestoreTest, ChecksumFailureReported) {
+  alloc::Chunk* c = make_committed_chunk("lazy_bad", 64 * KiB, 5);
+  const auto& rec = c->record();
+  dev_->data()[rec.slot_off[rec.committed] + 17] ^= std::byte{0xFF};
+  ASSERT_TRUE(allocator_->restore_chunk_lazy(*c));
+  volatile std::byte b = static_cast<const std::byte*>(c->data())[0];
+  (void)b;
+  EXPECT_EQ(allocator_->lazy_state(*c), LazyState::kFailed);
+}
+
+TEST_F(LazyRestoreTest, UncommittedChunkCannotArm) {
+  alloc::Chunk* c = allocator_->nvalloc("never", 4 * KiB, true);
+  EXPECT_FALSE(allocator_->restore_chunk_lazy(*c));
+}
+
+TEST_F(LazyRestoreTest, ConcurrentFirstTouchersSeeConsistentData) {
+  alloc::Chunk* c = make_committed_chunk("lazy_mt", 512 * KiB, 11);
+  fill(*c, 200);
+  ASSERT_TRUE(allocator_->restore_chunk_lazy(*c));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread reads a different region; every read must see the
+      // fully restored payload regardless of who faulted first.
+      const std::size_t off =
+          static_cast<std::size_t>(t) * (c->size() / 4);
+      Rng rng(11);
+      for (std::size_t i = 0; i < off; i += 8) rng.next_u64();
+      const auto* p = static_cast<const std::byte*>(c->data()) + off;
+      for (std::size_t i = 0; i + 8 <= c->size() / 4; i += 8) {
+        const std::uint64_t v = rng.next_u64();
+        if (std::memcmp(p + i, &v, 8) != 0) {
+          ++mismatches;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(allocator_->lazy_state(*c), LazyState::kDone);
+}
+
+TEST_F(LazyRestoreTest, RearmAfterNewCheckpoint) {
+  alloc::Chunk* c = make_committed_chunk("lazy_again", 64 * KiB, 21);
+  ASSERT_TRUE(allocator_->restore_chunk_lazy(*c));
+  volatile std::byte b = static_cast<const std::byte*>(c->data())[0];
+  (void)b;
+  EXPECT_TRUE(matches(*c, 21));
+
+  fill(*c, 22);
+  allocator_->checkpoint_chunk(*c, 2);
+  fill(*c, 23);
+  ASSERT_TRUE(allocator_->restore_chunk_lazy(*c));
+  b = static_cast<const std::byte*>(c->data())[0];
+  EXPECT_TRUE(matches(*c, 22));
+}
+
+}  // namespace
+}  // namespace nvmcp

@@ -1,0 +1,80 @@
+// Coverage for the logging and table-writer utilities (benches depend on
+// the CSV mirroring; log levels gate the library's diagnostics).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace nvmcp {
+namespace {
+
+TEST(Log, LevelGateWorks) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+  set_log_level(LogLevel::kWarn);  // restore the default
+}
+
+TEST(Log, EmittingBelowLevelIsSafeNoop) {
+  set_log_level(LogLevel::kError);
+  log_debug("must not crash %d", 1);
+  log_info("nor this %s", "either");
+  log_warn("filtered %f", 2.0);
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(TableWriter, NumericFormatting) {
+  EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::num(42.0, 0), "42");
+  EXPECT_EQ(TableWriter::pct(0.4567), "45.7%");
+  EXPECT_EQ(TableWriter::pct(0.4567, 0), "46%");
+}
+
+TEST(TableWriter, CsvMirrorsRows) {
+  namespace fs = std::filesystem;
+  const fs::path csv = fs::temp_directory_path() /
+                       ("nvmcp_table_" + std::to_string(::getpid()) +
+                        ".csv");
+  fs::remove(csv);
+  {
+    TableWriter t("unit test table", {"a", "b"}, csv.string());
+    t.row({"1", "x"});
+    t.row({"2", "y"});
+    t.print();
+  }
+  std::ifstream in(csv);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,x\n2,y\n");
+  fs::remove(csv);
+}
+
+TEST(TableWriter, DestructorPrintsOnce) {
+  // Printing explicitly and then destructing must not double-print;
+  // verified by redirecting nothing -- just exercise the path.
+  TableWriter t("dtor table", {"col"});
+  t.row({"v"});
+  t.print();
+}  // destructor runs here
+
+TEST(TableWriter, ShortRowsPadSafely) {
+  TableWriter t("ragged", {"a", "b", "c"});
+  t.row({"only-one"});
+  t.row({"one", "two", "three"});
+  t.print();  // must not crash on missing cells
+}
+
+}  // namespace
+}  // namespace nvmcp

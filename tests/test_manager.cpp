@@ -1,0 +1,228 @@
+// Tests for CheckpointManager: coordinated checkpoints, commit-from-precopy
+// vs recopy vs skip outcomes, the pre-copy engine for each policy, learned
+// interval/data estimates, and restore.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "core/manager.hpp"
+
+namespace nvmcp::core {
+namespace {
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  ManagerTest() {
+    NvmConfig cfg;
+    cfg.capacity = 64 * MiB;
+    cfg.throttle = false;
+    dev_ = std::make_unique<NvmDevice>(cfg);
+    container_ = std::make_unique<vmem::Container>(*dev_);
+    allocator_ = std::make_unique<alloc::ChunkAllocator>(*container_);
+  }
+
+  std::unique_ptr<CheckpointManager> make_manager(PrecopyPolicy policy,
+                                                  double bw = 0) {
+    CheckpointConfig cfg;
+    cfg.local_policy = policy;
+    cfg.nvm_bw_per_core = bw;
+    cfg.precopy_scan_period = 1e-3;
+    return std::make_unique<CheckpointManager>(*allocator_, cfg);
+  }
+
+  void fill(alloc::Chunk& c, std::uint64_t seed) {
+    Rng rng(seed);
+    auto* p = static_cast<std::byte*>(c.data());
+    for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      std::memcpy(p + i, &v, 8);
+    }
+  }
+
+  std::unique_ptr<NvmDevice> dev_;
+  std::unique_ptr<vmem::Container> container_;
+  std::unique_ptr<alloc::ChunkAllocator> allocator_;
+};
+
+TEST_F(ManagerTest, CheckpointCommitsAllDirtyChunks) {
+  auto mgr = make_manager(PrecopyPolicy::kNone);
+  alloc::Chunk* a = allocator_->nvalloc("a", 32 * KiB, true);
+  alloc::Chunk* b = allocator_->nvalloc("b", 64 * KiB, true);
+  fill(*a, 1);
+  fill(*b, 2);
+  const double blocking = mgr->nvchkptall();
+  EXPECT_GE(blocking, 0.0);
+  EXPECT_EQ(mgr->committed_epoch(), 1u);
+  EXPECT_TRUE(a->record().has_committed());
+  EXPECT_TRUE(b->record().has_committed());
+  const CheckpointStats s = mgr->stats();
+  EXPECT_EQ(s.local_checkpoints, 1u);
+  EXPECT_EQ(s.chunks_recopied_dirty, 2u);
+  EXPECT_EQ(s.bytes_coordinated, 96 * KiB);
+}
+
+TEST_F(ManagerTest, NonPersistentChunksAreNotCheckpointed) {
+  auto mgr = make_manager(PrecopyPolicy::kNone);
+  alloc::Chunk* scratch = allocator_->nvalloc("scratch", 16 * KiB, false);
+  fill(*scratch, 3);
+  mgr->nvchkptall();
+  EXPECT_FALSE(scratch->record().has_committed());
+}
+
+TEST_F(ManagerTest, UnmodifiedChunkSkippedOnSecondCheckpoint) {
+  auto mgr = make_manager(PrecopyPolicy::kNone);
+  alloc::Chunk* a = allocator_->nvalloc("a", 32 * KiB, true);
+  fill(*a, 1);
+  mgr->nvchkptall();
+  mgr->nvchkptall();  // nothing changed in between
+  const CheckpointStats s = mgr->stats();
+  EXPECT_EQ(s.chunks_skipped_unmodified, 1u);
+  // The committed version still restores the correct (old) data.
+  fill(*a, 9);
+  EXPECT_EQ(mgr->restore_all(), RestoreStatus::kOk);
+}
+
+TEST_F(ManagerTest, EpochAdvancesPerCheckpoint) {
+  auto mgr = make_manager(PrecopyPolicy::kNone);
+  alloc::Chunk* a = allocator_->nvalloc("a", 8 * KiB, true);
+  for (int i = 1; i <= 3; ++i) {
+    fill(*a, static_cast<std::uint64_t>(i));
+    mgr->nvchkptall();
+    EXPECT_EQ(mgr->committed_epoch(), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST_F(ManagerTest, LearnedEstimatesAfterFirstCheckpoint) {
+  auto mgr = make_manager(PrecopyPolicy::kDcpc);
+  alloc::Chunk* a = allocator_->nvalloc("a", 128 * KiB, true);
+  fill(*a, 1);
+  EXPECT_EQ(mgr->learned_interval(), 0.0);
+  precise_sleep(0.02);
+  mgr->nvchkptall();
+  EXPECT_GT(mgr->learned_interval(), 0.015);
+  EXPECT_EQ(mgr->learned_data_size(), 128.0 * KiB);
+}
+
+TEST_F(ManagerTest, CpcEnginePrecopiesInBackground) {
+  auto mgr = make_manager(PrecopyPolicy::kCpc);
+  alloc::Chunk* a = allocator_->nvalloc("a", 256 * KiB, true);
+  fill(*a, 1);
+  mgr->start();
+  // CPC needs no learning phase: the engine should pick the chunk up.
+  const Stopwatch sw;
+  while (a->dirty_local() && sw.elapsed() < 2.0) precise_sleep(1e-3);
+  EXPECT_FALSE(a->dirty_local());
+  EXPECT_EQ(a->precopied_epoch(), 1u);
+
+  // The coordinated step now only commits (no residual copy).
+  mgr->nvchkptall();
+  const CheckpointStats s = mgr->stats();
+  EXPECT_EQ(s.chunks_committed_from_precopy, 1u);
+  EXPECT_EQ(s.bytes_coordinated, 0u);
+  EXPECT_GE(s.bytes_precopied, 256 * KiB);
+  mgr->stop();
+}
+
+TEST_F(ManagerTest, DcpcWaitsForLearningPhase) {
+  auto mgr = make_manager(PrecopyPolicy::kDcpc);
+  alloc::Chunk* a = allocator_->nvalloc("a", 256 * KiB, true);
+  fill(*a, 1);
+  mgr->start();
+  precise_sleep(0.05);
+  // No checkpoint yet -> still learning -> no pre-copy.
+  EXPECT_TRUE(a->dirty_local());
+  EXPECT_EQ(mgr->stats().bytes_precopied, 0u);
+
+  mgr->nvchkptall();  // ends the learning phase
+  fill(*a, 2);
+  const Stopwatch sw;
+  while (a->dirty_local() && sw.elapsed() < 2.0) precise_sleep(1e-3);
+  EXPECT_FALSE(a->dirty_local()) << "post-learning, DCPC should pre-copy";
+  mgr->stop();
+}
+
+TEST_F(ManagerTest, DcpcpSkipsHotChunksUntilPredictedCount) {
+  auto mgr = make_manager(PrecopyPolicy::kDcpcp);
+  alloc::Chunk* hot = allocator_->nvalloc("hot", 64 * KiB, true);
+
+  // Learning interval: the chunk is modified 3 times. The first pre-copy
+  // arms tracking (fresh chunks start unprotected); each following write
+  // faults, counts a modification, and is re-armed by the next pre-copy.
+  allocator_->precopy_chunk(*hot, mgr->next_epoch());
+  for (int m = 0; m < 3; ++m) {
+    fill(*hot, static_cast<std::uint64_t>(m));
+    allocator_->precopy_chunk(*hot, mgr->next_epoch());  // re-arm tracking
+  }
+  mgr->nvchkptall();
+  EXPECT_EQ(mgr->prediction().predicted(hot->id()), 3u);
+
+  // Next interval: after only one modification the chunk is expected to
+  // change twice more -> not ready for pre-copy.
+  fill(*hot, 10);
+  EXPECT_FALSE(mgr->prediction().ready_for_precopy(
+      hot->id(), hot->tracker().mods_in_interval.load()));
+}
+
+TEST_F(ManagerTest, NvchkptidCheckpointsSingleChunk) {
+  auto mgr = make_manager(PrecopyPolicy::kNone);
+  alloc::Chunk* a = allocator_->nvalloc("a", 16 * KiB, true);
+  alloc::Chunk* b = allocator_->nvalloc("b", 16 * KiB, true);
+  fill(*a, 1);
+  fill(*b, 2);
+  mgr->nvchkptid(a->id());
+  EXPECT_TRUE(a->record().has_committed());
+  EXPECT_FALSE(b->record().has_committed());
+  EXPECT_THROW(mgr->nvchkptid(12345), NvmcpError);
+}
+
+TEST_F(ManagerTest, RestoreAllRecoversEveryChunk) {
+  auto mgr = make_manager(PrecopyPolicy::kNone);
+  alloc::Chunk* a = allocator_->nvalloc("a", 32 * KiB, true);
+  alloc::Chunk* b = allocator_->nvalloc("b", 32 * KiB, true);
+  fill(*a, 1);
+  fill(*b, 2);
+  mgr->nvchkptall();
+  std::vector<std::byte> va(a->size()), vb(b->size());
+  std::memcpy(va.data(), a->data(), a->size());
+  std::memcpy(vb.data(), b->data(), b->size());
+  fill(*a, 8);
+  fill(*b, 9);
+  EXPECT_EQ(mgr->restore_all(), RestoreStatus::kOk);
+  EXPECT_EQ(0, std::memcmp(a->data(), va.data(), a->size()));
+  EXPECT_EQ(0, std::memcmp(b->data(), vb.data(), b->size()));
+}
+
+TEST_F(ManagerTest, StreamLimiterSlowsBlockingStep) {
+  auto fast = make_manager(PrecopyPolicy::kNone, /*bw=*/0);
+  alloc::Chunk* a = allocator_->nvalloc("a", 1 * MiB, true);
+  fill(*a, 1);
+  const double t_fast = fast->nvchkptall();
+
+  auto slow = make_manager(PrecopyPolicy::kNone, /*bw=*/16.0 * MiB);
+  fill(*a, 2);
+  const double t_slow = slow->nvchkptall();
+  EXPECT_GT(t_slow, t_fast);
+  EXPECT_GT(t_slow, 0.03);  // 1 MiB at 16 MiB/s ~ 62 ms
+}
+
+TEST_F(ManagerTest, StartStopIdempotent) {
+  auto mgr = make_manager(PrecopyPolicy::kCpc);
+  mgr->start();
+  mgr->start();
+  mgr->stop();
+  mgr->stop();
+}
+
+TEST_F(ManagerTest, FaultCountSurfacesInStats) {
+  auto mgr = make_manager(PrecopyPolicy::kNone);
+  alloc::Chunk* a = allocator_->nvalloc("a", 16 * KiB, true);
+  fill(*a, 1);
+  mgr->nvchkptall();
+  fill(*a, 2);  // one protection fault (chunk was re-armed by the copy)
+  EXPECT_GE(mgr->stats().protection_faults, 1u);
+}
+
+}  // namespace
+}  // namespace nvmcp::core

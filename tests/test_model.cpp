@@ -1,0 +1,157 @@
+// Section III analytical model: equation sanity, monotonicity properties,
+// pre-copy benefits, and the optimal-interval search.
+#include <gtest/gtest.h>
+
+#include "model/model.hpp"
+
+namespace nvmcp::model {
+namespace {
+
+SystemParams base() {
+  SystemParams p;
+  p.t_compute = 1200;
+  p.ckpt_data = 433e6;
+  p.nvm_bw_core = 400e6;
+  p.local_interval = 40;
+  p.remote_interval = 120;
+  p.mtbf_local = 600;
+  p.mtbf_remote = 7200;
+  return p;
+}
+
+TEST(Model, NoFailuresNoCheckpointsIsIdeal) {
+  SystemParams p = base();
+  p.mtbf_local = 1e18;
+  p.mtbf_remote = 1e18;
+  p.ckpt_data = 0;
+  p.comm_fraction = 0;
+  const ModelResult r = evaluate(p);
+  EXPECT_NEAR(r.t_total, p.t_compute, 1e-6);
+  EXPECT_NEAR(r.efficiency, 1.0, 1e-9);
+}
+
+TEST(Model, CheckpointTimeMatchesEquation) {
+  SystemParams p = base();
+  const ModelResult r = evaluate(p);
+  // t_lcl = D / NVMBW_core (no pre-copy).
+  EXPECT_NEAR(r.t_lcl_blocking, 433e6 / 400e6, 1e-9);
+  EXPECT_NEAR(r.n_lcl, 1200.0 / 40.0, 1e-9);
+  EXPECT_NEAR(r.t_local_total, r.n_lcl * r.t_lcl_blocking, 1e-9);
+  EXPECT_NEAR(r.k_locals_per_remote, 3.0, 1e-9);
+}
+
+TEST(Model, EfficiencyBelowOneWithOverheads) {
+  const ModelResult r = evaluate(base());
+  EXPECT_LT(r.efficiency, 1.0);
+  EXPECT_GT(r.efficiency, 0.3);
+  EXPECT_GT(r.t_total, 1200.0);
+}
+
+TEST(Model, PrecopyImprovesEfficiency) {
+  SystemParams p = base();
+  const double base_eff = evaluate(p).efficiency;
+  p.precopy = true;
+  const double pre_eff = evaluate(p).efficiency;
+  EXPECT_GT(pre_eff, base_eff);
+}
+
+TEST(Model, PrecopyReducesBlockingButInflatesData) {
+  SystemParams p = base();
+  const ModelResult no_pc = evaluate(p);
+  p.precopy = true;
+  const ModelResult pc = evaluate(p);
+  EXPECT_LT(pc.t_lcl_blocking, no_pc.t_lcl_blocking);
+  EXPECT_GT(pc.nvm_bytes_total, no_pc.nvm_bytes_total);
+}
+
+TEST(Model, MoreBandwidthNeverHurts) {
+  SystemParams p = base();
+  double prev = 0;
+  for (double bw : {200e6, 400e6, 800e6, 1600e6}) {
+    p.nvm_bw_core = bw;
+    const double eff = evaluate(p).efficiency;
+    EXPECT_GE(eff, prev);
+    prev = eff;
+  }
+}
+
+TEST(Model, HigherFailureRateLowersEfficiency) {
+  SystemParams p = base();
+  p.mtbf_local = 10000;
+  const double healthy = evaluate(p).efficiency;
+  p.mtbf_local = 100;
+  const double flaky = evaluate(p).efficiency;
+  EXPECT_LT(flaky, healthy);
+}
+
+TEST(Model, HardFailuresCostMoreThanSoft) {
+  SystemParams p = base();
+  p.mtbf_local = 500;
+  p.mtbf_remote = 1e18;
+  const double soft_only = evaluate(p).t_total;
+  p.mtbf_local = 1e18;
+  p.mtbf_remote = 500;
+  const double hard_only = evaluate(p).t_total;
+  // Hard failures redo K local segments, soft only half of one.
+  EXPECT_GT(hard_only, soft_only);
+}
+
+TEST(Model, OptimalIntervalBalancesCheckpointAndLoss) {
+  SystemParams p = base();
+  const double opt = optimal_local_interval(p, 2.0, 600.0);
+  EXPECT_GT(opt, 2.0);
+  EXPECT_LT(opt, 600.0);
+  // The optimum must beat both extremes.
+  p.local_interval = 2.0;
+  const double lo = evaluate(p).t_total;
+  p.local_interval = 600.0;
+  const double hi = evaluate(p).t_total;
+  p.local_interval = opt;
+  const double at_opt = evaluate(p).t_total;
+  EXPECT_LE(at_opt, lo);
+  EXPECT_LE(at_opt, hi);
+}
+
+TEST(Model, ShorterMtbfWantsShorterInterval) {
+  SystemParams p = base();
+  p.mtbf_local = 2000;
+  const double long_mtbf = optimal_local_interval(p);
+  p.mtbf_local = 50;
+  const double short_mtbf = optimal_local_interval(p);
+  EXPECT_LT(short_mtbf, long_mtbf);
+}
+
+TEST(Model, SummaryIsNonEmpty) {
+  EXPECT_FALSE(summarize(evaluate(base())).empty());
+}
+
+// Property sweep: fixed point converges and efficiency stays in (0, 1]
+// across a wide parameter grid.
+struct GridParam {
+  double mtbf_l, mtbf_r, bw, interval;
+};
+
+class ModelGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(ModelGrid, EfficiencyInRange) {
+  SystemParams p = base();
+  p.mtbf_local = GetParam().mtbf_l;
+  p.mtbf_remote = GetParam().mtbf_r;
+  p.nvm_bw_core = GetParam().bw;
+  p.local_interval = GetParam().interval;
+  const ModelResult r = evaluate(p);
+  EXPECT_GT(r.efficiency, 0.0);
+  EXPECT_LE(r.efficiency, 1.0);
+  EXPECT_GE(r.t_total, p.t_compute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelGrid,
+    ::testing::Values(GridParam{100, 1000, 200e6, 10},
+                      GridParam{600, 7200, 400e6, 40},
+                      GridParam{60, 600, 2000e6, 30},
+                      GridParam{5000, 50000, 100e6, 120},
+                      GridParam{300, 900, 800e6, 60}));
+
+}  // namespace
+}  // namespace nvmcp::model

@@ -1,0 +1,68 @@
+// Prediction table (DCPCP / Fig 6): learning phase, gating on modification
+// counts, continuous adaptation, and miss-harmlessness contract.
+#include <gtest/gtest.h>
+
+#include "core/prediction.hpp"
+
+namespace nvmcp::core {
+namespace {
+
+TEST(Prediction, UnlearnedGatesOpen) {
+  PredictionTable t;
+  EXPECT_FALSE(t.learned());
+  EXPECT_TRUE(t.ready_for_precopy(1, 0));
+}
+
+TEST(Prediction, LearnsCountsFromFirstInterval) {
+  PredictionTable t;
+  t.observe_interval(/*chunk=*/1, /*mods=*/3);
+  t.observe_interval(2, 1);
+  EXPECT_TRUE(t.learned());
+  EXPECT_EQ(t.predicted(1), 3u);
+  EXPECT_EQ(t.predicted(2), 1u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Prediction, GateClosedUntilCountReached) {
+  PredictionTable t;
+  t.observe_interval(1, 3);
+  // Like Fig 6's C3: not copied until the counter reaches the table value.
+  EXPECT_FALSE(t.ready_for_precopy(1, 0));
+  EXPECT_FALSE(t.ready_for_precopy(1, 1));
+  EXPECT_FALSE(t.ready_for_precopy(1, 2));
+  EXPECT_TRUE(t.ready_for_precopy(1, 3));
+  EXPECT_TRUE(t.ready_for_precopy(1, 5));
+}
+
+TEST(Prediction, UnknownChunkGatesOpenAfterLearning) {
+  PredictionTable t;
+  t.observe_interval(1, 2);
+  EXPECT_TRUE(t.ready_for_precopy(999, 0));
+}
+
+TEST(Prediction, AdaptsWithEma) {
+  PredictionTable t(/*alpha=*/0.5);
+  t.observe_interval(1, 4);
+  t.observe_interval(1, 0);  // pattern changed
+  EXPECT_EQ(t.predicted(1), 2u);  // 0.5*0 + 0.5*4
+  t.observe_interval(1, 0);
+  t.observe_interval(1, 0);
+  EXPECT_LE(t.predicted(1), 1u);  // converges toward the new behaviour
+}
+
+TEST(Prediction, ZeroModChunkAlwaysReady) {
+  PredictionTable t;
+  t.observe_interval(7, 0);  // init-only chunk: never modified again
+  EXPECT_TRUE(t.ready_for_precopy(7, 0));
+}
+
+TEST(Prediction, FractionalEstimateGatesOnFloor) {
+  PredictionTable t(0.5);
+  t.observe_interval(1, 3);
+  t.observe_interval(1, 2);  // estimate 2.5 -> floor 2
+  EXPECT_FALSE(t.ready_for_precopy(1, 1));
+  EXPECT_TRUE(t.ready_for_precopy(1, 2));
+}
+
+}  // namespace
+}  // namespace nvmcp::core

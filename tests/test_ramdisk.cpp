@@ -1,0 +1,149 @@
+// Ramdisk baseline: POSIX-like semantics plus the emulated kernel
+// overheads (syscall latency, global VFS lock, per-page cost) that make it
+// slower than a plain memory copy of the same bytes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/units.hpp"
+#include "ramdisk/ramdisk.hpp"
+
+namespace nvmcp::ramdisk {
+namespace {
+
+RamDiskConfig fast_cfg() {
+  RamDiskConfig c;
+  c.syscall_latency = 0;
+  c.per_page_kernel_cost = 0;
+  c.lock_acquire_cost = 0;
+  return c;
+}
+
+TEST(RamDisk, WriteReadRoundTrip) {
+  RamDiskFs fs(fast_cfg());
+  const int fd = fs.open("/ckpt/a");
+  std::vector<std::byte> src(300 * KiB);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i);
+  }
+  EXPECT_EQ(fs.write(fd, src.data(), src.size()), src.size());
+  fs.lseek(fd, 0);
+  std::vector<std::byte> dst(src.size());
+  EXPECT_EQ(fs.read(fd, dst.data(), dst.size()), dst.size());
+  EXPECT_EQ(0, std::memcmp(src.data(), dst.data(), src.size()));
+  fs.close(fd);
+}
+
+TEST(RamDisk, SequentialWritesAppend) {
+  RamDiskFs fs(fast_cfg());
+  const int fd = fs.open("f");
+  const char a[] = "hello ";
+  const char b[] = "world";
+  fs.write(fd, a, 6);
+  fs.write(fd, b, 5);
+  EXPECT_EQ(fs.file_size("f"), 11u);
+  fs.lseek(fd, 6);
+  char out[6] = {};
+  fs.read(fd, out, 5);
+  EXPECT_STREQ(out, "world");
+}
+
+TEST(RamDisk, TruncateOnOpen) {
+  RamDiskFs fs(fast_cfg());
+  int fd = fs.open("f");
+  fs.write(fd, "data", 4);
+  fs.close(fd);
+  fd = fs.open("f", /*truncate=*/true);
+  EXPECT_EQ(fs.file_size("f"), 0u);
+  fs.close(fd);
+}
+
+TEST(RamDisk, ReadPastEofReturnsShort) {
+  RamDiskFs fs(fast_cfg());
+  const int fd = fs.open("f");
+  fs.write(fd, "abc", 3);
+  fs.lseek(fd, 1);
+  char buf[10];
+  EXPECT_EQ(fs.read(fd, buf, 10), 2u);
+}
+
+TEST(RamDisk, BadFdThrows) {
+  RamDiskFs fs(fast_cfg());
+  char b;
+  EXPECT_THROW(fs.write(99, &b, 1), NvmcpError);
+  EXPECT_THROW(fs.read(99, &b, 1), NvmcpError);
+  EXPECT_THROW(fs.lseek(99, 0), NvmcpError);
+  EXPECT_THROW(fs.fsync(99), NvmcpError);
+}
+
+TEST(RamDisk, UnlinkRemoves) {
+  RamDiskFs fs(fast_cfg());
+  const int fd = fs.open("gone");
+  fs.write(fd, "x", 1);
+  fs.close(fd);
+  EXPECT_TRUE(fs.exists("gone"));
+  fs.unlink("gone");
+  EXPECT_FALSE(fs.exists("gone"));
+}
+
+TEST(RamDisk, SyscallsAreCounted) {
+  RamDiskFs fs(fast_cfg());
+  const int fd = fs.open("f");   // 1
+  fs.write(fd, "abcd", 4);       // 2
+  fs.fsync(fd);                  // 3
+  fs.close(fd);                  // 4
+  EXPECT_EQ(fs.stats().syscalls, 4u);
+}
+
+TEST(RamDisk, KernelCostsSlowWritesDown) {
+  RamDiskConfig slow;
+  slow.syscall_latency = 0;
+  slow.lock_acquire_cost = 0;
+  slow.per_page_kernel_cost = 2e-6;  // exaggerated for test stability
+  RamDiskFs fs(slow);
+  const int fd = fs.open("f");
+  std::vector<std::byte> buf(4 * MiB);
+  const Stopwatch sw;
+  fs.write(fd, buf.data(), buf.size());
+  // 1024 pages * 2us = ~2ms of injected kernel time.
+  EXPECT_GT(sw.elapsed(), 0.0015);
+  EXPECT_GT(fs.stats().kernel_seconds, 0.0015);
+}
+
+TEST(RamDisk, ConcurrentWritersSerializeOnVfsLock) {
+  RamDiskConfig cfg;
+  cfg.syscall_latency = 0;
+  cfg.lock_acquire_cost = 0;
+  cfg.per_page_kernel_cost = 1e-6;
+  RamDiskFs fs(cfg);
+  constexpr int kWriters = 4;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&fs, w] {
+      const int fd = fs.open("f" + std::to_string(w));
+      std::vector<std::byte> buf(1 * MiB);
+      fs.write(fd, buf.data(), buf.size());
+      fs.close(fd);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const RamDiskStats s = fs.stats();
+  EXPECT_GT(s.lock_acquisitions, 0u);
+  // With a contended global lock, someone must have waited.
+  EXPECT_GT(s.lock_wait_seconds, 0.0);
+}
+
+TEST(RamDisk, ResetStatsClears) {
+  RamDiskFs fs(fast_cfg());
+  const int fd = fs.open("f");
+  fs.write(fd, "x", 1);
+  fs.reset_stats();
+  EXPECT_EQ(fs.stats().syscalls, 0u);
+  EXPECT_EQ(fs.stats().bytes_written, 0u);
+}
+
+}  // namespace
+}  // namespace nvmcp::ramdisk

@@ -1,0 +1,154 @@
+// RestartCoordinator: soft vs hard failure paths, lazy-local mode,
+// remote fallback accounting, and behaviour without a buddy store.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "core/restart.hpp"
+
+namespace nvmcp::core {
+namespace {
+
+class RestartCoordinatorTest : public ::testing::Test {
+ protected:
+  RestartCoordinatorTest() : link_(2.0e9, 0.1) {
+    NvmConfig cfg;
+    cfg.capacity = 32 * MiB;
+    cfg.throttle = false;
+    dev_ = std::make_unique<NvmDevice>(cfg);
+    container_ = std::make_unique<vmem::Container>(*dev_);
+    allocator_ = std::make_unique<alloc::ChunkAllocator>(*container_);
+    CheckpointConfig ccfg;
+    ccfg.rank = 2;
+    mgr_ = std::make_unique<CheckpointManager>(*allocator_, ccfg);
+
+    NvmConfig scfg;
+    scfg.capacity = 32 * MiB;
+    scfg.throttle = false;
+    store_ = std::make_unique<net::RemoteStore>(scfg);
+    remote_ = std::make_unique<net::RemoteMemory>(link_, *store_);
+  }
+
+  alloc::Chunk* checkpointed_chunk(const char* name, std::uint64_t seed,
+                                   bool ship_remote) {
+    alloc::Chunk* c = allocator_->nvalloc(name, 64 * KiB, true);
+    fill(*c, seed);
+    mgr_->nvchkptall();
+    if (ship_remote) {
+      std::vector<std::byte> buf(c->size());
+      EXPECT_TRUE(allocator_->read_committed(*c, buf.data()));
+      remote_->put(2, c->id(), buf.data(), buf.size(),
+                   mgr_->committed_epoch(), /*commit=*/true);
+    }
+    return c;
+  }
+
+  void fill(alloc::Chunk& c, std::uint64_t seed) {
+    Rng rng(seed);
+    auto* p = static_cast<std::byte*>(c.data());
+    for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      std::memcpy(p + i, &v, 8);
+    }
+  }
+
+  bool matches(const alloc::Chunk& c, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto* p = static_cast<const std::byte*>(c.data());
+    for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      if (std::memcmp(p + i, &v, 8) != 0) return false;
+    }
+    return true;
+  }
+
+  void corrupt_local_slots(alloc::Chunk& c) {
+    const auto& rec = c.record();
+    dev_->data()[rec.slot_off[0] + 3] ^= std::byte{0xFF};
+    dev_->data()[rec.slot_off[1] + 3] ^= std::byte{0xFF};
+  }
+
+  net::Interconnect link_;
+  std::unique_ptr<NvmDevice> dev_;
+  std::unique_ptr<vmem::Container> container_;
+  std::unique_ptr<alloc::ChunkAllocator> allocator_;
+  std::unique_ptr<CheckpointManager> mgr_;
+  std::unique_ptr<net::RemoteStore> store_;
+  std::unique_ptr<net::RemoteMemory> remote_;
+};
+
+TEST_F(RestartCoordinatorTest, SoftRestartUsesLocalNvm) {
+  alloc::Chunk* c = checkpointed_chunk("soft", 1, /*ship_remote=*/false);
+  fill(*c, 99);
+  RestartCoordinator rc(*mgr_, remote_.get());
+  const RestartReport rep = rc.restart_after(FailureKind::kSoft);
+  EXPECT_EQ(rep.status, RestoreStatus::kOk);
+  EXPECT_EQ(rep.chunks_local, 1);
+  EXPECT_EQ(rep.chunks_remote, 0);
+  EXPECT_EQ(rep.bytes_local, 64 * KiB);
+  EXPECT_TRUE(matches(*c, 1));
+  EXPECT_GT(rep.seconds, 0.0);
+}
+
+TEST_F(RestartCoordinatorTest, SoftRestartFallsBackPerChunk) {
+  alloc::Chunk* good = checkpointed_chunk("good", 1, true);
+  alloc::Chunk* bad = checkpointed_chunk("bad", 2, true);
+  corrupt_local_slots(*bad);
+  fill(*good, 90);
+  fill(*bad, 91);
+  RestartCoordinator rc(*mgr_, remote_.get());
+  const RestartReport rep = rc.restart_after(FailureKind::kSoft);
+  EXPECT_EQ(rep.status, RestoreStatus::kOkFromRemote);
+  EXPECT_EQ(rep.chunks_local, 1);
+  EXPECT_EQ(rep.chunks_remote, 1);
+  EXPECT_TRUE(matches(*good, 1));
+  EXPECT_TRUE(matches(*bad, 2));
+}
+
+TEST_F(RestartCoordinatorTest, HardRestartIgnoresLocalData) {
+  alloc::Chunk* c = checkpointed_chunk("hard", 5, true);
+  fill(*c, 50);
+  RestartCoordinator rc(*mgr_, remote_.get());
+  const RestartReport rep = rc.restart_after(FailureKind::kHard);
+  EXPECT_EQ(rep.status, RestoreStatus::kOkFromRemote);
+  EXPECT_EQ(rep.chunks_local, 0);
+  EXPECT_EQ(rep.chunks_remote, 1);
+  EXPECT_EQ(rep.bytes_remote, 64 * KiB);
+  EXPECT_TRUE(matches(*c, 5));
+}
+
+TEST_F(RestartCoordinatorTest, HardRestartWithoutRemoteFails) {
+  checkpointed_chunk("stranded", 7, /*ship_remote=*/false);
+  RestartCoordinator rc(*mgr_, /*remote=*/nullptr);
+  const RestartReport rep = rc.restart_after(FailureKind::kHard);
+  EXPECT_EQ(rep.status, RestoreStatus::kNoData);
+  EXPECT_EQ(rep.chunks_failed, 1);
+}
+
+TEST_F(RestartCoordinatorTest, LazySoftRestartArmsInsteadOfCopying) {
+  alloc::Chunk* c = checkpointed_chunk("lazy", 9, false);
+  fill(*c, 90);
+  RestartCoordinator::Options opts;
+  opts.lazy_local = true;
+  RestartCoordinator rc(*mgr_, remote_.get(), opts);
+  const auto reads_before = dev_->stats().bytes_read;
+  const RestartReport rep = rc.restart_after(FailureKind::kSoft);
+  EXPECT_EQ(rep.chunks_lazy_armed, 1);
+  EXPECT_EQ(rep.bytes_local, 0u);
+  EXPECT_EQ(dev_->stats().bytes_read, reads_before);  // nothing copied yet
+  // First touch materializes the checkpoint.
+  EXPECT_TRUE(matches(*c, 9));
+  EXPECT_EQ(allocator_->lazy_state(*c),
+            vmem::ProtectionManager::LazyState::kDone);
+}
+
+TEST_F(RestartCoordinatorTest, NonPersistentChunksAreIgnored) {
+  allocator_->nvalloc("scratch", 16 * KiB, false);
+  RestartCoordinator rc(*mgr_, remote_.get());
+  const RestartReport rep = rc.restart_after(FailureKind::kSoft);
+  EXPECT_EQ(rep.chunks_local + rep.chunks_remote + rep.chunks_failed, 0);
+}
+
+}  // namespace
+}  // namespace nvmcp::core

@@ -1,0 +1,176 @@
+// Cluster simulation: checkpoint cadence, failure recovery semantics,
+// pre-copy effects on blocking time and peak link usage, determinism.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace nvmcp::sim {
+namespace {
+
+ClusterConfig base() {
+  ClusterConfig cfg;
+  cfg.compute_per_iter = 4.0;
+  cfg.comm_bytes_per_iter = 0.5e9;
+  cfg.total_compute = 400.0;
+  cfg.ckpt_bytes = 4.7e9;
+  cfg.local_interval = 40.0;
+  cfg.remote_interval = 120.0;
+  cfg.nvm_bw = 2.0e9;
+  cfg.link_bw = 5.0e9;
+  cfg.local_precopy = false;
+  cfg.remote_precopy = false;
+  return cfg;
+}
+
+TEST(SimCluster, NoCheckpointNoFailureHitsIdeal) {
+  ClusterConfig cfg = base();
+  cfg.remote_enabled = false;
+  cfg.local_interval = 1e9;  // never checkpoints
+  const ClusterResult r = run_cluster(cfg);
+  EXPECT_EQ(r.local_checkpoints, 0);
+  EXPECT_NEAR(r.efficiency, 1.0, 1e-6);
+  EXPECT_NEAR(r.wall, r.ideal, 1e-6);
+}
+
+TEST(SimCluster, CheckpointCadenceMatchesInterval) {
+  ClusterConfig cfg = base();
+  cfg.remote_enabled = false;
+  const ClusterResult r = run_cluster(cfg);
+  // ~400s of compute+comm with a 40s interval: about 10 local checkpoints.
+  EXPECT_GE(r.local_checkpoints, 8);
+  EXPECT_LE(r.local_checkpoints, 12);
+  EXPECT_LT(r.efficiency, 1.0);
+}
+
+TEST(SimCluster, BlockingTimeMatchesVolumeOverBandwidth) {
+  ClusterConfig cfg = base();
+  cfg.remote_enabled = false;
+  const ClusterResult r = run_cluster(cfg);
+  const double per_ckpt = r.local_blocking / r.local_checkpoints;
+  EXPECT_NEAR(per_ckpt, cfg.ckpt_bytes / cfg.nvm_bw, 0.05);
+}
+
+TEST(SimCluster, LocalPrecopyCutsBlockingTime) {
+  ClusterConfig cfg = base();
+  cfg.remote_enabled = false;
+  const ClusterResult no_pc = run_cluster(cfg);
+  cfg.local_precopy = true;
+  const ClusterResult pc = run_cluster(cfg);
+  EXPECT_LT(pc.local_blocking, 0.5 * no_pc.local_blocking);
+  EXPECT_GT(pc.efficiency, no_pc.efficiency);
+  // The price: more total NVM traffic.
+  EXPECT_GT(pc.nvm_bytes, no_pc.nvm_bytes * 0.9);
+}
+
+TEST(SimCluster, RemotePrecopyHalvesPeakLinkUsage) {
+  ClusterConfig cfg = base();
+  cfg.remote_enabled = true;
+  const ClusterResult burst = run_cluster(cfg);
+  cfg.remote_precopy = true;
+  const ClusterResult spread = run_cluster(cfg);
+  EXPECT_GT(burst.peak_link_ckpt_rate, 0.0);
+  EXPECT_LT(spread.peak_link_ckpt_rate, 0.7 * burst.peak_link_ckpt_rate);
+  EXPECT_GE(spread.efficiency, burst.efficiency);
+}
+
+TEST(SimCluster, SoftFailuresRollBackToLocalCheckpoint) {
+  ClusterConfig cfg = base();
+  cfg.remote_enabled = false;
+  cfg.mtbf_local = 120.0;
+  const ClusterResult r = run_cluster(cfg);
+  EXPECT_GT(r.soft_failures, 0);
+  EXPECT_GT(r.lost_work, 0.0);
+  EXPECT_GT(r.restart_seconds, 0.0);
+  EXPECT_LT(r.efficiency, 1.0);
+  EXPECT_NEAR(r.wall * r.efficiency, r.ideal, 1e-6);
+}
+
+TEST(SimCluster, HardFailuresNeedRemoteCheckpoints) {
+  ClusterConfig cfg = base();
+  cfg.remote_enabled = true;
+  cfg.remote_precopy = true;
+  cfg.mtbf_remote = 150.0;
+  int total_hard = 0;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    cfg.seed = seed;
+    const ClusterResult r = run_cluster(cfg);
+    total_hard += r.hard_failures;
+    // Work always completes because the remote cut bounds the rollback.
+    EXPECT_GT(r.efficiency, 0.05);
+  }
+  EXPECT_GT(total_hard, 0);
+}
+
+TEST(SimCluster, MoreFailuresLowerEfficiency) {
+  ClusterConfig cfg = base();
+  cfg.remote_enabled = false;
+  cfg.mtbf_local = 500.0;
+  const double healthy = run_cluster(cfg).efficiency;
+  cfg.mtbf_local = 60.0;
+  const double flaky = run_cluster(cfg).efficiency;
+  EXPECT_LT(flaky, healthy);
+}
+
+TEST(SimCluster, DeterministicForSeed) {
+  ClusterConfig cfg = base();
+  cfg.mtbf_local = 150.0;
+  cfg.seed = 99;
+  const ClusterResult a = run_cluster(cfg);
+  const ClusterResult b = run_cluster(cfg);
+  EXPECT_EQ(a.wall, b.wall);
+  EXPECT_EQ(a.soft_failures, b.soft_failures);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(SimCluster, DifferentSeedsDifferUnderFailures) {
+  ClusterConfig cfg = base();
+  cfg.mtbf_local = 150.0;
+  cfg.seed = 1;
+  const double a = run_cluster(cfg).wall;
+  cfg.seed = 2;
+  const double b = run_cluster(cfg).wall;
+  EXPECT_NE(a, b);
+}
+
+TEST(SimCluster, LinkContentionSlowsCommunication) {
+  ClusterConfig cfg = base();
+  // Communication-intensive shape so checkpoint bursts overlap comm
+  // phases (short compute, large messages).
+  cfg.compute_per_iter = 0.5;
+  cfg.comm_bytes_per_iter = 1.0e9;  // 0.2 s per iteration uncontended
+  cfg.total_compute = 100.0;
+  cfg.remote_enabled = true;
+  cfg.remote_precopy = false;  // bursty remote checkpoints
+  const ClusterResult with_ckpt = run_cluster(cfg);
+  cfg.remote_enabled = false;
+  const ClusterResult without = run_cluster(cfg);
+  EXPECT_GT(with_ckpt.app_comm_seconds, without.app_comm_seconds);
+}
+
+// Property sweep: completion and sane efficiency across the parameter grid
+// used by the Fig 9 bench.
+class ClusterSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, bool>> {};
+
+TEST_P(ClusterSweep, CompletesWithSaneEfficiency) {
+  ClusterConfig cfg = base();
+  cfg.nvm_bw = std::get<0>(GetParam());
+  cfg.remote_interval = std::get<1>(GetParam());
+  cfg.local_precopy = cfg.remote_precopy = std::get<2>(GetParam());
+  cfg.remote_enabled = true;
+  cfg.mtbf_local = 200.0;
+  cfg.mtbf_remote = 900.0;
+  const ClusterResult r = run_cluster(cfg);
+  EXPECT_GT(r.efficiency, 0.0);
+  EXPECT_LE(r.efficiency, 1.0 + 1e-9);
+  EXPECT_GT(r.iterations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ClusterSweep,
+    ::testing::Combine(::testing::Values(0.4e9, 1.0e9, 2.0e9),
+                       ::testing::Values(47.0, 120.0, 180.0),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace nvmcp::sim

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+namespace nvmcp::sim {
+namespace {
+
+TEST(SimEngine, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(3.0, [&] { order.push_back(3); });
+  eng.schedule_at(1.0, [&] { order.push_back(1); });
+  eng.schedule_at(2.0, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 3.0);
+}
+
+TEST(SimEngine, TiesBreakByScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(1.0, [&] { order.push_back(1); });
+  eng.schedule_at(1.0, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimEngine, ScheduleInIsRelative) {
+  Engine eng;
+  double fired_at = -1;
+  eng.schedule_at(5.0, [&] {
+    eng.schedule_in(2.5, [&] { fired_at = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimEngine, PastSchedulingThrows) {
+  Engine eng;
+  eng.schedule_at(10.0, [] {});
+  eng.run();
+  EXPECT_THROW(eng.schedule_at(5.0, [] {}), NvmcpError);
+}
+
+TEST(SimEngine, CancelPreventsExecution) {
+  Engine eng;
+  bool fired = false;
+  EventHandle h = eng.schedule_at(1.0, [&] { fired = true; });
+  h.cancel();
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEngine, CancelIsIdempotentAndSafeAfterRun) {
+  Engine eng;
+  EventHandle h = eng.schedule_at(1.0, [] {});
+  eng.run();
+  h.cancel();
+  h.cancel();
+}
+
+TEST(SimEngine, RunUntilStopsAtBoundary) {
+  Engine eng;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    eng.schedule_at(t, [&fired, &eng] { fired.push_back(eng.now()); });
+  }
+  eng.run_until(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(eng.now(), 2.5);
+  EXPECT_EQ(eng.pending(), 2u);
+  eng.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimEngine, StepReturnsFalseWhenEmpty) {
+  Engine eng;
+  EXPECT_FALSE(eng.step());
+  eng.schedule_at(1.0, [] {});
+  EXPECT_TRUE(eng.step());
+  EXPECT_FALSE(eng.step());
+}
+
+TEST(SimEngine, EventsCanRescheduleThemselves) {
+  Engine eng;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) eng.schedule_in(1.0, tick);
+  };
+  eng.schedule_in(1.0, tick);
+  eng.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(eng.now(), 5.0);
+}
+
+}  // namespace
+}  // namespace nvmcp::sim

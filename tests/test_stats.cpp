@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace nvmcp {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+TEST(Histogram, CountsAndClamps) {
+  Histogram h(0, 10, 10);
+  h.add(-5);   // clamps to first bucket
+  h.add(0.5);
+  h.add(9.5);
+  h.add(100);  // clamps to last bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+}
+
+TEST(Histogram, PercentilesAreMonotone) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100));
+  const double p50 = h.percentile(50);
+  const double p90 = h.percentile(90);
+  const double p99 = h.percentile(99);
+  EXPECT_LT(p50, p90);
+  EXPECT_LT(p90, p99);
+  EXPECT_NEAR(p50, 50.0, 2.0);
+  EXPECT_NEAR(p99, 99.0, 2.0);
+}
+
+TEST(TimeSeries, AccumulatesIntoBuckets) {
+  TimeSeries ts(1.0);
+  ts.add(0.2, 10);
+  ts.add(0.9, 5);
+  ts.add(2.5, 7);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.value(0), 15.0);
+  EXPECT_EQ(ts.value(1), 0.0);
+  EXPECT_EQ(ts.value(2), 7.0);
+  EXPECT_EQ(ts.peak(), 15.0);
+  EXPECT_EQ(ts.total(), 22.0);
+  EXPECT_EQ(ts.peak_rate(), 15.0);
+}
+
+TEST(TimeSeries, NegativeTimeClamps) {
+  TimeSeries ts(1.0);
+  ts.add(-3.0, 4);
+  EXPECT_EQ(ts.value(0), 4.0);
+}
+
+TEST(Median, Values) {
+  EXPECT_EQ(median({}), 0.0);
+  EXPECT_EQ(median({5.0}), 5.0);
+  EXPECT_EQ(median({1.0, 3.0}), 2.0);
+  EXPECT_EQ(median({9.0, 1.0, 5.0}), 5.0);
+  EXPECT_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+}  // namespace
+}  // namespace nvmcp

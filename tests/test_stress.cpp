@@ -1,0 +1,226 @@
+// Stress tests: concurrent application writers, the background pre-copy
+// engine, and the remote helper all running against the same chunks, with
+// end-to-end data verification. These are the races the protect/clear
+// fault-counter dance and the two-version commit protocol exist for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <cstring>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "core/remote.hpp"
+
+namespace nvmcp {
+namespace {
+
+/// Writer threads mutate chunks while the pre-copy engine runs and the
+/// main thread takes coordinated checkpoints; after every checkpoint the
+/// committed version must be internally consistent (its stored checksum
+/// matches its payload -- torn copies would break it).
+TEST(Stress, WritersVsPrecopyEngine) {
+  NvmConfig cfg;
+  cfg.capacity = 64 * MiB;
+  cfg.throttle = false;
+  NvmDevice dev(cfg);
+  vmem::Container container(dev);
+  alloc::ChunkAllocator allocator(container);
+
+  core::CheckpointConfig ccfg;
+  ccfg.local_policy = core::PrecopyPolicy::kCpc;
+  ccfg.precopy_scan_period = 2e-4;  // aggressive scanning
+  core::CheckpointManager mgr(allocator, ccfg);
+
+  constexpr int kChunks = 6;
+  std::vector<alloc::Chunk*> chunks;
+  for (int i = 0; i < kChunks; ++i) {
+    chunks.push_back(allocator.nvalloc("stress_" + std::to_string(i),
+                                       64 * KiB, true));
+    std::memset(chunks.back()->data(), i, chunks.back()->size());
+  }
+  mgr.start();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(static_cast<std::uint64_t>(w) + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        alloc::Chunk* c = chunks[rng.next_below(kChunks)];
+        auto* p = static_cast<std::uint64_t*>(c->data());
+        const std::size_t words = c->size() / 8;
+        // A burst of writes scattered across the chunk.
+        for (int i = 0; i < 64; ++i) {
+          p[rng.next_below(words)] = rng.next_u64();
+        }
+      }
+    });
+  }
+
+  for (int iter = 0; iter < 30; ++iter) {
+    precise_sleep(2e-3);
+    mgr.nvchkptall();
+    // Every committed slot must verify against its stored checksum.
+    std::vector<std::byte> buf(64 * KiB);
+    for (alloc::Chunk* c : chunks) {
+      ASSERT_TRUE(c->record().has_committed()) << "iter " << iter;
+      EXPECT_TRUE(allocator.read_committed(*c, buf.data()))
+          << "torn commit at iter " << iter;
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  mgr.stop();
+
+  const core::CheckpointStats s = mgr.stats();
+  EXPECT_EQ(s.local_checkpoints, 30u);
+  EXPECT_GT(s.protection_faults, 0u);
+}
+
+/// The remote helper ships chunks while local checkpoints keep committing
+/// new epochs; after a final coordination, every remote chunk must
+/// verify and carry one single epoch across the cut.
+TEST(Stress, RemoteHelperVsLocalCommits) {
+  NvmConfig cfg;
+  cfg.capacity = 32 * MiB;
+  cfg.throttle = false;
+  NvmDevice dev(cfg);
+  vmem::Container container(dev);
+  alloc::ChunkAllocator allocator(container);
+  core::CheckpointConfig ccfg;
+  ccfg.local_policy = core::PrecopyPolicy::kNone;
+  core::CheckpointManager mgr(allocator, ccfg);
+
+  net::Interconnect link(4.0e9, 0.1);
+  NvmConfig scfg;
+  scfg.capacity = 32 * MiB;
+  scfg.throttle = false;
+  net::RemoteStore store(scfg);
+  net::RemoteMemory remote(link, store);
+  core::RemoteConfig rcfg;
+  rcfg.policy = core::PrecopyPolicy::kCpc;
+  rcfg.interval = 0.02;
+  rcfg.scan_period = 5e-4;
+  core::RemoteCheckpointer helper({&mgr}, remote, rcfg);
+
+  constexpr int kChunks = 4;
+  std::vector<alloc::Chunk*> chunks;
+  for (int i = 0; i < kChunks; ++i) {
+    chunks.push_back(allocator.nvalloc("rc_" + std::to_string(i),
+                                       32 * KiB, true));
+  }
+  helper.start();
+
+  Rng rng(5);
+  for (int iter = 0; iter < 25; ++iter) {
+    for (alloc::Chunk* c : chunks) {
+      auto* p = static_cast<std::uint64_t*>(c->data());
+      for (std::size_t w = 0; w < c->size() / 8; ++w) p[w] = rng.next_u64();
+    }
+    mgr.nvchkptall();
+    precise_sleep(2e-3);
+  }
+  helper.coordinate_now();
+  helper.stop();
+
+  // The final remote cut: every chunk fetches, verifies, and reports the
+  // same epoch (the coordination's consistent snapshot property).
+  std::uint64_t cut_epoch = 0;
+  std::vector<std::byte> buf(32 * KiB);
+  for (alloc::Chunk* c : chunks) {
+    EXPECT_TRUE(remote.get(0, c->id(), buf.data(), c->size()));
+    const std::uint64_t e = store.committed_epoch(0, c->id());
+    EXPECT_GT(e, 0u);
+    if (cut_epoch == 0) cut_epoch = e;
+    EXPECT_EQ(e, cut_epoch) << "remote cut mixes epochs";
+  }
+  EXPECT_EQ(cut_epoch, mgr.committed_epoch());
+}
+
+/// Allocation and deletion racing the pre-copy engine's chunk scans.
+TEST(Stress, AllocDeleteChurnWithEngine) {
+  NvmConfig cfg;
+  cfg.capacity = 64 * MiB;
+  cfg.throttle = false;
+  NvmDevice dev(cfg);
+  vmem::Container container(dev);
+  alloc::ChunkAllocator allocator(container);
+  core::CheckpointConfig ccfg;
+  ccfg.local_policy = core::PrecopyPolicy::kCpc;
+  ccfg.precopy_scan_period = 2e-4;
+  core::CheckpointManager mgr(allocator, ccfg);
+
+  // A stable chunk that must survive the churn intact.
+  alloc::Chunk* anchor = allocator.nvalloc("anchor", 32 * KiB, true);
+  std::memset(anchor->data(), 0x5A, anchor->size());
+  mgr.start();
+
+  for (int round = 0; round < 40; ++round) {
+    const std::string name = "churn_" + std::to_string(round % 5);
+    alloc::Chunk* c =
+        allocator.nvalloc(name, 16 * KiB + 1024u * (round % 3), true);
+    std::memset(c->data(), round, c->size());
+    if (round % 4 == 0) mgr.nvchkptall();
+    allocator.nvdelete(c->id());
+  }
+  mgr.nvchkptall();
+  mgr.stop();
+
+  std::vector<std::byte> expect(anchor->size(), std::byte{0x5A});
+  EXPECT_EQ(allocator.restore_chunk(*anchor), RestoreStatus::kOk);
+  EXPECT_EQ(0, std::memcmp(anchor->data(), expect.data(), expect.size()));
+}
+
+/// Many epochs on a file-backed device: wear accounting moves, the
+/// metadata stays consistent, and the final state restores across a
+/// reopen.
+TEST(Stress, LongEpochChainFileBacked) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("nvmcp_chain_" + std::to_string(::getpid()) + ".nvm")).string();
+  fs::remove(path);
+  NvmConfig cfg;
+  cfg.capacity = 16 * MiB;
+  cfg.throttle = false;
+  cfg.backing_file = path;
+
+  std::uint64_t final_seed = 0;
+  {
+    NvmDevice dev(cfg);
+    vmem::Container container(dev);
+    alloc::ChunkAllocator allocator(container);
+    core::CheckpointManager mgr(allocator, core::CheckpointConfig{});
+    alloc::Chunk* c = allocator.nvalloc("chain", 64 * KiB, true);
+    Rng rng(1);
+    for (int e = 0; e < 100; ++e) {
+      final_seed = rng.next_u64();
+      auto* p = static_cast<std::uint64_t*>(c->data());
+      Rng fill(final_seed);
+      for (std::size_t w = 0; w < c->size() / 8; ++w) {
+        p[w] = fill.next_u64();
+      }
+      mgr.nvchkptall();
+    }
+    EXPECT_EQ(mgr.committed_epoch(), 100u);
+    EXPECT_GT(dev.stats().max_page_wear, 40u);  // slots alternate
+  }
+  {
+    NvmDevice dev(cfg);
+    vmem::Container container(dev);
+    alloc::ChunkAllocator allocator(container);
+    alloc::Chunk* c = allocator.nvalloc("chain", 64 * KiB, true);
+    ASSERT_EQ(c->restore_status(), RestoreStatus::kOk);
+    Rng fill(final_seed);
+    const auto* p = static_cast<const std::uint64_t*>(c->data());
+    for (std::size_t w = 0; w < c->size() / 8; ++w) {
+      ASSERT_EQ(p[w], fill.next_u64()) << "word " << w;
+    }
+  }
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace nvmcp

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace nvmcp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 20; ++i) {
+    futs.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++counter;
+      });
+    }
+  }  // join in destructor
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(CyclicBarrier, ExactlyOneSerialThreadPerGeneration) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 10;
+  CyclicBarrier barrier(kThreads);
+  std::atomic<int> serials{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (barrier.arrive_and_wait()) ++serials;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serials.load(), kRounds);
+}
+
+TEST(CyclicBarrier, SingleParty) {
+  CyclicBarrier barrier(1);
+  EXPECT_TRUE(barrier.arrive_and_wait());
+  EXPECT_TRUE(barrier.arrive_and_wait());
+}
+
+}  // namespace
+}  // namespace nvmcp

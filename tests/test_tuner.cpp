@@ -1,0 +1,98 @@
+// Interval auto-tuner: model construction from measurements, sane
+// recommendations, and the live from_manager() path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "core/tuner.hpp"
+
+namespace nvmcp::core {
+namespace {
+
+TunerInputs base_inputs() {
+  TunerInputs in;
+  in.ckpt_data = 400e6;
+  in.nvm_bw_core = 400e6;
+  in.mtbf_local = 600;
+  in.mtbf_remote = 3600;
+  in.t_compute = 3600;
+  return in;
+}
+
+TEST(Tuner, RequiresMeasurements) {
+  TunerInputs in;
+  EXPECT_THROW(IntervalTuner::to_model(in), NvmcpError);
+  in.ckpt_data = 1e6;
+  EXPECT_THROW(IntervalTuner::to_model(in), NvmcpError);  // no bw, no time
+}
+
+TEST(Tuner, DerivesBandwidthFromBlockingTime) {
+  TunerInputs in = base_inputs();
+  in.nvm_bw_core = 0;
+  in.blocking_per_ckpt = 1.0;  // 400 MB in 1 s
+  const auto p = IntervalTuner::to_model(in);
+  EXPECT_NEAR(p.nvm_bw_core, 400e6, 1e-3);
+
+  in.precopy = true;
+  in.precopy_residual = 0.2;
+  in.blocking_per_ckpt = 0.2;  // only the residual moved in 0.2 s
+  EXPECT_NEAR(IntervalTuner::to_model(in).nvm_bw_core, 400e6, 1e-3);
+}
+
+TEST(Tuner, RecommendationBeatsArbitraryIntervals) {
+  const TunerResult r = IntervalTuner::recommend(base_inputs(), 400.0);
+  EXPECT_GT(r.recommended_interval, 1.0);
+  EXPECT_LT(r.recommended_interval, 3600.0);
+  EXPECT_GE(r.expected_efficiency, r.current_efficiency);
+}
+
+TEST(Tuner, ShorterMtbfShortensInterval) {
+  TunerInputs in = base_inputs();
+  in.mtbf_local = 2000;
+  const double long_i = IntervalTuner::recommend(in).recommended_interval;
+  in.mtbf_local = 60;
+  const double short_i = IntervalTuner::recommend(in).recommended_interval;
+  EXPECT_LT(short_i, long_i);
+}
+
+TEST(Tuner, PrecopyAllowsShorterIntervals) {
+  // Cheaper checkpoints shift the optimum toward more frequent ones.
+  TunerInputs in = base_inputs();
+  const double plain = IntervalTuner::recommend(in).recommended_interval;
+  in.precopy = true;
+  const double pre = IntervalTuner::recommend(in).recommended_interval;
+  EXPECT_LT(pre, plain);
+}
+
+TEST(Tuner, FromManagerPullsMeasurements) {
+  NvmConfig cfg;
+  cfg.capacity = 16 * MiB;
+  cfg.throttle = false;
+  NvmDevice dev(cfg);
+  vmem::Container container(dev);
+  alloc::ChunkAllocator allocator(container);
+  CheckpointConfig ccfg;
+  ccfg.local_policy = PrecopyPolicy::kNone;
+  ccfg.nvm_bw_per_core = 200.0 * MiB;
+  CheckpointManager mgr(allocator, ccfg);
+
+  alloc::Chunk* c = allocator.nvalloc("state", 1 * MiB, true);
+  std::memset(c->data(), 3, c->size());
+  mgr.nvchkptall();
+
+  TunerInputs env;
+  env.mtbf_local = 300;
+  const TunerInputs in = IntervalTuner::from_manager(mgr, env);
+  EXPECT_NEAR(in.ckpt_data, 1.0 * MiB, 1.0);
+  EXPECT_GT(in.blocking_per_ckpt, 0.0);
+  EXPECT_FALSE(in.precopy);
+  EXPECT_EQ(in.mtbf_local, 300);
+
+  const TunerResult r = IntervalTuner::recommend(in);
+  EXPECT_GT(r.recommended_interval, 0.0);
+  EXPECT_GT(r.expected_efficiency, 0.0);
+}
+
+}  // namespace
+}  // namespace nvmcp::core

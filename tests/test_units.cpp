@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace nvmcp {
+namespace {
+
+TEST(Units, PagesFor) {
+  EXPECT_EQ(pages_for(0), 0u);
+  EXPECT_EQ(pages_for(1), 1u);
+  EXPECT_EQ(pages_for(kNvmPageSize), 1u);
+  EXPECT_EQ(pages_for(kNvmPageSize + 1), 2u);
+  EXPECT_EQ(pages_for(10 * kNvmPageSize), 10u);
+}
+
+TEST(Units, RoundUp) {
+  EXPECT_EQ(round_up(0, 64), 0u);
+  EXPECT_EQ(round_up(1, 64), 64u);
+  EXPECT_EQ(round_up(64, 64), 64u);
+  EXPECT_EQ(round_up(65, 64), 128u);
+}
+
+TEST(Units, IsAligned) {
+  EXPECT_TRUE(is_aligned(0, 4096));
+  EXPECT_TRUE(is_aligned(8192, 4096));
+  EXPECT_FALSE(is_aligned(100, 4096));
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3.5 * MiB), "3.5 MiB");
+  EXPECT_EQ(format_bytes(2.0 * GiB), "2.0 GiB");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(2.0 * GiB), "2.0 GiB/s");
+  EXPECT_EQ(format_bandwidth(400.0 * MiB), "400.0 MiB/s");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(format_seconds(3e-6), "3.000 us");
+  EXPECT_EQ(format_seconds(5e-8), "50.0 ns");
+}
+
+TEST(Units, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+}  // namespace
+}  // namespace nvmcp

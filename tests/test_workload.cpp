@@ -1,0 +1,96 @@
+// Workload generators: Table IV shape properties and the modification
+// patterns each application's analysis relies on.
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+#include "common/units.hpp"
+
+namespace nvmcp::apps {
+namespace {
+
+TEST(Workload, GtcShape) {
+  const WorkloadSpec s = WorkloadSpec::gtc();
+  EXPECT_EQ(s.name, "GTC");
+  // ~433 MB/core checkpoint volume (paper Section VI).
+  EXPECT_NEAR(static_cast<double>(s.total_ckpt_bytes()),
+              433.0 * MiB, 40.0 * MiB);
+  // GTC has large init-only chunks (the Fig 8 size-reduction source).
+  std::size_t init_only_bytes = 0;
+  for (const auto& c : s.chunks) {
+    if (c.pattern == ModPattern::kInitOnly) init_only_bytes += c.bytes;
+  }
+  EXPECT_GT(init_only_bytes, 64 * MiB);
+}
+
+TEST(Workload, LammpsShape) {
+  const WorkloadSpec s = WorkloadSpec::lammps_rhodo();
+  // The paper's Fig 6 describes 31 chunks and hot result arrays.
+  EXPECT_EQ(s.chunk_count(), 31u);
+  EXPECT_NEAR(static_cast<double>(s.total_ckpt_bytes()),
+              410.0 * MiB, 40.0 * MiB);
+  int hot = 0;
+  for (const auto& c : s.chunks) {
+    if (c.pattern == ModPattern::kHotUntilEnd) {
+      ++hot;
+      EXPECT_GE(c.mods_per_iter, 2);
+    }
+  }
+  EXPECT_GE(hot, 3);
+}
+
+TEST(Workload, Cm1IsSmallChunkDominated) {
+  const WorkloadSpec s = WorkloadSpec::cm1();
+  const auto dist = s.size_distribution();
+  // ~40% of chunks under 1 MB (Table IV), almost none above 100 MB.
+  EXPECT_NEAR(dist[0], 40.0, 8.0);
+  EXPECT_LT(dist[3], 5.0);
+}
+
+TEST(Workload, GtcAndLammpsAreLargeChunkDominated) {
+  for (const WorkloadSpec& s :
+       {WorkloadSpec::gtc(), WorkloadSpec::lammps_rhodo()}) {
+    std::size_t large_bytes = 0;
+    for (const auto& c : s.chunks) {
+      if (c.bytes >= 10 * MiB) large_bytes += c.bytes;
+    }
+    EXPECT_GT(static_cast<double>(large_bytes),
+              0.7 * static_cast<double>(s.total_ckpt_bytes()))
+        << s.name;
+  }
+}
+
+TEST(Workload, DistributionSumsTo100) {
+  for (const WorkloadSpec& s : {WorkloadSpec::gtc(),
+                                WorkloadSpec::lammps_rhodo(),
+                                WorkloadSpec::cm1()}) {
+    const auto d = s.size_distribution();
+    double sum = 0;
+    for (double v : d) sum += v;
+    EXPECT_NEAR(sum, 100.0, 1e-6) << s.name;
+  }
+}
+
+TEST(Workload, UniqueChunkNames) {
+  for (const WorkloadSpec& s : {WorkloadSpec::gtc(),
+                                WorkloadSpec::lammps_rhodo(),
+                                WorkloadSpec::cm1()}) {
+    std::set<std::string> names;
+    for (const auto& c : s.chunks) {
+      EXPECT_TRUE(names.insert(c.name).second)
+          << "duplicate chunk name " << c.name << " in " << s.name;
+    }
+  }
+}
+
+TEST(Workload, SaneIterationParameters) {
+  for (const WorkloadSpec& s : {WorkloadSpec::gtc(),
+                                WorkloadSpec::lammps_rhodo(),
+                                WorkloadSpec::cm1()}) {
+    EXPECT_GT(s.compute_per_iter, 0.0);
+    EXPECT_GT(s.iters_per_checkpoint, 0);
+    EXPECT_GT(s.comm_bytes_per_iter, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace nvmcp::apps

@@ -15,10 +15,12 @@
 #include "apps/driver.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "local_experiment.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
-nvmcp::core::RemoteStats run_mode(double data_scale, bool precopy) {
+nvmcp::apps::DriverResult run_mode(double data_scale, bool precopy) {
   using namespace nvmcp;
   // Scaling mirrors bench_fig10: time and bandwidths 1/8, per-node data
   // volume matched to the paper's 12-core node via the size scale (we run
@@ -45,13 +47,20 @@ nvmcp::core::RemoteStats run_mode(double data_scale, bool precopy) {
   cfg.remote.scan_period = 2e-3;
   cfg.link_bw = 5.0e9 / 8.0;
   cfg.remote_nvm_bw = 0.8e9 / 8.0;
-  return apps::run_workload(cfg).remote;
+  return apps::run_workload(cfg);
 }
 
 }  // namespace
 
 int main() {
   using namespace nvmcp;
+  telemetry::init_from_env();
+  telemetry::RunReport report("Table V");
+  report.config()["workload"] = "gtc";
+  report.config()["ranks"] = 2.0;
+  report.config()["remote_interval_seconds"] = 15.0;
+  Json& rows = report.section("rows");
+
   TableWriter table(
       "Table V: checkpoint helper core average utilization (paper: "
       "12.9/13.4/14.8% no-pre-copy vs 24.5/25.1/28.3% pre-copy)",
@@ -64,16 +73,31 @@ int main() {
   const double nominal_mb = 425.0;
   for (const double paper_mb : {370.0, 472.0, 588.0}) {
     const double scale = paper_mb / nominal_mb * (12.0 / 2.0) / 64.0;
-    const core::RemoteStats nopc = run_mode(scale, false);
-    const core::RemoteStats pc = run_mode(scale, true);
-    const double u0 = nopc.helper_utilization();
-    const double u1 = pc.helper_utilization();
+    const apps::DriverResult nopc = run_mode(scale, false);
+    const apps::DriverResult pc = run_mode(scale, true);
+    const double u0 = nopc.remote.helper_utilization();
+    const double u1 = pc.remote.helper_utilization();
     table.row({TableWriter::num(paper_mb, 0) + " MB",
                TableWriter::pct(u0), TableWriter::pct(u1),
                TableWriter::num(u0 > 0 ? u1 / u0 : 0, 2) + "x"});
+
+    Json row;
+    row["data_per_core_mb"] = paper_mb;
+    row["no_precopy_utilization"] = u0;
+    row["precopy_utilization"] = u1;
+    row["ratio"] = u0 > 0 ? u1 / u0 : 0.0;
+    if (nopc.metrics) row["no_precopy_metrics"] = nopc.metrics->to_json();
+    if (pc.metrics) row["precopy_metrics"] = pc.metrics->to_json();
+    rows.push_back(std::move(row));
   }
   table.print();
   std::printf("\nExpected shape: pre-copy roughly doubles helper "
               "utilization, and utilization grows with data volume.\n");
+
+  const std::string path = bench::report_path_for("table5_helper_cpu.csv");
+  if (report.write(path)) {
+    std::printf("Run report: %s\n", path.c_str());
+  }
+  telemetry::flush_trace();
   return 0;
 }

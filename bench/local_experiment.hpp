@@ -15,8 +15,19 @@
 #include "apps/driver.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nvmcp::bench {
+
+/// "foo.csv" -> "foo.json"; anything else gets ".json" appended.
+inline std::string report_path_for(const std::string& csv) {
+  const std::string suffix = ".csv";
+  if (csv.size() >= suffix.size() &&
+      csv.compare(csv.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return csv.substr(0, csv.size() - suffix.size()) + ".json";
+  }
+  return csv + ".json";
+}
 
 struct LocalExperimentOptions {
   apps::WorkloadSpec spec;
@@ -61,9 +72,19 @@ inline apps::DriverResult run_local_point(
 }
 
 inline void run_local_experiment(const LocalExperimentOptions& opt) {
+  telemetry::init_from_env();
+
   // Ideal: same workload, checkpointing disabled.
   const apps::DriverResult ideal = run_local_point(
       opt, 0, core::PrecopyPolicy::kNone, /*checkpoint_enabled=*/false);
+
+  telemetry::RunReport report(opt.figure_label);
+  report.config()["workload"] = opt.spec.name;
+  report.config()["ranks"] = static_cast<double>(opt.ranks);
+  report.config()["iterations"] = static_cast<double>(opt.iterations);
+  report.config()["scale"] = opt.scale;
+  report.root()["ideal_seconds"] = ideal.wall_seconds;
+  Json& points = report.section("points");
 
   TableWriter table(
       opt.figure_label + " -- " + opt.spec.name +
@@ -84,11 +105,33 @@ inline void run_local_experiment(const LocalExperimentOptions& opt) {
                  format_seconds(r.ckpt.local_blocking_seconds),
                  format_bytes(static_cast<double>(r.ckpt.total_nvm_bytes())),
                  std::to_string(r.ckpt.chunks_skipped_unmodified)});
+
+      Json point;
+      point["nvm_bw_per_core"] = bw;
+      point["policy"] = core::to_string(policy);
+      point["exec_seconds"] = r.wall_seconds;
+      point["overhead_vs_ideal"] = overhead;
+      point["blocking_seconds"] = r.ckpt.local_blocking_seconds;
+      point["nvm_bytes"] = static_cast<double>(r.ckpt.total_nvm_bytes());
+      point["chunks_skipped"] =
+          static_cast<double>(r.ckpt.chunks_skipped_unmodified);
+      if (r.metrics) {
+        point["metrics"] = r.metrics->to_json();
+      }
+      points.push_back(std::move(point));
     }
   }
   table.print();
   std::printf("  ideal (no checkpointing) exec time: %s\n",
               format_seconds(ideal.wall_seconds).c_str());
+
+  if (!opt.csv.empty()) {
+    const std::string path = report_path_for(opt.csv);
+    if (report.write(path)) {
+      std::printf("  run report: %s\n", path.c_str());
+    }
+  }
+  telemetry::flush_trace();
 }
 
 }  // namespace nvmcp::bench

@@ -11,10 +11,12 @@
 #include "common/units.hpp"
 #include "model/model.hpp"
 #include "sim/cluster.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main() {
   using namespace nvmcp;
   using namespace nvmcp::sim;
+  telemetry::init_from_env();
 
   TableWriter table(
       "Cluster what-if: efficiency vs failure rate (simulated)",

@@ -16,6 +16,7 @@
 #include "alloc/nvmalloc.hpp"
 #include "common/rng.hpp"
 #include "core/manager.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -129,11 +130,13 @@ double run(bool crash) {
 }  // namespace
 
 int main() {
+  nvmcp::telemetry::init_from_env();
   std::printf("2D heat solver, %zux%zu grid, %d sweeps, checkpoint every "
               "%d:\n",
               kNx, kNy, kSweeps, kCheckpointEvery);
   const double reference = run(/*crash=*/false);
   const double recovered = run(/*crash=*/true);
+  nvmcp::telemetry::flush_trace();
   if (std::memcmp(&reference, &recovered, sizeof(double)) == 0) {
     std::printf("OK: recovered run matches the failure-free run "
                 "bit-for-bit.\n");

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "core/manager.hpp"
 #include "core/remote.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -75,6 +76,7 @@ struct Particles {
 }  // namespace
 
 int main() {
+  nvmcp::telemetry::init_from_env();
   // Local NVM stack.
   NvmConfig ncfg;
   ncfg.capacity = 64 * MiB;
@@ -148,5 +150,6 @@ int main() {
               static_cast<unsigned long long>(rstats.coordinated_puts),
               format_bandwidth(link.peak_checkpoint_rate()).c_str());
 
+  nvmcp::telemetry::flush_trace();
   return st == RestoreStatus::kOkFromRemote ? 0 : 1;
 }

@@ -13,8 +13,10 @@
 
 #include "alloc/nvmalloc.hpp"
 #include "core/manager.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main() {
+  nvmcp::telemetry::init_from_env();
   using namespace nvmcp;
 
   // 1. The emulated PCM device: 64 MiB, throttled at Table I speeds,
@@ -80,5 +82,6 @@ int main() {
               format_bytes(static_cast<double>(stats.bytes_coordinated))
                   .c_str());
   std::printf("run me again to watch the restart path.\n");
+  nvmcp::telemetry::flush_trace();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nvmcp::apps {
 namespace {
@@ -104,6 +105,7 @@ double ideal_runtime(const DriverConfig& cfg) {
 }
 
 DriverResult run_workload(const DriverConfig& cfg) {
+  init_log_from_env();
   const int R = cfg.ranks;
   if (R <= 0) throw NvmcpError("driver: ranks must be positive");
 
@@ -191,23 +193,27 @@ DriverResult run_workload(const DriverConfig& cfg) {
                 });
 
       // Compute phase: sleep to each touch point, modify the chunk.
-      const Stopwatch phase_sw;
-      for (const Touch& t : touches) {
-        const double target = t.frac * phase;
-        const double now = phase_sw.elapsed();
-        if (target > now) precise_sleep(target - now);
-        touch_chunk(*t.chunk, ctx.rng);
-        // In software tracking mode the application reports its own
-        // writes; in mprotect mode the store above already faulted.
-        if (cfg.track_mode == vmem::TrackMode::kSoftware) {
-          t.chunk->notify_write();
+      {
+        telemetry::Span span("compute_phase", "app");
+        const Stopwatch phase_sw;
+        for (const Touch& t : touches) {
+          const double target = t.frac * phase;
+          const double now = phase_sw.elapsed();
+          if (target > now) precise_sleep(target - now);
+          touch_chunk(*t.chunk, ctx.rng);
+          // In software tracking mode the application reports its own
+          // writes; in mprotect mode the store above already faulted.
+          if (cfg.track_mode == vmem::TrackMode::kSoftware) {
+            t.chunk->notify_write();
+          }
         }
+        const double left = phase - phase_sw.elapsed();
+        if (left > 0) precise_sleep(left);
       }
-      const double left = phase - phase_sw.elapsed();
-      if (left > 0) precise_sleep(left);
 
       // Communication phase (shared link -> checkpoint noise is real).
       if (comm_bytes > 0) {
+        telemetry::Span span("comm_phase", "app");
         link.transfer(comm_bytes, net::TrafficClass::kApplication);
       }
 
@@ -269,6 +275,28 @@ DriverResult run_workload(const DriverConfig& cfg) {
   }
   out.blocking_per_checkpoint = blocking_events;
   if (remote_ckpt) out.remote = remote_ckpt->stats();
+
+  // Merge every rank's registry (plus the helper's) into one run-level
+  // registry, then roll device/link stats in as gauges so a RunReport can
+  // serialize the entire run from a single snapshot.
+  out.metrics = std::make_shared<telemetry::MetricRegistry>();
+  for (auto& ctx : ranks) out.metrics->merge(ctx.manager->metrics());
+  if (remote_ckpt) out.metrics->merge(remote_ckpt->metrics());
+  out.metrics->gauge("nvm.bytes_written")
+      .set(static_cast<double>(out.nvm.bytes_written));
+  out.metrics->gauge("nvm.bytes_read")
+      .set(static_cast<double>(out.nvm.bytes_read));
+  out.metrics->gauge("nvm.write_calls")
+      .set(static_cast<double>(out.nvm.write_calls));
+  out.metrics->gauge("nvm.max_page_wear")
+      .set(static_cast<double>(out.nvm.max_page_wear));
+  const net::LinkStats ls = link.stats();
+  out.metrics->gauge("link.app_bytes")
+      .set(static_cast<double>(ls.app_bytes));
+  out.metrics->gauge("link.checkpoint_bytes")
+      .set(static_cast<double>(ls.checkpoint_bytes));
+  out.metrics->gauge("link.peak_ckpt_rate").set(link.peak_checkpoint_rate());
+
   out.link = link.stats();
   out.peak_ckpt_link_rate = link.peak_checkpoint_rate();
   out.link_timeline_bucket = link.checkpoint_timeline().bucket_width();

@@ -26,6 +26,7 @@
 #include "core/manager.hpp"
 #include "core/remote.hpp"
 #include "net/remote_memory.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace nvmcp::apps {
 
@@ -70,6 +71,11 @@ struct DriverResult {
 
   /// Scaled per-rank checkpoint payload (bytes).
   std::size_t ckpt_bytes_per_rank = 0;
+
+  /// Run-level registry: every rank's "ckpt.*"/"restart.*" metrics merged,
+  /// plus the helper's "remote.*" and device/link roll-ups ("nvm.*",
+  /// "link.*"). Feed this to telemetry::RunReport::add_metrics.
+  std::shared_ptr<telemetry::MetricRegistry> metrics;
 };
 
 /// Run the workload to completion and gather statistics.

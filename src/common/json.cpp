@@ -1,0 +1,348 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace nvmcp {
+namespace {
+
+/// Integral doubles inside the exact range print as integers so counters
+/// stay readable; everything else uses %.17g (lossless round trip).
+void number_to(std::string& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : s_(text), err_(err) {}
+
+  bool run(Json* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (err_ && err_->empty()) {
+      *err_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word, Json v, Json* out) {
+    if (s_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    *out = std::move(v);
+    return true;
+  }
+
+  bool value(Json* out) {
+    if (depth_ > 128) return fail("nesting too deep");
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case 'n': return literal("null", Json(nullptr), out);
+      case 't': return literal("true", Json(true), out);
+      case 'f': return literal("false", Json(false), out);
+      case '"': {
+        std::string str;
+        if (!string(&str)) return false;
+        *out = Json(std::move(str));
+        return true;
+      }
+      case '[': return array(out);
+      case '{': return object(out);
+      default: return number(out);
+    }
+  }
+
+  bool number(Json* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string tok(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return fail("bad number");
+    *out = Json(v);
+    return true;
+  }
+
+  bool string(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) break;
+        switch (s_[pos_]) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return fail("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_ + 1 + static_cast<std::size_t>(i)];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // Encode the code point as UTF-8 (surrogate pairs unsupported;
+            // lone surrogates encode as-is, fine for telemetry payloads).
+            if (cp < 0x80) {
+              *out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              *out += static_cast<char>(0xC0 | (cp >> 6));
+              *out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (cp >> 12));
+              *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        ++pos_;
+      } else {
+        *out += c;
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool array(Json* out) {
+    ++pos_;  // '['
+    Json::Array items;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      *out = Json(std::move(items));
+      return true;
+    }
+    ++depth_;
+    while (true) {
+      Json v;
+      skip_ws();
+      if (!value(&v)) return false;
+      items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        *out = Json(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool object(Json* out) {
+    ++pos_;  // '{'
+    Json::Object fields;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      *out = Json(std::move(fields));
+      return true;
+    }
+    ++depth_;
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected key");
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      Json v;
+      if (!value(&v)) return false;
+      fields[std::move(key)] = std::move(v);
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        *out = Json(std::move(fields));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string* err_;
+};
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) v_ = Object{};
+  if (!is_object()) throw std::runtime_error("Json: not an object");
+  return std::get<Object>(v_)[key];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& o = std::get<Object>(v_);
+  const auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) v_ = Array{};
+  if (!is_array()) throw std::runtime_error("Json: not an array");
+  std::get<Array>(v_).push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(v_).size();
+  if (is_object()) return std::get<Object>(v_).size();
+  return 0;
+}
+
+void Json::escape_to(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += boolean() ? "true" : "false";
+  } else if (is_number()) {
+    number_to(out, number());
+  } else if (is_string()) {
+    escape_to(out, str());
+  } else if (is_array()) {
+    const auto& a = items();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const Json& v : a) {
+      if (!first) out += ',';
+      first = false;
+      newline(depth + 1);
+      v.dump_to(out, indent, depth + 1);
+    }
+    newline(depth);
+    out += ']';
+  } else {
+    const auto& o = fields();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : o) {
+      if (!first) out += ',';
+      first = false;
+      newline(depth + 1);
+      escape_to(out, k);
+      out += pretty ? ": " : ":";
+      v.dump_to(out, indent, depth + 1);
+    }
+    newline(depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool Json::parse(std::string_view text, Json* out, std::string* err) {
+  Parser p(text, err);
+  return p.run(out);
+}
+
+}  // namespace nvmcp

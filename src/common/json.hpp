@@ -1,0 +1,90 @@
+// Minimal JSON value type: parse, build, compare, serialize.
+//
+// Exists so the telemetry subsystem can emit machine-readable run reports
+// and Chrome-trace files (and round-trip them in tests) without an external
+// dependency. Numbers are doubles; integral values within the exact-double
+// range print without a fractional part. Object keys are kept sorted, so
+// serialization is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace nvmcp {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(unsigned int i) : v_(static_cast<double>(i)) {}
+  Json(long i) : v_(static_cast<double>(i)) {}
+  Json(unsigned long i) : v_(static_cast<double>(i)) {}
+  Json(long long i) : v_(static_cast<double>(i)) {}
+  Json(unsigned long long i) : v_(static_cast<double>(i)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool boolean() const { return std::get<bool>(v_); }
+  double number() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+  Array& items() { return std::get<Array>(v_); }
+  const Array& items() const { return std::get<Array>(v_); }
+  Object& fields() { return std::get<Object>(v_); }
+  const Object& fields() const { return std::get<Object>(v_); }
+
+  /// Object access; inserts a null member (converting a null value to an
+  /// object first) so report code can write `doc["a"]["b"] = 1`.
+  Json& operator[](const std::string& key);
+  /// Lookup without insertion; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Array append (converts a null value to an array first).
+  void push_back(Json v);
+
+  std::size_t size() const;
+
+  /// Serialize. indent < 0 => compact single line; otherwise pretty-print
+  /// with the given indent width.
+  std::string dump(int indent = -1) const;
+
+  /// Parse `text` into `out`. Returns false (and sets *err, if given) on
+  /// malformed input or trailing garbage.
+  static bool parse(std::string_view text, Json* out,
+                    std::string* err = nullptr);
+
+  bool operator==(const Json& o) const { return v_ == o.v_; }
+  bool operator!=(const Json& o) const { return !(*this == o); }
+
+  /// Escape a string for embedding in a JSON document (adds the quotes).
+  static void escape_to(std::string& out, std::string_view s);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace nvmcp

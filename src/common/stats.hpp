@@ -34,8 +34,15 @@ class OnlineStats {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   double stddev() const;
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  /// Extrema of the samples seen so far. An empty accumulator returns NaN
+  /// (a real 0.0 sample is indistinguishable from "no data" otherwise);
+  /// callers that print these should guard with count().
+  double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
 
   void merge(const OnlineStats& other);
   void reset() { *this = OnlineStats{}; }
@@ -58,9 +65,15 @@ class Histogram {
   void add(double x);
   std::uint64_t count() const { return total_; }
   double percentile(double p) const;  // p in [0, 100]
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   double bucket_lo(std::size_t i) const;
   std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
   std::size_t buckets() const { return counts_.size(); }
+
+  /// Merge another histogram's counts into this one. Requires identical
+  /// bucket layout (throws std::invalid_argument otherwise).
+  void merge(const Histogram& other);
 
  private:
   double lo_;

@@ -4,6 +4,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nvmcp::core {
 
@@ -12,6 +13,21 @@ CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
     : alloc_(&allocator), cfg_(cfg), stream_(cfg.nvm_bw_per_core),
       prediction_(cfg.learn_alpha) {
   interval_start_ = now_seconds();
+  m_.local_checkpoints = &metrics_.counter("ckpt.local_checkpoints");
+  m_.bytes_coordinated = &metrics_.counter("ckpt.bytes_coordinated");
+  m_.bytes_precopied = &metrics_.counter("ckpt.bytes_precopied");
+  m_.precopy_passes = &metrics_.counter("ckpt.precopy_passes");
+  m_.committed_from_precopy =
+      &metrics_.counter("ckpt.chunks_committed_from_precopy");
+  m_.recopied_dirty = &metrics_.counter("ckpt.chunks_recopied_dirty");
+  m_.skipped_unmodified = &metrics_.counter("ckpt.chunks_skipped_unmodified");
+  m_.blocking_seconds = &metrics_.gauge("ckpt.blocking_seconds");
+  m_.precopy_seconds = &metrics_.gauge("ckpt.precopy_seconds");
+  m_.protection_faults = &metrics_.gauge("ckpt.protection_faults");
+  // Blocking times: interesting range spans sub-ms commit flips to
+  // multi-second full copies; 1 ms buckets to 5 s.
+  m_.blocking_hist =
+      &metrics_.histogram("ckpt.blocking_seconds_hist", 0.0, 5.0, 5000);
 }
 
 CheckpointManager::~CheckpointManager() { stop(); }
@@ -84,18 +100,19 @@ void CheckpointManager::precopy_loop() {
       {
         std::lock_guard<std::mutex> lock(ckpt_mu_);
         if (!c->dirty_local()) continue;  // raced with the coordinated step
+        telemetry::Span span("precopy_chunk", "ckpt.local");
         secs = alloc_->precopy_chunk(*c, epoch, &stream_);
       }
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      stats_.bytes_precopied += c->size();
-      stats_.precopy_seconds += secs;
-      ++stats_.precopy_passes;
+      m_.bytes_precopied->add(c->size());
+      m_.precopy_seconds->add(secs);
+      m_.precopy_passes->add(1);
     }
   }
 }
 
 double CheckpointManager::nvchkptall() {
   std::lock_guard<std::mutex> lock(ckpt_mu_);
+  telemetry::Span span("nvchkptall", "ckpt.local");
   const Stopwatch sw;
   const double interval_len = now_seconds() - interval_start_;
   const std::uint64_t epoch = next_epoch();
@@ -136,15 +153,13 @@ double CheckpointManager::nvchkptall() {
   next_epoch_.fetch_add(1, std::memory_order_acq_rel);
   const double blocking = sw.elapsed();
 
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    ++stats_.local_checkpoints;
-    stats_.local_blocking_seconds += blocking;
-    stats_.bytes_coordinated += bytes_this_step;
-    stats_.chunks_committed_from_precopy += committed_precopy;
-    stats_.chunks_recopied_dirty += recopied;
-    stats_.chunks_skipped_unmodified += skipped;
-  }
+  m_.local_checkpoints->add(1);
+  m_.blocking_seconds->add(blocking);
+  m_.blocking_hist->observe(blocking);
+  m_.bytes_coordinated->add(bytes_this_step);
+  m_.committed_from_precopy->add(committed_precopy);
+  m_.recopied_dirty->add(recopied);
+  m_.skipped_unmodified->add(skipped);
   {
     std::lock_guard<std::mutex> llock(learn_mu_);
     const double a = cfg_.learn_alpha;
@@ -171,15 +186,16 @@ double CheckpointManager::nvchkptid(std::uint64_t id) {
   alloc::Chunk* c = alloc_->find(id);
   if (!c) throw NvmcpError("nvchkptid: unknown chunk");
   std::lock_guard<std::mutex> lock(ckpt_mu_);
+  telemetry::Span span("nvchkptid", "ckpt.local");
   const std::uint64_t epoch = next_epoch();
   const double secs = alloc_->checkpoint_chunk(*c, epoch, &stream_);
-  std::lock_guard<std::mutex> slock(stats_mu_);
-  stats_.bytes_coordinated += c->size();
+  m_.bytes_coordinated->add(c->size());
   return secs;
 }
 
 RestoreStatus CheckpointManager::restore_all() {
   std::lock_guard<std::mutex> lock(ckpt_mu_);
+  telemetry::Span span("restore_all", "ckpt.restart");
   RestoreStatus worst = RestoreStatus::kOk;
   for (alloc::Chunk* c : alloc_->chunks()) {
     if (!c->persistent()) continue;
@@ -190,13 +206,25 @@ RestoreStatus CheckpointManager::restore_all() {
 }
 
 CheckpointStats CheckpointManager::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  CheckpointStats s = stats_;
+  CheckpointStats s;
+  s.local_checkpoints = m_.local_checkpoints->value();
+  s.local_blocking_seconds = m_.blocking_seconds->value();
+  s.bytes_coordinated = m_.bytes_coordinated->value();
+  s.bytes_precopied = m_.bytes_precopied->value();
+  s.precopy_seconds = m_.precopy_seconds->value();
+  s.precopy_passes = m_.precopy_passes->value();
+  s.chunks_committed_from_precopy = m_.committed_from_precopy->value();
+  s.chunks_recopied_dirty = m_.recopied_dirty->value();
+  s.chunks_skipped_unmodified = m_.skipped_unmodified->value();
   std::uint64_t faults = 0;
   for (const alloc::Chunk* c : alloc_->chunks()) {
     faults += c->tracker().faults.load(std::memory_order_relaxed);
   }
   s.protection_faults = faults;
+  // Faults live in the chunk trackers (bumped from the SIGSEGV handler,
+  // where only raw atomics are safe); mirror them so registry snapshots
+  // taken after a stats() call carry the number too.
+  m_.protection_faults->set(static_cast<double>(faults));
   return s;
 }
 

@@ -23,6 +23,7 @@
 #include "core/config.hpp"
 #include "core/prediction.hpp"
 #include "core/stats.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace nvmcp::core {
 
@@ -53,7 +54,12 @@ class CheckpointManager {
 
   alloc::ChunkAllocator& allocator() { return *alloc_; }
   const CheckpointConfig& config() const { return cfg_; }
+  /// Legacy summary view over metrics() (same numbers, struct shape).
   CheckpointStats stats() const;
+  /// This manager's metric registry ("ckpt.*" counters/gauges plus the
+  /// blocking-time histogram). The source of truth behind stats().
+  telemetry::MetricRegistry& metrics() { return metrics_; }
+  const telemetry::MetricRegistry& metrics() const { return metrics_; }
   PredictionTable& prediction() { return prediction_; }
 
   /// Epoch of the next checkpoint to be taken (committed epoch + 1).
@@ -106,9 +112,22 @@ class CheckpointManager {
   std::condition_variable engine_cv_;
   std::mutex engine_mu_;
 
-  // Stats (guarded by stats_mu_).
-  mutable std::mutex stats_mu_;
-  CheckpointStats stats_;
+  // Metrics: the registry owns every counter; the m_ handles are cached
+  // lookups so hot-path updates are single relaxed atomic ops.
+  telemetry::MetricRegistry metrics_;
+  struct {
+    telemetry::Counter* local_checkpoints;
+    telemetry::Counter* bytes_coordinated;
+    telemetry::Counter* bytes_precopied;
+    telemetry::Counter* precopy_passes;
+    telemetry::Counter* committed_from_precopy;
+    telemetry::Counter* recopied_dirty;
+    telemetry::Counter* skipped_unmodified;
+    telemetry::Gauge* blocking_seconds;
+    telemetry::Gauge* precopy_seconds;
+    telemetry::Gauge* protection_faults;
+    telemetry::HistogramMetric* blocking_hist;
+  } m_{};
 };
 
 }  // namespace nvmcp::core

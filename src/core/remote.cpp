@@ -4,6 +4,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nvmcp::core {
 
@@ -12,6 +13,13 @@ RemoteCheckpointer::RemoteCheckpointer(
     RemoteConfig cfg)
     : managers_(std::move(managers)), remote_(remote), cfg_(cfg) {
   round_start_ = now_seconds();
+  m_.coordinations = &metrics_.counter("remote.coordinations");
+  m_.bytes_sent = &metrics_.counter("remote.bytes_sent");
+  m_.precopy_puts = &metrics_.counter("remote.precopy_puts");
+  m_.coordinated_puts = &metrics_.counter("remote.coordinated_puts");
+  m_.busy_seconds = &metrics_.gauge("remote.busy_seconds");
+  m_.wall_seconds = &metrics_.gauge("remote.wall_seconds");
+  m_.last_round_seconds = &metrics_.gauge("remote.last_round_seconds");
 }
 
 RemoteCheckpointer::~RemoteCheckpointer() { stop(); }
@@ -31,8 +39,7 @@ void RemoteCheckpointer::stop() {
   }
   cv_.notify_all();
   if (helper_.joinable()) helper_.join();
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.wall_seconds = wall_.elapsed();
+  m_.wall_seconds->set(wall_.elapsed());
 }
 
 bool RemoteCheckpointer::precopy_gate_open(double round_elapsed) const {
@@ -71,18 +78,20 @@ std::uint64_t RemoteCheckpointer::send_chunk(std::size_t mgr_idx,
     sleep_until(pace_.acquire(c.size()));
   }
   const Stopwatch sw;
-  remote_.put(mgr.config().rank, c.id(), staging_.data(), c.size(), epoch,
-              /*commit=*/false);
-  const double secs = sw.elapsed();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.bytes_sent += c.size();
-    stats_.busy_seconds += secs;
-    if (count_as_precopy) {
-      ++stats_.precopy_puts;
-    } else {
-      ++stats_.coordinated_puts;
-    }
+    telemetry::Span span(count_as_precopy ? "remote_precopy_put"
+                                          : "remote_coordinated_put",
+                         "ckpt.remote");
+    remote_.put(mgr.config().rank, c.id(), staging_.data(), c.size(), epoch,
+                /*commit=*/false);
+  }
+  const double secs = sw.elapsed();
+  m_.bytes_sent->add(c.size());
+  m_.busy_seconds->add(secs);
+  if (count_as_precopy) {
+    m_.precopy_puts->add(1);
+  } else {
+    m_.coordinated_puts->add(1);
   }
   return epoch;
 }
@@ -136,6 +145,7 @@ void RemoteCheckpointer::helper_loop() {
 
 void RemoteCheckpointer::coordinate_now() {
   std::lock_guard<std::mutex> round_lock(round_mu_);
+  telemetry::Span span("remote_coordinate", "ckpt.remote");
   const Stopwatch round_sw;
 
   // Phase 1 (concurrent with the application): top up every chunk whose
@@ -188,27 +198,31 @@ void RemoteCheckpointer::coordinate_now() {
   }
   locks.clear();
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.coordinations;
-    stats_.last_round_seconds = round_sw.elapsed();
-    // Learning: pace the next interval's eager sends so that this round's
-    // data volume spreads over ~80% of the interval instead of bursting.
-    const std::uint64_t round_bytes =
-        stats_.bytes_sent - bytes_at_round_start_;
-    bytes_at_round_start_ = stats_.bytes_sent;
-    if (round_bytes > 0 && cfg_.interval > 0) {
-      pace_.set_rate(static_cast<double>(round_bytes) /
-                     (0.8 * cfg_.interval));
-    }
+  m_.coordinations->add(1);
+  m_.last_round_seconds->set(round_sw.elapsed());
+  // Learning: pace the next interval's eager sends so that this round's
+  // data volume spreads over ~80% of the interval instead of bursting.
+  // (bytes_at_round_start_ is guarded by round_mu_, held here.)
+  const std::uint64_t sent_total = m_.bytes_sent->value();
+  const std::uint64_t round_bytes = sent_total - bytes_at_round_start_;
+  bytes_at_round_start_ = sent_total;
+  if (round_bytes > 0 && cfg_.interval > 0) {
+    pace_.set_rate(static_cast<double>(round_bytes) /
+                   (0.8 * cfg_.interval));
   }
   round_start_ = now_seconds();
 }
 
 RemoteStats RemoteCheckpointer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  RemoteStats s = stats_;
+  RemoteStats s;
+  s.coordinations = m_.coordinations->value();
+  s.bytes_sent = m_.bytes_sent->value();
+  s.precopy_puts = m_.precopy_puts->value();
+  s.coordinated_puts = m_.coordinated_puts->value();
+  s.busy_seconds = m_.busy_seconds->value();
+  s.last_round_seconds = m_.last_round_seconds->value();
   s.wall_seconds = wall_.elapsed();
+  m_.wall_seconds->set(s.wall_seconds);
   return s;
 }
 

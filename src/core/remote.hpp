@@ -45,7 +45,11 @@ class RemoteCheckpointer {
   /// seal the final remote checkpoint).
   void coordinate_now();
 
+  /// Legacy summary view over metrics() (same numbers, struct shape).
   RemoteStats stats() const;
+  /// This helper's metric registry ("remote.*" counters/gauges).
+  telemetry::MetricRegistry& metrics() { return metrics_; }
+  const telemetry::MetricRegistry& metrics() const { return metrics_; }
   net::RemoteMemory& remote() { return remote_; }
   const RemoteConfig& config() const { return cfg_; }
 
@@ -90,8 +94,17 @@ class RemoteCheckpointer {
   std::map<Key, std::uint64_t> remote_epoch_;
   std::vector<std::byte> staging_;
 
-  mutable std::mutex stats_mu_;
-  RemoteStats stats_;
+  // Metrics registry + cached handles (see CheckpointManager::m_).
+  telemetry::MetricRegistry metrics_;
+  struct {
+    telemetry::Counter* coordinations;
+    telemetry::Counter* bytes_sent;
+    telemetry::Counter* precopy_puts;
+    telemetry::Counter* coordinated_puts;
+    telemetry::Gauge* busy_seconds;
+    telemetry::Gauge* wall_seconds;
+    telemetry::Gauge* last_round_seconds;
+  } m_{};
   Stopwatch wall_;
   double round_start_ = 0;
 };

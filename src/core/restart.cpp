@@ -2,6 +2,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nvmcp::core {
 
@@ -75,10 +76,24 @@ RestartReport RestartCoordinator::restart_hard() {
 }
 
 RestartReport RestartCoordinator::restart_after(FailureKind kind) {
+  telemetry::Span span(kind == FailureKind::kSoft ? "restart_soft"
+                                                  : "restart_hard",
+                       "ckpt.restart");
   const Stopwatch sw;
   RestartReport rep =
       kind == FailureKind::kSoft ? restart_soft() : restart_hard();
   rep.seconds = sw.elapsed();
+  // Restart outcomes land in the manager's registry so one snapshot holds
+  // the full story of a rank (checkpoints taken, then how it came back).
+  auto& metrics = mgr_->metrics();
+  metrics.counter("restart.attempts").add(1);
+  metrics.counter("restart.bytes_local").add(rep.bytes_local);
+  metrics.counter("restart.bytes_remote").add(rep.bytes_remote);
+  metrics.counter("restart.chunks_lazy_armed")
+      .add(static_cast<std::uint64_t>(rep.chunks_lazy_armed));
+  metrics.counter("restart.chunks_failed")
+      .add(static_cast<std::uint64_t>(rep.chunks_failed));
+  metrics.gauge("restart.last_seconds").set(rep.seconds);
   log_info("restart(%s): status=%s local=%d remote=%d lazy=%d failed=%d "
            "in %s",
            kind == FailureKind::kSoft ? "soft" : "hard",

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/trace.hpp"
+
 namespace nvmcp::net {
 
 Interconnect::Interconnect(double bandwidth_bytes_per_sec,
@@ -17,6 +19,9 @@ double Interconnect::transfer(std::size_t bytes, TrafficClass cls) {
 
 double Interconnect::transfer_copy(void* dst, const void* src,
                                    std::size_t bytes, TrafficClass cls) {
+  telemetry::Span span(cls == TrafficClass::kApplication ? "link_app_xfer"
+                                                         : "link_ckpt_xfer",
+                       "net");
   const Stopwatch sw;
   auto* d = static_cast<std::byte*>(dst);
   const auto* s = static_cast<const std::byte*>(src);

@@ -10,6 +10,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nvmcp {
 namespace {
@@ -127,6 +128,7 @@ double NvmDevice::write(std::size_t off, const void* src, std::size_t n,
                         BandwidthLimiter* stream) {
   check_range(off, n);
   if (n == 0) return 0.0;
+  telemetry::Span span("nvm_write", "nvm");
   const Stopwatch sw;
   if (cfg_.throttle) precise_sleep(cfg_.spec.page_write_latency);
   ThrottledCopier::copy(data_ + off, src, n,

@@ -20,6 +20,7 @@ bool Engine::step() {
     if (*ev.cancelled) continue;
     now_ = ev.time;
     ev.cb();
+    ++events_fired_;
     return true;
   }
   return false;

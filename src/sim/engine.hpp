@@ -54,6 +54,9 @@ class Engine {
 
   std::size_t pending() const { return queue_.size(); }
 
+  /// Total events executed (cancelled events are skipped, not counted).
+  std::uint64_t events_fired() const { return events_fired_; }
+
  private:
   struct Event {
     double time;
@@ -67,6 +70,7 @@ class Engine {
 
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_fired_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };
 

@@ -1,0 +1,162 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace nvmcp::telemetry {
+namespace {
+
+void check_unique(const char* kind, const std::string& name, bool clash) {
+  if (clash) {
+    throw std::invalid_argument("MetricRegistry: '" + name +
+                                "' already registered as a different kind "
+                                "(wanted " + kind + ")");
+  }
+}
+
+}  // namespace
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_unique("counter", name,
+               gauges_.count(name) || hists_.count(name));
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_unique("gauge", name,
+               counters_.count(name) || hists_.count(name));
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricRegistry::histogram(const std::string& name, double lo,
+                                           double hi, std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_unique("histogram", name,
+               counters_.count(name) || gauges_.count(name));
+  auto& slot = hists_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return *slot;
+}
+
+const Counter* MetricRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const HistogramMetric* MetricRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : it->second.get();
+}
+
+std::vector<MetricSnapshot> MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + hists_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : hists_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    const OnlineStats sum = h->summary();
+    s.count = sum.count();
+    s.value = static_cast<double>(sum.count());
+    s.mean = sum.mean();
+    s.min = sum.min();
+    s.max = sum.max();
+    s.p50 = h->percentile(50);
+    s.p95 = h->percentile(95);
+    s.p99 = h->percentile(99);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  // Copy the other side's maps under its lock, then update self without
+  // holding both locks at once (no lock-order cycle).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, const HistogramMetric*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, c] : other.counters_) {
+      counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauges.emplace_back(name, g->value());
+    }
+    for (const auto& [name, h] : other.hists_) {
+      hists.emplace_back(name, h.get());
+    }
+  }
+  for (const auto& [name, v] : counters) counter(name).add(v);
+  for (const auto& [name, v] : gauges) gauge(name).add(v);
+  for (const auto& [name, h] : hists) {
+    const Histogram shape = h->buckets();
+    histogram(name, shape.lo(), shape.hi(), shape.buckets()).merge_from(*h);
+  }
+}
+
+Json MetricRegistry::to_json() const {
+  Json obj = Json::object();
+  for (const MetricSnapshot& m : snapshot()) {
+    if (m.kind == MetricSnapshot::Kind::kHistogram) {
+      Json h = Json::object();
+      h["count"] = static_cast<double>(m.count);
+      h["mean"] = m.mean;
+      h["min"] = m.min;
+      h["max"] = m.max;
+      h["p50"] = m.p50;
+      h["p95"] = m.p95;
+      h["p99"] = m.p99;
+      obj[m.name] = std::move(h);
+    } else {
+      obj[m.name] = m.value;
+    }
+  }
+  return obj;
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry reg;
+  return reg;
+}
+
+}  // namespace nvmcp::telemetry

@@ -1,0 +1,36 @@
+#include "telemetry/run_report.hpp"
+
+#include <cstdio>
+
+namespace nvmcp::telemetry {
+
+RunReport::RunReport(const std::string& name) {
+  doc_ = Json::object();
+  doc_["report"] = name;
+  doc_["schema"] = 1;
+}
+
+void RunReport::add_metrics(const MetricRegistry& reg,
+                            const std::string& key) {
+  doc_[key] = reg.to_json();
+}
+
+void RunReport::add_timeline(const std::string& name, const TimeSeries& ts) {
+  Json t = Json::object();
+  t["bucket_seconds"] = ts.bucket_width();
+  Json values = Json::array();
+  for (std::size_t i = 0; i < ts.size(); ++i) values.push_back(ts.value(i));
+  t["values"] = std::move(values);
+  doc_["timelines"][name] = std::move(t);
+}
+
+bool RunReport::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool nl = std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok && nl;
+}
+
+}  // namespace nvmcp::telemetry

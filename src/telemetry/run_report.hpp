@@ -1,0 +1,54 @@
+// RunReport: machine-readable summary of one bench/example run.
+//
+// A thin builder over a Json document with a conventional shape:
+//
+//   {
+//     "report": "<name>", "schema": 1,
+//     "config":  { ... knobs the run was launched with ... },
+//     "metrics": { ... MetricRegistry snapshot ... },
+//     "timelines": { "<name>": {"bucket_seconds": w, "values": [...]}, ... },
+//     ... arbitrary extra sections ...
+//   }
+//
+// Benches emit one next to their CSV so result trajectories have a source
+// that scripts can parse without scraping console tables.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "common/stats.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace nvmcp::telemetry {
+
+class RunReport {
+ public:
+  explicit RunReport(const std::string& name);
+
+  /// Whole document, for free-form additions.
+  Json& root() { return doc_; }
+  const Json& root() const { return doc_; }
+
+  /// The "config" object (created on first use).
+  Json& config() { return doc_["config"]; }
+
+  /// Named top-level object section (created on first use).
+  Json& section(const std::string& key) { return doc_[key]; }
+
+  /// Snapshot `reg` into the given section ("metrics" by default).
+  void add_metrics(const MetricRegistry& reg,
+                   const std::string& key = "metrics");
+
+  /// Store a TimeSeries under "timelines"/<name>.
+  void add_timeline(const std::string& name, const TimeSeries& ts);
+
+  std::string to_json(int indent = 2) const { return doc_.dump(indent); }
+  /// Write to_json() to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  Json doc_;
+};
+
+}  // namespace nvmcp::telemetry

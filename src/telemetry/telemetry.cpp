@@ -1,0 +1,51 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace nvmcp::telemetry {
+namespace {
+
+std::string& trace_path_ref() {
+  static std::string path;
+  return path;
+}
+
+}  // namespace
+
+void init_from_env() {
+  init_log_from_env();
+  if (const char* cap = std::getenv("NVMCP_TRACE_CAPACITY")) {
+    const long n = std::strtol(cap, nullptr, 10);
+    if (n > 0) {
+      Tracer::instance().set_capacity(static_cast<std::size_t>(n));
+    }
+  }
+  if (const char* path = std::getenv("NVMCP_TRACE")) {
+    if (*path) set_trace_path(path);
+  }
+}
+
+const std::string& trace_path() { return trace_path_ref(); }
+
+void set_trace_path(const std::string& path) {
+  trace_path_ref() = path;
+  if (!path.empty()) Tracer::instance().set_enabled(true);
+}
+
+bool flush_trace() {
+  const std::string& path = trace_path_ref();
+  if (path.empty()) return false;
+  const bool ok = Tracer::instance().write_chrome_trace(path);
+  if (ok) {
+    log_info("telemetry: wrote trace to %s (%llu events dropped)",
+             path.c_str(),
+             static_cast<unsigned long long>(Tracer::instance().dropped()));
+  } else {
+    log_error("telemetry: failed to write trace to %s", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace nvmcp::telemetry

@@ -1,0 +1,35 @@
+// Umbrella header + environment wiring for the telemetry subsystem.
+//
+//   NVMCP_LOG=debug|info|warn|error|off   log level (see common/log.hpp)
+//   NVMCP_TRACE=<path>                    enable span tracing; flush_trace()
+//                                         writes a Chrome/Perfetto JSON there
+//   NVMCP_TRACE_CAPACITY=<events>         per-thread ring size (default 32768)
+//
+// Benches and examples call init_from_env() at startup and flush_trace()
+// before exiting; library code never touches the environment.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/trace.hpp"
+
+namespace nvmcp::telemetry {
+
+/// Apply NVMCP_TRACE / NVMCP_TRACE_CAPACITY (and NVMCP_LOG, so a single
+/// call wires all observability env vars). Idempotent.
+void init_from_env();
+
+/// Path given via NVMCP_TRACE (empty when tracing was not requested).
+const std::string& trace_path();
+
+/// Override the trace output path programmatically (also enables tracing
+/// when `path` is non-empty).
+void set_trace_path(const std::string& path);
+
+/// Write the buffered trace to trace_path(). Returns true if a file was
+/// written; no-op (false) when tracing was never requested.
+bool flush_trace();
+
+}  // namespace nvmcp::telemetry

@@ -1,0 +1,119 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.hpp"
+
+namespace nvmcp::telemetry {
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_capacity(std::size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  capacity_ = std::max<std::size_t>(16, events_per_thread);
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  // One ring per (thread, process): threads are few (ranks + helpers) and
+  // rings are kept alive after thread exit so their events still export.
+  thread_local std::shared_ptr<Ring> tl_ring;
+  if (!tl_ring) {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    tl_ring = std::make_shared<Ring>(
+        capacity_, static_cast<std::uint32_t>(rings_.size() + 1));
+    rings_.push_back(tl_ring);
+  }
+  return *tl_ring;
+}
+
+void Tracer::record(const char* name, const char* cat, std::uint64_t ts_ns,
+                    std::uint64_t dur_ns) {
+  Ring& r = local_ring();
+  std::lock_guard<std::mutex> lock(r.mu);  // uncontended except vs export
+  r.buf[r.next] = TraceEvent{name, cat, ts_ns, dur_ns, r.tid};
+  r.next = (r.next + 1) % r.buf.size();
+  ++r.total;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& r : rings) {
+    std::lock_guard<std::mutex> lock(r->mu);
+    const std::size_t stored = std::min<std::uint64_t>(r->total,
+                                                       r->buf.size());
+    // Oldest-first: when wrapped, the oldest event sits at `next`.
+    const std::size_t start = r->total > r->buf.size() ? r->next : 0;
+    for (std::size_t i = 0; i < stored; ++i) {
+      out.push_back(r->buf[(start + i) % r->buf.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns
+                                        : a.dur_ns > b.dur_ns;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rl(r->mu);
+    if (r->total > r->buf.size()) dropped += r->total - r->buf.size();
+  }
+  return dropped;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rl(r->mu);
+    r->next = 0;
+    r->total = 0;
+  }
+}
+
+std::string Tracer::chrome_json() const {
+  // Build the string directly (a run can hold ~1e5 events; going through
+  // Json values would triple the allocations for no benefit).
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const TraceEvent& e : snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    Json::escape_to(out, e.name ? e.name : "?");
+    out += ",\"cat\":";
+    Json::escape_to(out, e.cat && *e.cat ? e.cat : "nvmcp");
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"pid\":1,\"tid\":%u}",
+                  e.dur_ns ? "X" : "i",
+                  static_cast<double>(e.ts_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, e.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace nvmcp::telemetry

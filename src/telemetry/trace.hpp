@@ -1,0 +1,132 @@
+// Low-overhead trace-span recording with Chrome-trace export.
+//
+// RAII Span scopes record (name, category, start, duration) into per-thread
+// ring buffers owned by the process-wide Tracer. Tracing is off by default:
+// a Span on a disabled tracer costs one relaxed load and a branch, so hot
+// paths (pre-copy copies, coordinated steps, remote puts, NVM writes) can
+// stay instrumented unconditionally. When the ring wraps, the oldest events
+// are overwritten and counted as dropped — tracing never blocks or grows
+// unboundedly.
+//
+// The export format is the Chrome trace-event JSON ("ph":"X" complete
+// events, microsecond timestamps); open it at chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Building with -DNVMCP_TELEMETRY_DISABLED (CMake -DNVMCP_TELEMETRY=OFF)
+// compiles Span bodies out entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace nvmcp::telemetry {
+
+struct TraceEvent {
+  const char* name = nullptr;  // must be a string literal (never freed)
+  const char* cat = nullptr;   // likewise
+  std::uint64_t ts_ns = 0;     // start, now_ns() clock
+  std::uint64_t dur_ns = 0;    // 0 => instant event
+  std::uint32_t tid = 0;       // tracer-assigned thread id (1-based)
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Events kept per thread before the ring wraps. Applies to rings
+  /// created after the call; call before enabling.
+  void set_capacity(std::size_t events_per_thread);
+
+  /// Record one complete span. Called by Span; safe from any thread (not
+  /// from signal handlers — use a telemetry::Counter there instead).
+  void record(const char* name, const char* cat, std::uint64_t ts_ns,
+              std::uint64_t dur_ns);
+
+  /// Record a zero-duration marker.
+  void instant(const char* name, const char* cat) {
+    record(name, cat, now_ns(), 0);
+  }
+
+  /// All buffered events from every thread, sorted by start time.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Events lost to ring wrap-around since the last clear().
+  std::uint64_t dropped() const;
+
+  /// Drop all buffered events (rings stay registered).
+  void clear();
+
+  /// Serialize buffered events as Chrome trace-event JSON.
+  std::string chrome_json() const;
+
+  /// Write chrome_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap, std::uint32_t id)
+        : buf(cap), tid(id) {}
+    mutable std::mutex mu;  // owner thread writes; snapshot readers lock
+    std::vector<TraceEvent> buf;
+    std::size_t next = 0;
+    std::uint64_t total = 0;  // events ever recorded into this ring
+    std::uint32_t tid;
+  };
+
+  Tracer() = default;
+  Ring& local_ring();
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_ = 1 << 15;
+};
+
+/// RAII trace scope. Does nothing unless the tracer is enabled at
+/// construction. `name` and `cat` must be string literals.
+class Span {
+ public:
+#if defined(NVMCP_TELEMETRY_DISABLED)
+  explicit Span(const char*, const char* = "nvmcp") {}
+  void end() {}
+#else
+  explicit Span(const char* name, const char* cat = "nvmcp") {
+    if (Tracer::instance().enabled()) {
+      name_ = name;
+      cat_ = cat;
+      start_ = now_ns();
+    }
+  }
+  ~Span() { end(); }
+
+  /// Close the span early (idempotent).
+  void end() {
+    if (!name_) return;
+    Tracer::instance().record(name_, cat_, start_, now_ns() - start_);
+    name_ = nullptr;
+  }
+#endif
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#if !defined(NVMCP_TELEMETRY_DISABLED)
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t start_ = 0;
+#endif
+};
+
+}  // namespace nvmcp::telemetry

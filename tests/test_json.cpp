@@ -1,0 +1,121 @@
+// common/json: build, serialize, parse, round-trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hpp"
+
+namespace nvmcp {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegralDoublesPrintWithoutFraction) {
+  EXPECT_EQ(Json(1e6).dump(), "1000000");
+  EXPECT_EQ(Json(static_cast<std::uint64_t>(1) << 40).dump(),
+            "1099511627776");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(Json("a\"b\\c\n\t").dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  Json parsed;
+  ASSERT_TRUE(Json::parse("\"a\\\"b\\\\c\\n\\t\"", &parsed));
+  EXPECT_EQ(parsed.str(), "a\"b\\c\n\t");
+}
+
+TEST(Json, UnicodeEscapeParsesToUtf8) {
+  Json parsed;
+  ASSERT_TRUE(Json::parse("\"\\u00e9\\u20ac\"", &parsed));
+  EXPECT_EQ(parsed.str(), "é€");
+}
+
+TEST(Json, ObjectKeysSortedDeterministically) {
+  Json j;
+  j["zebra"] = 1;
+  j["apple"] = 2;
+  EXPECT_EQ(j.dump(), "{\"apple\":2,\"zebra\":1}");
+}
+
+TEST(Json, SubscriptAutoBuildsNestedObjects) {
+  Json j;
+  j["a"]["b"]["c"] = 3;
+  EXPECT_EQ(j.dump(), "{\"a\":{\"b\":{\"c\":3}}}");
+  ASSERT_NE(j.find("a"), nullptr);
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, PushBackConvertsNullToArray) {
+  Json j;
+  j.push_back(1);
+  j.push_back("two");
+  EXPECT_TRUE(j.is_array());
+  EXPECT_EQ(j.dump(), "[1,\"two\"]");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, ParseRejectsMalformedAndTrailingGarbage) {
+  Json out;
+  std::string err;
+  EXPECT_FALSE(Json::parse("{", &out, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(Json::parse("[1,]", &out));
+  EXPECT_FALSE(Json::parse("1 2", &out));
+  EXPECT_FALSE(Json::parse("", &out));
+  EXPECT_FALSE(Json::parse("nul", &out));
+}
+
+TEST(Json, ParseHandlesWhitespaceAndNesting) {
+  Json out;
+  ASSERT_TRUE(Json::parse(" { \"a\" : [ 1 , { \"b\" : null } ] } ", &out));
+  ASSERT_TRUE(out.is_object());
+  const Json* a = out.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_TRUE(a->items()[1].find("b")->is_null());
+}
+
+TEST(Json, RoundTripCompactAndPretty) {
+  Json j;
+  j["name"] = "run";
+  j["count"] = 17;
+  j["ratio"] = 0.3125;
+  j["flags"] = Json::array();
+  j["flags"].push_back(true);
+  j["flags"].push_back(nullptr);
+  j["nested"]["x"] = -1.5;
+
+  for (int indent : {-1, 2}) {
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(j.dump(indent), &back, &err)) << err;
+    EXPECT_EQ(back, j);
+  }
+}
+
+TEST(Json, EqualityDistinguishesKindAndValue) {
+  EXPECT_EQ(Json(1), Json(1.0));
+  EXPECT_NE(Json(1), Json("1"));
+  EXPECT_NE(Json(), Json(false));
+}
+
+}  // namespace
+}  // namespace nvmcp

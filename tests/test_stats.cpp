@@ -12,6 +12,9 @@ TEST(OnlineStats, Empty) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.stddev(), 0.0);
+  // No samples -> no extrema: NaN, not a fake 0.0 that looks like data.
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
 }
 
 TEST(OnlineStats, BasicMoments) {

@@ -1,0 +1,235 @@
+// Telemetry subsystem: registry thread-safety, trace spans + Chrome-trace
+// export, RunReport round-trip, and agreement between the registry and the
+// legacy stats views after a real driver run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/driver.hpp"
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace nvmcp::telemetry {
+namespace {
+
+TEST(MetricRegistry, FindOrCreateReturnsSameHandle) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.find_counter("x"), &a);
+  EXPECT_EQ(reg.find_counter("y"), nullptr);
+}
+
+TEST(MetricRegistry, KindClashThrows) {
+  MetricRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::exception);
+  EXPECT_THROW(reg.histogram("x", 0, 1, 10), std::exception);
+}
+
+TEST(MetricRegistry, ConcurrentUpdatesFromManyThreads) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("events");
+  Gauge& g = reg.gauge("load");
+  HistogramMetric& h = reg.histogram("lat", 0.0, 1.0, 100);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        g.add(0.5);
+        h.observe(static_cast<double>((i + t) % 100) / 100.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(g.value(), 0.5 * kThreads * kPerThread, 1e-6);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(h.summary().min(), 0.0);
+  EXPECT_LE(h.summary().max(), 1.0);
+}
+
+TEST(MetricRegistry, MergeAddsCountersAndGaugesAndHistograms) {
+  MetricRegistry a, b;
+  a.counter("n").add(3);
+  b.counter("n").add(4);
+  b.counter("only_b").add(7);
+  a.gauge("t").set(1.5);
+  b.gauge("t").set(2.0);
+  a.histogram("h", 0, 10, 10).observe(1.0);
+  b.histogram("h", 0, 10, 10).observe(9.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("n").value(), 7u);
+  EXPECT_EQ(a.counter("only_b").value(), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("t").value(), 3.5);
+  EXPECT_EQ(a.find_histogram("h")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.find_histogram("h")->summary().max(), 9.0);
+}
+
+TEST(MetricRegistry, SnapshotSortedAndToJson) {
+  MetricRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.gauge("a.value").set(1.25);
+  reg.histogram("c.hist", 0, 1, 10).observe(0.5);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.value");
+  EXPECT_EQ(snap[1].name, "b.count");
+  EXPECT_EQ(snap[2].name, "c.hist");
+  EXPECT_EQ(snap[2].count, 1u);
+
+  const Json j = reg.to_json();
+  ASSERT_NE(j.find("b.count"), nullptr);
+  EXPECT_DOUBLE_EQ(j.find("b.count")->number(), 2.0);
+  ASSERT_NE(j.find("c.hist"), nullptr);
+  EXPECT_TRUE(j.find("c.hist")->is_object());
+}
+
+TEST(Tracer, SpanNestingOrderInSnapshotAndChromeJson) {
+  Tracer& tr = Tracer::instance();
+  tr.clear();
+  tr.set_enabled(true);
+  {
+    Span outer("outer_span", "test");
+    precise_sleep(2e-4);
+    {
+      Span inner("inner_span", "test");
+      precise_sleep(2e-4);
+    }
+    precise_sleep(2e-4);
+  }
+  tr.set_enabled(false);
+
+  const auto evs = tr.snapshot();
+  ASSERT_EQ(evs.size(), 2u);
+  // Sorted by start time: the outer span opens first even though it is
+  // recorded (on destruction) after the inner one.
+  EXPECT_STREQ(evs[0].name, "outer_span");
+  EXPECT_STREQ(evs[1].name, "inner_span");
+  EXPECT_LE(evs[0].ts_ns, evs[1].ts_ns);
+  EXPECT_GE(evs[0].ts_ns + evs[0].dur_ns, evs[1].ts_ns + evs[1].dur_ns);
+
+  Json doc;
+  std::string err;
+  ASSERT_TRUE(Json::parse(tr.chrome_json(), &doc, &err)) << err;
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ(events->items()[0].find("name")->str(), "outer_span");
+  EXPECT_EQ(events->items()[0].find("ph")->str(), "X");
+  EXPECT_GT(events->items()[0].find("dur")->number(), 0.0);
+  tr.clear();
+}
+
+TEST(Tracer, RingWrapAroundDropsOldestAndCounts) {
+  Tracer& tr = Tracer::instance();
+  tr.clear();
+  tr.set_capacity(16);
+  tr.set_enabled(true);
+  // A fresh thread gets a fresh ring at the new (small) capacity.
+  std::thread([&] {
+    for (int i = 0; i < 100; ++i) {
+      Span s("wrap_span", "test");
+    }
+  }).join();
+  tr.set_enabled(false);
+  tr.set_capacity(1 << 15);  // restore for other tests
+
+  EXPECT_GE(tr.dropped(), 84u);
+  const auto evs = tr.snapshot();
+  std::size_t wraps = 0;
+  for (const auto& e : evs) {
+    if (std::string(e.name) == "wrap_span") ++wraps;
+  }
+  EXPECT_EQ(wraps, 16u);
+  tr.clear();
+}
+
+TEST(Span, DisabledTracerRecordsNothing) {
+  Tracer& tr = Tracer::instance();
+  tr.clear();
+  ASSERT_FALSE(tr.enabled());
+  {
+    Span s("never_seen", "test");
+  }
+  EXPECT_TRUE(tr.snapshot().empty());
+}
+
+TEST(RunReport, JsonRoundTrip) {
+  MetricRegistry reg;
+  reg.counter("ckpt.count").add(5);
+  reg.gauge("ckpt.seconds").set(0.75);
+  reg.histogram("ckpt.blocking", 0, 2, 50).observe(0.1);
+
+  RunReport report("unit_test");
+  report.config()["ranks"] = 4;
+  report.config()["workload"] = "gtc";
+  report.add_metrics(reg);
+  TimeSeries ts(0.5);
+  ts.add(0.1, 10.0);
+  ts.add(0.7, 20.0);
+  report.add_timeline("link", ts);
+  report.section("extra")["note"] = "hello";
+
+  Json back;
+  std::string err;
+  ASSERT_TRUE(Json::parse(report.to_json(), &back, &err)) << err;
+  EXPECT_EQ(back, report.root());
+  EXPECT_EQ(back.find("report")->str(), "unit_test");
+  EXPECT_DOUBLE_EQ(back.find("config")->find("ranks")->number(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      back.find("metrics")->find("ckpt.count")->number(), 5.0);
+  const Json* tl = back.find("timelines")->find("link");
+  ASSERT_NE(tl, nullptr);
+  EXPECT_DOUBLE_EQ(tl->find("bucket_seconds")->number(), 0.5);
+  EXPECT_EQ(tl->find("values")->size(), 2u);
+}
+
+TEST(DriverIntegration, RegistryAgreesWithLegacyStats) {
+  apps::DriverConfig cfg;
+  cfg.spec = apps::WorkloadSpec::gtc();
+  cfg.spec.iters_per_checkpoint = 2;
+  cfg.ranks = 2;
+  cfg.iterations = 4;
+  cfg.size_scale = 1.0 / 512;
+  cfg.time_scale = 1.0 / 256;
+  cfg.ckpt.nvm_bw_per_core = 400.0 * MiB;
+  cfg.ckpt.precopy_scan_period = 1e-3;
+  cfg.ckpt.local_policy = core::PrecopyPolicy::kCpc;
+  const apps::DriverResult r = apps::run_workload(cfg);
+
+  ASSERT_NE(r.metrics, nullptr);
+  const Counter* locals = r.metrics->find_counter("ckpt.local_checkpoints");
+  ASSERT_NE(locals, nullptr);
+  EXPECT_EQ(locals->value(), r.ckpt.local_checkpoints);
+  EXPECT_EQ(r.metrics->find_counter("ckpt.bytes_coordinated")->value(),
+            r.ckpt.bytes_coordinated);
+  EXPECT_EQ(r.metrics->find_counter("ckpt.bytes_precopied")->value(),
+            r.ckpt.bytes_precopied);
+  EXPECT_EQ(r.metrics->find_counter("ckpt.chunks_skipped_unmodified")
+                ->value(),
+            r.ckpt.chunks_skipped_unmodified);
+  // Blocking-time histogram: one observation per nvchkptall.
+  const HistogramMetric* hist =
+      r.metrics->find_histogram("ckpt.blocking_seconds_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), r.ckpt.local_checkpoints);
+  // Device roll-up gauges.
+  EXPECT_DOUBLE_EQ(r.metrics->find_gauge("nvm.bytes_written")->value(),
+                   static_cast<double>(r.nvm.bytes_written));
+}
+
+}  // namespace
+}  // namespace nvmcp::telemetry

@@ -4,6 +4,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "fault/injector.hpp"
 #include "telemetry/trace.hpp"
 
 namespace nvmcp::core {
@@ -63,6 +64,9 @@ std::uint64_t RemoteCheckpointer::send_chunk(std::size_t mgr_idx,
                                              bool count_as_precopy,
                                              bool paced) {
   CheckpointManager& mgr = *managers_[mgr_idx];
+  if (injector_ && injector_->armed() && injector_->helper_send_blocked()) {
+    return 0;  // stalled or dead helper moves nothing
+  }
   const vmem::ChunkRecord& rec = c.record();
   if (!rec.has_committed()) return 0;
   const std::uint64_t epoch = rec.epoch[rec.committed];
@@ -105,6 +109,10 @@ void RemoteCheckpointer::helper_loop() {
                    [this] { return !running_.load(std::memory_order_acquire); });
     }
     if (!running_.load(std::memory_order_acquire)) return;
+    if (injector_ && injector_->armed() && injector_->helper_killed()) {
+      log_warn("remote helper killed by fault injection");
+      return;
+    }
 
     const double now = now_seconds();
     if (now >= deadline) {
@@ -144,6 +152,7 @@ void RemoteCheckpointer::helper_loop() {
 }
 
 void RemoteCheckpointer::coordinate_now() {
+  if (injector_ && injector_->armed() && injector_->helper_killed()) return;
   std::lock_guard<std::mutex> round_lock(round_mu_);
   telemetry::Span span("remote_coordinate", "ckpt.remote");
   const Stopwatch round_sw;

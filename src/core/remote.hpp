@@ -27,6 +27,10 @@
 #include "core/manager.hpp"
 #include "net/remote_memory.hpp"
 
+namespace nvmcp::fault {
+class FaultInjector;
+}
+
 namespace nvmcp::core {
 
 class RemoteCheckpointer {
@@ -53,6 +57,12 @@ class RemoteCheckpointer {
   net::RemoteMemory& remote() { return remote_; }
   const RemoteConfig& config() const { return cfg_; }
 
+  /// Attach a fault injector (chaos campaigns): sends are skipped while a
+  /// helper-stall window is open, and a helper-kill fault makes the
+  /// background loop exit for good (coordinate_now also becomes a no-op,
+  /// as a dead helper coordinates nothing). nullptr detaches.
+  void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
+
  private:
   struct Key {
     std::size_t mgr;
@@ -74,6 +84,7 @@ class RemoteCheckpointer {
   std::vector<CheckpointManager*> managers_;
   net::RemoteMemory remote_;
   RemoteConfig cfg_;
+  fault::FaultInjector* injector_ = nullptr;
 
   std::thread helper_;
   std::atomic<bool> running_{false};

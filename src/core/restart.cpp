@@ -24,10 +24,33 @@ bool RestartCoordinator::fetch_remote(alloc::Chunk& c) {
   return true;
 }
 
+bool RestartCoordinator::try_parity_rebuild(
+    RestartReport& rep, std::vector<alloc::Chunk*>& failed,
+    RestoreStatus& worst) {
+  if (failed.empty() || !opts_.parity_rebuild) return false;
+  // The rebuild reconstructs the whole rank from survivors + remote
+  // parity in one pass (a parity group cannot rebuild a single chunk).
+  // Every previously-failed chunk now holds the parity epoch's payload;
+  // chunks that restored fine are overwritten with the same consistent
+  // cut, which is the correct multilevel-restart semantics anyway.
+  if (!opts_.parity_rebuild()) return false;
+  for (alloc::Chunk* c : failed) {
+    ++rep.chunks_parity;
+    rep.bytes_parity += c->size();
+  }
+  failed.clear();
+  if (static_cast<int>(RestoreStatus::kOkFromRemote) >
+      static_cast<int>(worst)) {
+    worst = RestoreStatus::kOkFromRemote;
+  }
+  return true;
+}
+
 RestartReport RestartCoordinator::restart_soft() {
   RestartReport rep;
   auto& allocator = mgr_->allocator();
   RestoreStatus worst = RestoreStatus::kOk;
+  std::vector<alloc::Chunk*> failed;
   for (alloc::Chunk* c : allocator.chunks()) {
     if (!c->persistent()) continue;
     if (opts_.lazy_local && allocator.restore_chunk_lazy(*c)) {
@@ -43,10 +66,14 @@ RestartReport RestartCoordinator::restart_soft() {
       ++rep.chunks_remote;
       rep.bytes_remote += c->size();
     } else {
-      ++rep.chunks_failed;
+      failed.push_back(c);
+      continue;  // folded into worst only if the parity rebuild also fails
     }
     if (static_cast<int>(st) > static_cast<int>(worst)) worst = st;
   }
+  try_parity_rebuild(rep, failed, worst);
+  rep.chunks_failed = static_cast<int>(failed.size());
+  if (!failed.empty()) worst = RestoreStatus::kNoData;
   rep.status = worst;
   return rep;
 }
@@ -55,6 +82,7 @@ RestartReport RestartCoordinator::restart_hard() {
   RestartReport rep;
   auto& allocator = mgr_->allocator();
   RestoreStatus worst = RestoreStatus::kOk;
+  std::vector<alloc::Chunk*> failed;
   for (alloc::Chunk* c : allocator.chunks()) {
     if (!c->persistent()) continue;
     if (fetch_remote(*c)) {
@@ -65,11 +93,14 @@ RestartReport RestartCoordinator::restart_hard() {
         worst = RestoreStatus::kOkFromRemote;
       }
     } else {
-      ++rep.chunks_failed;
-      worst = RestoreStatus::kNoData;
+      failed.push_back(c);
     }
   }
-  rep.status = rep.chunks_remote == 0 && rep.chunks_failed == 0
+  try_parity_rebuild(rep, failed, worst);
+  rep.chunks_failed = static_cast<int>(failed.size());
+  if (!failed.empty()) worst = RestoreStatus::kNoData;
+  rep.status = rep.chunks_remote == 0 && rep.chunks_parity == 0 &&
+                       rep.chunks_failed == 0
                    ? RestoreStatus::kNoData
                    : worst;
   return rep;
@@ -89,16 +120,19 @@ RestartReport RestartCoordinator::restart_after(FailureKind kind) {
   metrics.counter("restart.attempts").add(1);
   metrics.counter("restart.bytes_local").add(rep.bytes_local);
   metrics.counter("restart.bytes_remote").add(rep.bytes_remote);
+  metrics.counter("restart.bytes_parity").add(rep.bytes_parity);
+  metrics.counter("restart.chunks_parity")
+      .add(static_cast<std::uint64_t>(rep.chunks_parity));
   metrics.counter("restart.chunks_lazy_armed")
       .add(static_cast<std::uint64_t>(rep.chunks_lazy_armed));
   metrics.counter("restart.chunks_failed")
       .add(static_cast<std::uint64_t>(rep.chunks_failed));
   metrics.gauge("restart.last_seconds").set(rep.seconds);
-  log_info("restart(%s): status=%s local=%d remote=%d lazy=%d failed=%d "
-           "in %s",
+  log_info("restart(%s): status=%s local=%d remote=%d parity=%d lazy=%d "
+           "failed=%d in %s",
            kind == FailureKind::kSoft ? "soft" : "hard",
            to_string(rep.status), rep.chunks_local, rep.chunks_remote,
-           rep.chunks_lazy_armed, rep.chunks_failed,
+           rep.chunks_parity, rep.chunks_lazy_armed, rep.chunks_failed,
            format_seconds(rep.seconds).c_str());
   return rep;
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "core/manager.hpp"
@@ -36,8 +37,10 @@ struct RestartReport {
   double seconds = 0;            // measured restart (fetch) time
   std::uint64_t bytes_local = 0;   // restored from local NVM
   std::uint64_t bytes_remote = 0;  // fetched from the buddy store
+  std::uint64_t bytes_parity = 0;  // reconstructed via a parity rebuild
   int chunks_local = 0;
   int chunks_remote = 0;
+  int chunks_parity = 0;
   int chunks_lazy_armed = 0;
   int chunks_failed = 0;
 };
@@ -48,6 +51,12 @@ class RestartCoordinator {
     /// Soft restarts arm lazy restore-on-first-access instead of copying
     /// eagerly (restart latency becomes O(touched data)).
     bool lazy_local = false;
+    /// Last-resort rebuild hook, fired once when chunks fail both the
+    /// local and buddy paths. Typically bound to
+    /// ecc::ParityCheckpointGroup::recover_ranks for this rank (a
+    /// callback, so core/ need not depend on ecc/). It must return true
+    /// only after reconstructing every persistent chunk's DRAM payload.
+    std::function<bool()> parity_rebuild;
   };
 
   /// `remote` may be null when no buddy store exists (local-only jobs);
@@ -64,6 +73,11 @@ class RestartCoordinator {
   RestartReport restart_soft();
   RestartReport restart_hard();
   bool fetch_remote(alloc::Chunk& c);
+  /// Fire the parity_rebuild hook for `failed` chunks; on success they
+  /// are re-counted as parity-recovered and the list is cleared.
+  bool try_parity_rebuild(RestartReport& rep,
+                          std::vector<alloc::Chunk*>& failed,
+                          RestoreStatus& worst);
 
   CheckpointManager* mgr_;
   net::RemoteMemory* remote_;

@@ -1,0 +1,597 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "alloc/nvmalloc.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/manager.hpp"
+#include "core/remote.hpp"
+#include "core/restart.hpp"
+#include "ecc/parity_group.hpp"
+#include "model/model.hpp"
+#include "net/interconnect.hpp"
+#include "net/remote_memory.hpp"
+#include "nvm/device.hpp"
+#include "vmem/container.hpp"
+
+namespace nvmcp::fault {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t st = a ^ (b * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(st);
+}
+
+/// Deterministic content for one (iteration, rank, chunk) triple. The
+/// workload's entire memory state is a pure function of the trial seed, so
+/// golden snapshots and replays agree bit-for-bit.
+void fill_pattern(std::byte* p, std::size_t n, std::uint64_t seed) {
+  std::uint64_t st = seed;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t w = splitmix64(st);
+    std::memcpy(p + i, &w, 8);
+  }
+  if (i < n) {
+    const std::uint64_t w = splitmix64(st);
+    std::memcpy(p + i, &w, n - i);
+  }
+}
+
+std::size_t device_capacity_for(std::size_t payload_bytes) {
+  // Two version slots per chunk plus metadata region; round to MiB so the
+  // arena is page-aligned whatever the chunk geometry.
+  const std::size_t raw = payload_bytes * 2 + 8 * MiB;
+  return (raw + MiB - 1) / MiB * MiB;
+}
+
+struct GoldenEpoch {
+  std::uint64_t epoch = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// One emulated rank: device + container + allocator + manager + chunks.
+struct RankNode {
+  std::unique_ptr<NvmDevice> dev;
+  std::unique_ptr<vmem::Container> cont;
+  std::unique_ptr<alloc::ChunkAllocator> alloc;
+  std::unique_ptr<core::CheckpointManager> mgr;
+  std::vector<alloc::Chunk*> chunks;
+};
+
+}  // namespace
+
+const char* to_string(TrialOutcome o) {
+  switch (o) {
+    case TrialOutcome::kNoFault: return "no-fault";
+    case TrialOutcome::kRecoveredLocal: return "recovered-local";
+    case TrialOutcome::kRecoveredRemote: return "recovered-remote";
+    case TrialOutcome::kParityRebuild: return "parity-rebuild";
+    case TrialOutcome::kStaleEpoch: return "stale-epoch";
+    case TrialOutcome::kDetectedCorruption: return "detected-corruption";
+    case TrialOutcome::kUndetectedLoss: return "undetected-loss";
+  }
+  return "?";
+}
+
+Json CampaignSpec::to_json() const {
+  Json j = Json::object();
+  j["trials"] = trials;
+  j["seed"] = seed;
+  j["threads"] = threads;
+  j["ranks"] = ranks;
+  j["chunks_per_rank"] = chunks_per_rank;
+  j["chunk_bytes"] = static_cast<std::uint64_t>(chunk_bytes);
+  j["iterations"] = iterations;
+  j["iters_per_checkpoint"] = iters_per_checkpoint;
+  j["iteration_seconds"] = iteration_seconds;
+  j["use_parity"] = use_parity;
+  j["parity_shards"] = parity_shards;
+  j["nvm_bw_core"] = nvm_bw_core;
+  j["link_bw"] = link_bw;
+  Json f = Json::object();
+  f["mtbf_soft"] = faults.mtbf_soft;
+  f["mtbf_hard"] = faults.mtbf_hard;
+  f["torn_write_rate"] = faults.torn_write_rate;
+  f["bit_flip_rate"] = faults.bit_flip_rate;
+  f["outage_rate"] = faults.outage_rate;
+  f["outage_duration"] = faults.outage_duration;
+  f["degrade_rate"] = faults.degrade_rate;
+  f["degrade_duration"] = faults.degrade_duration;
+  f["degrade_factor"] = faults.degrade_factor;
+  f["helper_stall_rate"] = faults.helper_stall_rate;
+  f["helper_stall_duration"] = faults.helper_stall_duration;
+  f["helper_kill_rate"] = faults.helper_kill_rate;
+  j["faults"] = std::move(f);
+  return j;
+}
+
+Json TrialResult::to_json() const {
+  Json j = Json::object();
+  j["index"] = index;
+  j["seed"] = seed;
+  j["outcome"] = to_string(outcome);
+  j["detail"] = detail;
+  j["faults_fired"] = faults_fired;
+  j["crash_seconds"] = crash_seconds;
+  j["victim_rank"] = victim_rank;
+  j["committed_epoch"] = committed_epoch;
+  j["restored_epoch"] = static_cast<double>(restored_epoch);
+  j["recovery_wall_seconds"] = recovery_wall_seconds;
+  j["bytes_local"] = bytes_local;
+  j["bytes_remote"] = bytes_remote;
+  j["bytes_parity"] = bytes_parity;
+  j["pages_scrambled"] = static_cast<std::uint64_t>(pages_scrambled);
+  j["logical_total_seconds"] = logical_total_seconds;
+  j["logical_efficiency"] = logical_efficiency;
+  j["plan"] = plan.to_json();
+  return j;
+}
+
+void CampaignResult::fill_report(const CampaignSpec& spec,
+                                 telemetry::RunReport& rep) const {
+  rep.config() = spec.to_json();
+  Json& out = rep.section("outcomes");
+  for (int i = 0; i < kTrialOutcomeCount; ++i) {
+    out[to_string(static_cast<TrialOutcome>(i))] = outcome_counts[i];
+  }
+  Json& mc = rep.section("model_cross_check");
+  mc["measured_efficiency"] = measured_efficiency;
+  mc["model_efficiency"] = model_efficiency;
+  mc["efficiency_ratio"] = efficiency_ratio;
+  mc["undetected_losses"] = undetected_losses;
+  if (metrics) rep.add_metrics(*metrics);
+  Json arr = Json::array();
+  for (const TrialResult& t : trials) arr.push_back(t.to_json());
+  rep.root()["trials"] = std::move(arr);
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(spec) {}
+
+std::uint64_t CampaignRunner::trial_seed(std::uint64_t root, int index) {
+  std::uint64_t state =
+      root + static_cast<std::uint64_t>(index) * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
+TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
+  const CampaignSpec& s = spec_;
+  TrialResult tr;
+  tr.seed = seed;
+  const double horizon = s.iterations * s.iteration_seconds;
+
+  // Independent sub-seeds (fixed derivation order = part of the contract).
+  std::uint64_t st = seed;
+  const std::uint64_t plan_seed = splitmix64(st);
+  const std::uint64_t inj_seed = splitmix64(st);
+  const std::uint64_t data_seed = splitmix64(st);
+  const std::uint64_t crash_seed = splitmix64(st);
+
+  FaultPlan::GenSpec gs = s.faults;
+  gs.horizon = horizon;
+  gs.ranks = s.ranks;
+  tr.plan = FaultPlan::generate(gs, plan_seed);
+
+  FaultInjector inj;
+  inj.arm(inj_seed);
+
+  // --- build the emulated node ----------------------------------------
+  const std::size_t per_rank_payload = s.chunks_per_rank * s.chunk_bytes;
+  NvmConfig dcfg;
+  dcfg.capacity = device_capacity_for(per_rank_payload);
+  dcfg.throttle = false;   // trials run on the logical clock, not wall time
+  dcfg.track_wear = false;
+
+  std::vector<RankNode> node(s.ranks);
+  std::vector<core::CheckpointManager*> mgrs;
+  for (int r = 0; r < s.ranks; ++r) {
+    RankNode& rn = node[r];
+    rn.dev = std::make_unique<NvmDevice>(dcfg);
+    rn.dev->set_fault_injector(&inj);
+    rn.cont = std::make_unique<vmem::Container>(*rn.dev);
+    alloc::ChunkAllocator::Options aopts;
+    aopts.track_mode = vmem::TrackMode::kSoftware;
+    rn.alloc = std::make_unique<alloc::ChunkAllocator>(*rn.cont, aopts);
+    core::CheckpointConfig ccfg;
+    ccfg.local_policy = core::PrecopyPolicy::kNone;
+    ccfg.nvm_bw_per_core = 0;  // unthrottled (logical costs are modeled)
+    ccfg.rank = static_cast<std::uint32_t>(r);
+    rn.mgr = std::make_unique<core::CheckpointManager>(*rn.alloc, ccfg);
+    for (int j = 0; j < s.chunks_per_rank; ++j) {
+      rn.chunks.push_back(rn.alloc->nvalloc("campaign_chunk" + std::to_string(j),
+                                            s.chunk_bytes, true));
+    }
+    mgrs.push_back(rn.mgr.get());
+  }
+
+  const int pseudo_ranks = s.use_parity ? s.parity_shards : 0;
+  NvmConfig scfg;
+  scfg.capacity =
+      device_capacity_for(per_rank_payload * (s.ranks + pseudo_ranks));
+  scfg.throttle = false;
+  scfg.track_wear = false;
+  net::RemoteStore store(scfg);
+  store.set_fault_injector(&inj);
+  net::Interconnect link(s.link_bw, /*timeline_bucket_sec=*/0.25);
+  link.set_fault_injector(&inj);
+  net::RemoteMemory rmem(link, store);
+
+  std::unique_ptr<core::RemoteCheckpointer> repl;
+  std::unique_ptr<ecc::ParityCheckpointGroup> parity;
+  if (s.use_parity) {
+    parity = std::make_unique<ecc::ParityCheckpointGroup>(mgrs, rmem,
+                                                          s.parity_shards);
+  } else {
+    core::RemoteConfig rcfg;
+    rcfg.policy = core::PrecopyPolicy::kNone;
+    rcfg.interval = 1e9;  // rounds are driven synchronously, never by time
+    repl = std::make_unique<core::RemoteCheckpointer>(mgrs, rmem, rcfg);
+    repl->set_fault_injector(&inj);
+  }
+
+  // The victim is fixed by the plan, so golden snapshots are only kept for
+  // its rank (one byte-copy per chunk per committed epoch).
+  const FaultEvent* crash = tr.plan.crash();
+  int victim = -1;
+  if (crash) {
+    victim = crash->rank;
+    if (victim < 0 || victim >= s.ranks) {
+      victim = static_cast<int>(inj.pick(s.ranks));
+    }
+  }
+  std::vector<std::vector<GoldenEpoch>> golden(s.chunks_per_rank);
+
+  // --- workload loop on the logical clock ------------------------------
+  struct Window {
+    double end;
+    FaultType type;
+    double factor;
+  };
+  std::vector<Window> windows;
+  auto refresh_knobs = [&](double now) {
+    windows.erase(std::remove_if(windows.begin(), windows.end(),
+                                 [&](const Window& w) { return w.end <= now; }),
+                  windows.end());
+    bool outage = false, stall = false;
+    double degrade = 1.0;
+    for (const Window& w : windows) {
+      if (w.type == FaultType::kLinkOutage) outage = true;
+      if (w.type == FaultType::kHelperStall) stall = true;
+      if (w.type == FaultType::kLinkDegrade) {
+        degrade = std::max(degrade, w.factor);
+      }
+    }
+    inj.set_outage(outage);
+    inj.set_helper_stalled(stall);
+    inj.set_link_degrade_factor(degrade);
+  };
+
+  const auto& events = tr.plan.events();
+  std::size_t next_event = 0;
+  bool torn_pending = false;
+  bool crashed = false;
+  double crash_at = 0;
+  FaultType crash_type = FaultType::kSoftCrash;
+  double last_commit_t = 0;
+
+  for (int iter = 0; iter < s.iterations && !crashed; ++iter) {
+    const double t0 = iter * s.iteration_seconds;
+    const double t1 = t0 + s.iteration_seconds;
+    refresh_knobs(t0);
+
+    while (next_event < events.size() &&
+           events[next_event].at_seconds < t1) {
+      const FaultEvent& ev = events[next_event++];
+      ++tr.faults_fired;
+      if (is_crash(ev.type)) {
+        crashed = true;
+        crash_at = ev.at_seconds;
+        crash_type = ev.type;
+        break;
+      }
+      switch (ev.type) {
+        case FaultType::kTornWrite:
+          // Arms the write hook for the *next* checkpoint round, then the
+          // campaign disarms it (one interrupted checkpoint, not a trend).
+          inj.set_torn_write_rate(1.0);
+          torn_pending = true;
+          break;
+        case FaultType::kBitFlip: {
+          const int r = (ev.rank >= 0 && ev.rank < s.ranks)
+                            ? ev.rank
+                            : static_cast<int>(inj.pick(s.ranks));
+          RankNode& rn = node[r];
+          alloc::Chunk* c =
+              rn.chunks[inj.pick(rn.chunks.size())];
+          const vmem::ChunkRecord& rec = c->record();
+          if (rec.has_committed()) {
+            inj.flip_random_bit(rn.dev->data() + rec.slot_off[rec.committed],
+                                c->size());
+          }
+          break;
+        }
+        case FaultType::kLinkOutage:
+          inj.set_outage(true);
+          windows.push_back({ev.at_seconds + ev.duration, ev.type, 1.0});
+          break;
+        case FaultType::kLinkDegrade:
+          inj.set_link_degrade_factor(
+              std::max(inj.link_degrade_factor(), ev.factor));
+          windows.push_back({ev.at_seconds + ev.duration, ev.type,
+                             ev.factor});
+          break;
+        case FaultType::kHelperStall:
+          inj.set_helper_stalled(true);
+          windows.push_back({ev.at_seconds + ev.duration, ev.type, 1.0});
+          break;
+        case FaultType::kHelperKill:
+          inj.kill_helper();
+          break;
+        default:
+          break;
+      }
+    }
+    if (crashed) break;
+
+    // Compute phase: every rank rewrites all of its chunks.
+    for (int r = 0; r < s.ranks; ++r) {
+      for (int j = 0; j < s.chunks_per_rank; ++j) {
+        alloc::Chunk* c = node[r].chunks[j];
+        fill_pattern(static_cast<std::byte*>(c->data()), c->size(),
+                     mix(mix(data_seed, static_cast<std::uint64_t>(iter)),
+                         static_cast<std::uint64_t>(r) * 131071u +
+                             static_cast<std::uint64_t>(j)));
+        c->notify_write();
+      }
+    }
+
+    // Coordinated checkpoint + replication/parity at the cadence.
+    if ((iter + 1) % s.iters_per_checkpoint == 0) {
+      for (int r = 0; r < s.ranks; ++r) node[r].mgr->nvchkptall();
+      if (torn_pending) {
+        inj.set_torn_write_rate(0.0);
+        torn_pending = false;
+      }
+      if (s.use_parity) {
+        // protect_epoch plays the helper role here, so it honors the same
+        // stall/kill semantics as the replicating helper's send path.
+        if (!inj.helper_killed() && !inj.helper_send_blocked()) {
+          parity->protect_epoch();
+        }
+      } else {
+        repl->coordinate_now();
+      }
+      last_commit_t = t1;
+      if (victim >= 0) {
+        const std::uint64_t ep = node[victim].mgr->committed_epoch();
+        for (int j = 0; j < s.chunks_per_rank; ++j) {
+          alloc::Chunk* c = node[victim].chunks[j];
+          GoldenEpoch g;
+          g.epoch = ep;
+          g.bytes.assign(static_cast<const std::byte*>(c->data()),
+                         static_cast<const std::byte*>(c->data()) + c->size());
+          golden[j].push_back(std::move(g));
+        }
+      }
+    }
+  }
+
+  tr.crash_seconds = crashed ? crash_at : -1.0;
+  tr.victim_rank = crashed ? victim : -1;
+
+  // Logical cost accounting (shared by both exits).
+  const double t_ckpt =
+      s.nvm_bw_core > 0 ? per_rank_payload / s.nvm_bw_core : 0.0;
+  const int n_ckpt_full = s.iterations / std::max(1, s.iters_per_checkpoint);
+  double logical_total = horizon + n_ckpt_full * t_ckpt;
+
+  if (!crashed) {
+    tr.outcome = TrialOutcome::kNoFault;
+    tr.detail = "no crash within the horizon";
+    tr.logical_total_seconds = logical_total;
+    tr.logical_efficiency = horizon / logical_total;
+    tr.injector = inj.stats();
+    return tr;
+  }
+
+  // --- apply the crash --------------------------------------------------
+  RankNode& vs = node[victim];
+  tr.committed_epoch = vs.mgr->committed_epoch();
+  Rng crash_rng(crash_seed);
+  if (crash_type == FaultType::kSoftCrash) {
+    tr.pages_scrambled = vs.dev->simulate_crash(crash_rng);
+  } else {
+    // Node loss: the local NVM contents are gone. Corrupt both version
+    // slots of every chunk (wiping the arena would also destroy the vmem
+    // metadata that the still-live allocator points into).
+    for (alloc::Chunk* c : vs.chunks) {
+      const vmem::ChunkRecord& rec = c->record();
+      for (int slot = 0; slot < 2; ++slot) {
+        std::byte* p = vs.dev->data() + rec.slot_off[slot];
+        const std::size_t n = std::min<std::size_t>(c->size(), 256);
+        for (std::size_t i = 0; i < n; ++i) p[i] ^= std::byte{0xA5};
+      }
+    }
+  }
+  // Either way the process restarts: DRAM working buffers are lost.
+  for (alloc::Chunk* c : vs.chunks) {
+    std::memset(c->data(), 0xDD, c->size());
+  }
+
+  // --- recover ----------------------------------------------------------
+  core::RestartCoordinator::Options ropts;
+  if (s.use_parity) {
+    ropts.parity_rebuild = [&]() {
+      return parity->recover_ranks({static_cast<std::size_t>(victim)});
+    };
+  }
+  core::RestartCoordinator rc(*vs.mgr, &rmem, ropts);
+  const core::RestartReport rep = rc.restart_after(
+      crash_type == FaultType::kSoftCrash ? core::FailureKind::kSoft
+                                          : core::FailureKind::kHard);
+  tr.recovery_wall_seconds = rep.seconds;
+  tr.bytes_local = rep.bytes_local;
+  tr.bytes_remote = rep.bytes_remote;
+  tr.bytes_parity = rep.bytes_parity;
+
+  // --- verify + classify ------------------------------------------------
+  bool any_unmatched = false;
+  bool mixed = false;
+  std::int64_t common_epoch = -1;
+  for (int j = 0; j < s.chunks_per_rank; ++j) {
+    const auto* dram = static_cast<const std::byte*>(vs.chunks[j]->data());
+    std::int64_t matched = -1;
+    for (auto it = golden[j].rbegin(); it != golden[j].rend(); ++it) {
+      if (std::memcmp(dram, it->bytes.data(), it->bytes.size()) == 0) {
+        matched = static_cast<std::int64_t>(it->epoch);
+        break;
+      }
+    }
+    if (matched < 0) {
+      any_unmatched = true;
+    } else if (common_epoch < 0) {
+      common_epoch = matched;
+    } else if (common_epoch != matched) {
+      mixed = true;
+    }
+  }
+
+  if (rep.chunks_failed > 0 || rep.status == RestoreStatus::kNoData ||
+      rep.status == RestoreStatus::kChecksumMismatch) {
+    tr.outcome = TrialOutcome::kDetectedCorruption;
+    tr.detail = "recovery reported failure (known data loss)";
+  } else if (any_unmatched) {
+    tr.outcome = TrialOutcome::kUndetectedLoss;
+    tr.detail = "recovery claimed success but bytes match no committed "
+                "epoch -- library bug";
+  } else if (mixed) {
+    tr.restored_epoch = -2;
+    tr.outcome = TrialOutcome::kStaleEpoch;
+    tr.detail = "chunks restored at mixed committed epochs";
+  } else {
+    tr.restored_epoch = common_epoch;
+    if (common_epoch ==
+        static_cast<std::int64_t>(tr.committed_epoch)) {
+      if (rep.chunks_parity > 0) {
+        tr.outcome = TrialOutcome::kParityRebuild;
+        tr.detail = "latest epoch reconstructed via RS parity";
+      } else if (rep.chunks_remote > 0) {
+        tr.outcome = TrialOutcome::kRecoveredRemote;
+        tr.detail = "latest epoch with buddy-store fetches";
+      } else {
+        tr.outcome = TrialOutcome::kRecoveredLocal;
+        tr.detail = "latest epoch entirely from local NVM";
+      }
+    } else {
+      tr.outcome = TrialOutcome::kStaleEpoch;
+      tr.detail = "consistent but older epoch (progress lost, detectable)";
+    }
+  }
+
+  // Crash trials also pay rework since the last commit plus a logical
+  // restart (local reads at NVM speed, remote/parity over the link,
+  // parity additionally re-reads survivors' local NVM).
+  const double rework = std::max(0.0, crash_at - last_commit_t);
+  double restart_logical = 0.0;
+  if (s.nvm_bw_core > 0) {
+    restart_logical += static_cast<double>(tr.bytes_local) / s.nvm_bw_core;
+    restart_logical += static_cast<double>(tr.bytes_parity) / s.nvm_bw_core;
+  }
+  if (s.link_bw > 0) {
+    restart_logical +=
+        static_cast<double>(tr.bytes_remote + tr.bytes_parity) / s.link_bw;
+  }
+  logical_total += rework + restart_logical;
+  tr.logical_total_seconds = logical_total;
+  tr.logical_efficiency = horizon / logical_total;
+  tr.injector = inj.stats();
+  return tr;
+}
+
+CampaignResult CampaignRunner::run() {
+  CampaignResult res;
+  const int n = spec_.trials;
+  res.trials.resize(static_cast<std::size_t>(std::max(0, n)));
+
+  std::size_t threads = spec_.threads > 0
+                            ? static_cast<std::size_t>(spec_.threads)
+                            : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 4;
+  threads = std::min<std::size_t>(threads,
+                                  static_cast<std::size_t>(std::max(1, n)));
+  {
+    ThreadPool pool(threads);
+    pool.parallel_for(res.trials.size(), [&](std::size_t i) {
+      TrialResult t = run_trial(trial_seed(spec_.seed, static_cast<int>(i)));
+      t.index = static_cast<int>(i);
+      res.trials[i] = std::move(t);
+    });
+  }
+
+  res.metrics = std::make_shared<telemetry::MetricRegistry>();
+  telemetry::MetricRegistry& m = *res.metrics;
+  telemetry::HistogramMetric& rec_hist =
+      m.histogram("campaign.recovery_wall_seconds", 0.0, 0.25, 50);
+  InjectorStats inj_sum;
+  double eff_sum = 0;
+  for (const TrialResult& t : res.trials) {
+    ++res.outcome_counts[static_cast<int>(t.outcome)];
+    m.counter(std::string("campaign.outcome.") + to_string(t.outcome)).add(1);
+    m.counter("campaign.faults_fired")
+        .add(static_cast<std::uint64_t>(t.faults_fired));
+    if (t.crash_seconds >= 0) rec_hist.observe(t.recovery_wall_seconds);
+    inj_sum.writes_torn += t.injector.writes_torn;
+    inj_sum.bytes_scrambled += t.injector.bytes_scrambled;
+    inj_sum.bits_flipped += t.injector.bits_flipped;
+    inj_sum.remote_ops_dropped += t.injector.remote_ops_dropped;
+    inj_sum.transfers_delayed += t.injector.transfers_delayed;
+    inj_sum.helper_sends_stalled += t.injector.helper_sends_stalled;
+    eff_sum += t.logical_efficiency;
+  }
+  m.counter("campaign.trials").add(static_cast<std::uint64_t>(res.trials.size()));
+  m.counter("campaign.injector.writes_torn").add(inj_sum.writes_torn);
+  m.counter("campaign.injector.bytes_scrambled").add(inj_sum.bytes_scrambled);
+  m.counter("campaign.injector.bits_flipped").add(inj_sum.bits_flipped);
+  m.counter("campaign.injector.remote_ops_dropped")
+      .add(inj_sum.remote_ops_dropped);
+  m.counter("campaign.injector.transfers_delayed")
+      .add(inj_sum.transfers_delayed);
+  m.counter("campaign.injector.helper_sends_stalled")
+      .add(inj_sum.helper_sends_stalled);
+  res.undetected_losses = res.count(TrialOutcome::kUndetectedLoss);
+  res.measured_efficiency =
+      res.trials.empty() ? 0.0 : eff_sum / static_cast<double>(res.trials.size());
+
+  // Section III cross-check on matching parameters. The campaign replicates
+  // (or parity-protects) after every local checkpoint, so the remote
+  // interval equals the local one; trial horizons truncate at one crash, so
+  // expect agreement in the large, not equality.
+  model::SystemParams p;
+  p.t_compute = spec_.iterations * spec_.iteration_seconds;
+  p.ckpt_data =
+      static_cast<double>(spec_.chunks_per_rank * spec_.chunk_bytes);
+  p.comm_fraction = 0.0;
+  p.nvm_bw_core = spec_.nvm_bw_core;
+  p.link_bw = spec_.link_bw;
+  p.local_interval = spec_.iters_per_checkpoint * spec_.iteration_seconds;
+  p.remote_interval = p.local_interval;
+  p.mtbf_local = spec_.faults.mtbf_soft > 0 ? spec_.faults.mtbf_soft : 1e18;
+  p.mtbf_remote = spec_.faults.mtbf_hard > 0 ? spec_.faults.mtbf_hard : 1e18;
+  p.precopy = false;
+  res.model_efficiency = model::evaluate(p).efficiency;
+  res.efficiency_ratio = res.model_efficiency > 0
+                             ? res.measured_efficiency / res.model_efficiency
+                             : 0.0;
+  m.gauge("campaign.measured_efficiency").set(res.measured_efficiency);
+  m.gauge("campaign.model_efficiency").set(res.model_efficiency);
+  m.gauge("campaign.efficiency_ratio").set(res.efficiency_ratio);
+  return res;
+}
+
+}  // namespace nvmcp::fault

@@ -1,0 +1,165 @@
+// CampaignRunner: seeded chaos campaigns with end-to-end recovery
+// validation.
+//
+// A campaign executes N independent trials in parallel. Each trial builds
+// a complete emulated node (per-rank NVM devices + allocators + checkpoint
+// managers, a shared interconnect, a buddy store with either full
+// replication or a Reed-Solomon parity group), runs a deterministic
+// compute/checkpoint workload on a *logical* clock, fires the faults of a
+// generated FaultPlan at their scheduled logical moments, recovers through
+// RestartCoordinator, and verifies the victim rank's restored memory
+// byte-for-byte against golden snapshots taken at every committed epoch.
+//
+// Trials classify as:
+//   recovered-local     all chunks back at the latest epoch from local NVM
+//   recovered-remote    latest epoch, but at least one buddy fetch
+//   parity-rebuild      latest epoch via the RS parity-group path
+//   stale-epoch         consistent committed data, but an older epoch
+//                       (progress lost; detectable from epoch metadata)
+//   detected-corruption recovery itself reported failure (known loss)
+//   undetected-loss     recovery claimed success yet bytes match no
+//                       committed epoch -- ALWAYS a bug in the library
+//   no-fault            the plan's crash landed past the horizon
+//
+// Determinism: trial i derives its seed SplitMix-style from the campaign
+// root seed; the plan, the workload contents, every injector decision and
+// the outcome classification are pure functions of that seed, so any
+// trial replays exactly with CampaignRunner::run_trial(seed).
+//
+// The aggregate result carries per-outcome counts, a recovery-time
+// histogram, and a measured-vs-Section-III-model efficiency cross-check,
+// all serializable into a telemetry RunReport.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/units.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
+
+namespace nvmcp::fault {
+
+enum class TrialOutcome : std::uint8_t {
+  kNoFault,
+  kRecoveredLocal,
+  kRecoveredRemote,
+  kParityRebuild,
+  kStaleEpoch,
+  kDetectedCorruption,
+  kUndetectedLoss,
+};
+const char* to_string(TrialOutcome o);
+constexpr int kTrialOutcomeCount = 7;
+
+struct CampaignSpec {
+  int trials = 50;
+  std::uint64_t seed = 0xc4a59;
+  int threads = 0;  // 0 = hardware concurrency
+
+  // Emulated node shape (per trial).
+  int ranks = 2;
+  int chunks_per_rank = 3;
+  std::size_t chunk_bytes = 64 * KiB;
+  int iterations = 12;
+  int iters_per_checkpoint = 3;
+  /// Logical compute seconds one iteration stands for. Fault-plan times,
+  /// lost-work and efficiency accounting all use this clock, never wall
+  /// time, so outcomes are machine-independent.
+  double iteration_seconds = 5.0;
+
+  // Redundancy policy: full buddy replication (default) or an RS parity
+  // group with `parity_shards` parities over the ranks.
+  bool use_parity = false;
+  int parity_shards = 1;
+
+  // Logical device/link speeds (Section III model cross-check + logical
+  // restart-time accounting; trial devices run unthrottled for speed).
+  double nvm_bw_core = 400.0 * MiB;
+  double link_bw = 5.0e9;
+
+  /// Fault rates. horizon and ranks are overwritten by the runner to
+  /// match the workload; everything else is caller-controlled.
+  FaultPlan::GenSpec faults;
+
+  Json to_json() const;
+};
+
+struct TrialResult {
+  int index = -1;
+  std::uint64_t seed = 0;  // replay handle: run_trial(seed)
+  TrialOutcome outcome = TrialOutcome::kNoFault;
+  std::string detail;      // one-line human note on the classification
+
+  FaultPlan plan;
+  int faults_fired = 0;
+  double crash_seconds = -1;  // logical; -1 = crash-free trial
+  int victim_rank = -1;
+  std::uint64_t committed_epoch = 0;  // last epoch committed pre-crash
+  std::int64_t restored_epoch = -1;   // epoch verified after recovery
+                                      // (-2 = chunks at mixed epochs)
+
+  double recovery_wall_seconds = 0;   // measured restart-path time
+  std::uint64_t bytes_local = 0;
+  std::uint64_t bytes_remote = 0;
+  std::uint64_t bytes_parity = 0;
+  std::size_t pages_scrambled = 0;    // soft-crash unflushed scramble
+  InjectorStats injector;
+
+  /// Logical cost accounting for the efficiency cross-check.
+  double logical_total_seconds = 0;   // compute + ckpt + rework + restart
+  double logical_efficiency = 0;      // horizon / logical_total
+
+  Json to_json() const;
+};
+
+struct CampaignResult {
+  std::vector<TrialResult> trials;
+  int outcome_counts[kTrialOutcomeCount] = {};
+  int undetected_losses = 0;  // == outcome_counts[kUndetectedLoss]
+
+  /// Mean logical efficiency across trials vs the paper's Section III
+  /// analytical model evaluated on matching parameters.
+  double measured_efficiency = 0;
+  double model_efficiency = 0;
+  double efficiency_ratio = 0;  // measured / model
+
+  /// "campaign.*" counters/gauges plus the recovery-time histogram.
+  std::shared_ptr<telemetry::MetricRegistry> metrics;
+
+  int count(TrialOutcome o) const {
+    return outcome_counts[static_cast<int>(o)];
+  }
+
+  /// Serialize config/outcomes/cross-check/trials into `rep`.
+  void fill_report(const CampaignSpec& spec,
+                   telemetry::RunReport& rep) const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignSpec spec);
+
+  /// SplitMix-style child seed for trial `index` under `root`: any failed
+  /// trial is replayable from its own seed without re-running the sweep.
+  static std::uint64_t trial_seed(std::uint64_t root, int index);
+
+  /// Execute every trial (parallel over common/thread_pool) + aggregate.
+  CampaignResult run();
+
+  /// Execute or replay a single trial. Pure function of `seed` (plus the
+  /// campaign spec): same seed => same plan, same outcome classification.
+  TrialResult run_trial(std::uint64_t seed) const;
+
+  const CampaignSpec& spec() const { return spec_; }
+
+ private:
+  CampaignSpec spec_;
+};
+
+}  // namespace nvmcp::fault

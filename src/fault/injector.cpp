@@ -1,0 +1,82 @@
+#include "fault/injector.hpp"
+
+namespace nvmcp::fault {
+
+void FaultInjector::arm(std::uint64_t seed) {
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    rng_ = Rng(seed);
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+bool FaultInjector::decide(std::atomic<double>& rate) {
+  const double p = rate.load(std::memory_order_relaxed);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return rng_.bernoulli(p);
+}
+
+std::size_t FaultInjector::maybe_tear_write(std::byte* data, std::size_t n) {
+  if (n == 0 || !decide(torn_write_rate_)) return 0;
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  // The write stopped somewhere inside the span: everything past the tear
+  // point is junk, as an interrupted DMA/store stream would leave it.
+  const std::size_t tear = static_cast<std::size_t>(rng_.next_below(n));
+  for (std::size_t i = tear; i < n; ++i) {
+    data[i] = static_cast<std::byte>(rng_.next_u64());
+  }
+  writes_torn_.fetch_add(1, std::memory_order_relaxed);
+  bytes_scrambled_.fetch_add(n - tear, std::memory_order_relaxed);
+  return n - tear;
+}
+
+bool FaultInjector::should_drop_remote_op() {
+  const bool drop =
+      outage_.load(std::memory_order_relaxed) || decide(remote_drop_rate_);
+  if (drop) remote_ops_dropped_.fetch_add(1, std::memory_order_relaxed);
+  return drop;
+}
+
+double FaultInjector::transfer_extra_delay(double base_secs) {
+  const double f = degrade_.load(std::memory_order_relaxed);
+  if (f <= 1.0 || base_secs <= 0.0) return 0.0;
+  transfers_delayed_.fetch_add(1, std::memory_order_relaxed);
+  return (f - 1.0) * base_secs;
+}
+
+bool FaultInjector::helper_send_blocked() {
+  const bool blocked = helper_stalled_.load(std::memory_order_relaxed) ||
+                       helper_killed_.load(std::memory_order_relaxed);
+  if (blocked) helper_sends_stalled_.fetch_add(1, std::memory_order_relaxed);
+  return blocked;
+}
+
+std::size_t FaultInjector::flip_random_bit(std::byte* data, std::size_t n) {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  const std::size_t byte = static_cast<std::size_t>(rng_.next_below(n));
+  const int bit = static_cast<int>(rng_.next_below(8));
+  data[byte] ^= static_cast<std::byte>(1u << bit);
+  bits_flipped_.fetch_add(1, std::memory_order_relaxed);
+  return byte;
+}
+
+std::uint64_t FaultInjector::pick(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return rng_.next_below(n);
+}
+
+InjectorStats FaultInjector::stats() const {
+  InjectorStats s;
+  s.writes_torn = writes_torn_.load(std::memory_order_relaxed);
+  s.bytes_scrambled = bytes_scrambled_.load(std::memory_order_relaxed);
+  s.bits_flipped = bits_flipped_.load(std::memory_order_relaxed);
+  s.remote_ops_dropped = remote_ops_dropped_.load(std::memory_order_relaxed);
+  s.transfers_delayed = transfers_delayed_.load(std::memory_order_relaxed);
+  s.helper_sends_stalled =
+      helper_sends_stalled_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace nvmcp::fault

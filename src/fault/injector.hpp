@@ -1,0 +1,142 @@
+// FaultInjector: named, seeded injection points for chaos campaigns.
+//
+// The injector is the low-level half of src/fault/: a passive decision
+// engine that instrumented components consult at well-known points
+// (NvmDevice's throttled write path, the interconnect transfer loop, the
+// remote store's put/get, the remote-checkpoint helper's send path). The
+// high-level half (FaultPlan / CampaignRunner) flips the injector's knobs
+// at scheduled moments; the injector turns those knobs into concrete
+// corruption, drops, delays and stalls.
+//
+// Cost model mirrors the telemetry Span pattern: every hook site guards
+// with `injector && injector->armed()` — a null check plus one relaxed
+// atomic load — so production paths pay nothing when no injector is
+// attached. When armed, decisions draw from a private xoshiro stream
+// (mutex-guarded, so concurrent hook sites stay race-free), which keeps a
+// single-threaded trial bit-for-bit reproducible from its seed.
+//
+// The injector deliberately depends only on common/ so that nvm/, net/ and
+// core/ can link against it without a dependency cycle.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.hpp"
+
+namespace nvmcp::fault {
+
+/// Fire counts per injection point (all relaxed; read for reports).
+struct InjectorStats {
+  std::uint64_t writes_torn = 0;
+  std::uint64_t bytes_scrambled = 0;
+  std::uint64_t bits_flipped = 0;
+  std::uint64_t remote_ops_dropped = 0;
+  std::uint64_t transfers_delayed = 0;
+  std::uint64_t helper_sends_stalled = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Master switch. Hook sites must check this before anything else.
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  /// (Re)seed the decision stream and enable the injector.
+  void arm(std::uint64_t seed);
+  /// Disable; knobs keep their values, hooks stop firing.
+  void disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+  // --- knobs (set by the campaign at scheduled fault events) -----------
+  /// Probability that a throttled NVM write is torn (tail scrambled).
+  void set_torn_write_rate(double p) {
+    torn_write_rate_.store(p, std::memory_order_relaxed);
+  }
+  double torn_write_rate() const {
+    return torn_write_rate_.load(std::memory_order_relaxed);
+  }
+  /// Probability that a remote put/get is dropped in transit.
+  void set_remote_drop_rate(double p) {
+    remote_drop_rate_.store(p, std::memory_order_relaxed);
+  }
+  /// Interconnect outage: every remote op is dropped while open.
+  void set_outage(bool on) {
+    outage_.store(on, std::memory_order_relaxed);
+  }
+  bool outage() const { return outage_.load(std::memory_order_relaxed); }
+  /// Link degradation: transfers take `f` times as long (f >= 1).
+  void set_link_degrade_factor(double f) {
+    degrade_.store(f < 1.0 ? 1.0 : f, std::memory_order_relaxed);
+  }
+  double link_degrade_factor() const {
+    return degrade_.load(std::memory_order_relaxed);
+  }
+  /// Remote helper: stalled (sends silently skipped) or killed (the
+  /// helper loop exits and never comes back).
+  void set_helper_stalled(bool on) {
+    helper_stalled_.store(on, std::memory_order_relaxed);
+  }
+  void kill_helper() { helper_killed_.store(true, std::memory_order_relaxed); }
+  bool helper_killed() const {
+    return helper_killed_.load(std::memory_order_relaxed);
+  }
+
+  // --- hook entry points (instrumented components) ---------------------
+  /// NVM write path: with probability torn_write_rate, scramble a random
+  /// tail of the just-written span, as an interrupted write would leave
+  /// it. Returns the number of bytes scrambled (0 = write untouched).
+  std::size_t maybe_tear_write(std::byte* data, std::size_t n);
+
+  /// Remote put/get path: true = this operation is lost in transit
+  /// (outage window open, or sampled from remote_drop_rate).
+  bool should_drop_remote_op();
+
+  /// Interconnect transfer loop: seconds of *extra* delay to inject for a
+  /// block that nominally took `base_secs` (0 when no degradation).
+  double transfer_extra_delay(double base_secs);
+
+  /// Remote helper send path: true = skip this send (stall window open).
+  bool helper_send_blocked();
+
+  // --- direct fault actions (campaign-driven, not probabilistic) -------
+  /// Flip one random bit within [data, data+n). Returns the byte index
+  /// touched (n must be > 0).
+  std::size_t flip_random_bit(std::byte* data, std::size_t n);
+
+  /// Uniform value in [0, n) from the injector's decision stream (used by
+  /// the campaign to pick victim chunks/slots deterministically).
+  std::uint64_t pick(std::uint64_t n);
+
+  InjectorStats stats() const;
+
+ private:
+  bool decide(std::atomic<double>& rate);
+
+  std::atomic<bool> armed_{false};
+  std::atomic<double> torn_write_rate_{0.0};
+  std::atomic<double> remote_drop_rate_{0.0};
+  std::atomic<bool> outage_{false};
+  std::atomic<double> degrade_{1.0};
+  std::atomic<bool> helper_stalled_{false};
+  std::atomic<bool> helper_killed_{false};
+
+  mutable std::mutex rng_mu_;
+  Rng rng_{0xfa017};
+
+  std::atomic<std::uint64_t> writes_torn_{0};
+  std::atomic<std::uint64_t> bytes_scrambled_{0};
+  std::atomic<std::uint64_t> bits_flipped_{0};
+  std::atomic<std::uint64_t> remote_ops_dropped_{0};
+  std::atomic<std::uint64_t> transfers_delayed_{0};
+  std::atomic<std::uint64_t> helper_sends_stalled_{0};
+};
+
+}  // namespace nvmcp::fault

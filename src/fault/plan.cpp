@@ -1,0 +1,205 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace nvmcp::fault {
+
+const char* to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kSoftCrash: return "soft-crash";
+    case FaultType::kHardCrash: return "hard-crash";
+    case FaultType::kTornWrite: return "torn-write";
+    case FaultType::kBitFlip: return "bit-flip";
+    case FaultType::kLinkOutage: return "link-outage";
+    case FaultType::kLinkDegrade: return "link-degrade";
+    case FaultType::kHelperStall: return "helper-stall";
+    case FaultType::kHelperKill: return "helper-kill";
+  }
+  return "?";
+}
+
+bool fault_type_from_string(const std::string& s, FaultType* out) {
+  static constexpr FaultType kAll[] = {
+      FaultType::kSoftCrash,   FaultType::kHardCrash,
+      FaultType::kTornWrite,   FaultType::kBitFlip,
+      FaultType::kLinkOutage,  FaultType::kLinkDegrade,
+      FaultType::kHelperStall, FaultType::kHelperKill,
+  };
+  for (const FaultType t : kAll) {
+    if (s == to_string(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+Json FaultEvent::to_json() const {
+  Json j = Json::object();
+  j["type"] = to_string(type);
+  j["at"] = at_seconds;
+  if (rank >= 0) j["rank"] = rank;
+  if (duration > 0) j["duration"] = duration;
+  if (factor != 1.0) j["factor"] = factor;
+  return j;
+}
+
+bool FaultEvent::from_json(const Json& j, FaultEvent* out, std::string* err) {
+  auto fail = [err](const char* what) {
+    if (err) *err = what;
+    return false;
+  };
+  if (!j.is_object()) return fail("fault event: not an object");
+  const Json* type = j.find("type");
+  if (!type || !type->is_string()) return fail("fault event: missing type");
+  FaultEvent ev;
+  if (!fault_type_from_string(type->str(), &ev.type)) {
+    return fail("fault event: unknown type");
+  }
+  const Json* at = j.find("at");
+  if (!at || !at->is_number() || at->number() < 0) {
+    return fail("fault event: missing/bad at");
+  }
+  ev.at_seconds = at->number();
+  if (const Json* r = j.find("rank")) {
+    if (!r->is_number()) return fail("fault event: bad rank");
+    ev.rank = static_cast<int>(r->number());
+  }
+  if (const Json* d = j.find("duration")) {
+    if (!d->is_number() || d->number() < 0) {
+      return fail("fault event: bad duration");
+    }
+    ev.duration = d->number();
+  }
+  if (const Json* f = j.find("factor")) {
+    if (!f->is_number() || f->number() < 1.0) {
+      return fail("fault event: bad factor");
+    }
+    ev.factor = f->number();
+  }
+  *out = ev;
+  return true;
+}
+
+void FaultPlan::add(FaultEvent ev) {
+  // Nothing fires after node death: clamp against an existing crash, and
+  // a newly added crash truncates everything scheduled later.
+  if (const FaultEvent* c = crash()) {
+    if (ev.at_seconds >= c->at_seconds) return;
+  }
+  if (is_crash(ev.type)) {
+    events_.erase(std::remove_if(events_.begin(), events_.end(),
+                                 [&](const FaultEvent& e) {
+                                   return e.at_seconds >= ev.at_seconds;
+                                 }),
+                  events_.end());
+  }
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), ev,
+      [](const FaultEvent& a, const FaultEvent& b) {
+        return a.at_seconds < b.at_seconds;
+      });
+  events_.insert(pos, ev);
+}
+
+const FaultEvent* FaultPlan::crash() const {
+  for (const FaultEvent& e : events_) {
+    if (is_crash(e.type)) return &e;
+  }
+  return nullptr;
+}
+
+FaultPlan FaultPlan::generate(const GenSpec& spec, std::uint64_t seed) {
+  FaultPlan plan(seed);
+  Rng rng(seed);
+  const int ranks = spec.ranks > 0 ? spec.ranks : 1;
+  auto victim = [&]() {
+    return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+  };
+
+  // Terminal crash: sample both failure processes, the earlier one wins.
+  // (Sampling order is fixed so the plan is a pure function of the seed.)
+  const double t_soft =
+      spec.mtbf_soft > 0 ? rng.exponential(spec.mtbf_soft) : -1.0;
+  const double t_hard =
+      spec.mtbf_hard > 0 ? rng.exponential(spec.mtbf_hard) : -1.0;
+  double crash_at = spec.horizon;  // crash-free if both land past it
+  if (t_soft >= 0 && t_soft < spec.horizon &&
+      (t_hard < 0 || t_soft <= t_hard)) {
+    plan.add({FaultType::kSoftCrash, t_soft, victim(), 0, 1.0});
+    crash_at = t_soft;
+  } else if (t_hard >= 0 && t_hard < spec.horizon) {
+    plan.add({FaultType::kHardCrash, t_hard, victim(), 0, 1.0});
+    crash_at = t_hard;
+  }
+
+  // Environmental faults: Poisson arrivals up to the crash (fixed type
+  // order, again for determinism).
+  struct Proc {
+    FaultType type;
+    double rate;
+    double duration;
+    double factor;
+  };
+  const Proc procs[] = {
+      {FaultType::kTornWrite, spec.torn_write_rate, 0, 1.0},
+      {FaultType::kBitFlip, spec.bit_flip_rate, 0, 1.0},
+      {FaultType::kLinkOutage, spec.outage_rate, spec.outage_duration, 1.0},
+      {FaultType::kLinkDegrade, spec.degrade_rate, spec.degrade_duration,
+       spec.degrade_factor},
+      {FaultType::kHelperStall, spec.helper_stall_rate,
+       spec.helper_stall_duration, 1.0},
+      {FaultType::kHelperKill, spec.helper_kill_rate, 0, 1.0},
+  };
+  for (const Proc& p : procs) {
+    if (p.rate <= 0) continue;
+    double t = rng.exponential(1.0 / p.rate);
+    while (t < crash_at) {
+      plan.add({p.type, t, victim(), p.duration, p.factor});
+      if (p.type == FaultType::kHelperKill) break;  // dying twice is once
+      t += rng.exponential(1.0 / p.rate);
+    }
+  }
+  return plan;
+}
+
+Json FaultPlan::to_json() const {
+  Json j = Json::object();
+  j["seed"] = seed_;
+  Json evs = Json::array();
+  for (const FaultEvent& e : events_) evs.push_back(e.to_json());
+  j["events"] = std::move(evs);
+  return j;
+}
+
+bool FaultPlan::from_json(const Json& j, FaultPlan* out, std::string* err) {
+  if (!j.is_object()) {
+    if (err) *err = "fault plan: not an object";
+    return false;
+  }
+  FaultPlan plan;
+  if (const Json* s = j.find("seed")) {
+    if (!s->is_number()) {
+      if (err) *err = "fault plan: bad seed";
+      return false;
+    }
+    plan.seed_ = static_cast<std::uint64_t>(s->number());
+  }
+  if (const Json* evs = j.find("events")) {
+    if (!evs->is_array()) {
+      if (err) *err = "fault plan: events not an array";
+      return false;
+    }
+    for (const Json& e : evs->items()) {
+      FaultEvent ev;
+      if (!FaultEvent::from_json(e, &ev, err)) return false;
+      plan.add(ev);
+    }
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+}  // namespace nvmcp::fault

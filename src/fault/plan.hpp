@@ -1,0 +1,122 @@
+// FaultPlan: a deterministic, typed schedule of fault events.
+//
+// A plan is the unit of replay for chaos campaigns: given the same plan
+// (or the same generation seed), a trial fires the same faults at the same
+// logical moments and must classify identically. Events are stamped in
+// *logical* application seconds -- the campaign's iteration clock -- not
+// wall time, which is what makes trials reproducible across machines and
+// under sanitizers.
+//
+// The taxonomy follows the paper's Section III failure split plus the
+// environmental failure modes a production deployment would see:
+//
+//   kSoftCrash   process/OS restart; local NVM survives, unflushed pages
+//                are scrambled (the paper's soft error, ~64% of failures)
+//   kHardCrash   node loss; local NVM contents are gone, recovery needs
+//                the buddy copy or a parity rebuild (hard error)
+//   kTornWrite   the next local checkpoint write of the target rank is
+//                interrupted mid-stream (tail of the slot is junk)
+//   kBitFlip     one bit flips inside a committed local slot (media error)
+//   kLinkOutage  remote puts/gets are lost for `duration` logical seconds
+//   kLinkDegrade interconnect transfers slow down by `factor` for
+//                `duration` logical seconds
+//   kHelperStall the remote helper sends nothing for `duration` seconds
+//   kHelperKill  the remote helper dies for the rest of the run
+//
+// Plans are built programmatically (add), generated from an MTBF spec
+// (generate), or parsed from a JSON document (from_json), and serialize
+// back losslessly (to_json) so any trial can be archived and replayed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace nvmcp::fault {
+
+enum class FaultType : std::uint8_t {
+  kSoftCrash,
+  kHardCrash,
+  kTornWrite,
+  kBitFlip,
+  kLinkOutage,
+  kLinkDegrade,
+  kHelperStall,
+  kHelperKill,
+};
+
+const char* to_string(FaultType t);
+bool fault_type_from_string(const std::string& s, FaultType* out);
+/// True for the two crash kinds that terminate a trial's compute loop.
+inline bool is_crash(FaultType t) {
+  return t == FaultType::kSoftCrash || t == FaultType::kHardCrash;
+}
+
+struct FaultEvent {
+  FaultType type = FaultType::kSoftCrash;
+  double at_seconds = 0;  // logical time the event fires
+  int rank = -1;          // victim rank; -1 = campaign picks at fire time
+  double duration = 0;    // window length (outage/degrade/stall)
+  double factor = 1.0;    // degradation slowdown (kLinkDegrade)
+
+  Json to_json() const;
+  static bool from_json(const Json& j, FaultEvent* out,
+                        std::string* err = nullptr);
+};
+
+class FaultPlan {
+ public:
+  /// Rates for the MTBF-driven generator. Crash arrivals are exponential
+  /// (one terminal crash per plan, the earlier of the soft/hard samples);
+  /// environmental faults are Poisson processes over the horizon.
+  struct GenSpec {
+    double horizon = 60.0;       // logical compute seconds covered
+    double mtbf_soft = 120.0;    // mean time to a soft crash (0 = never)
+    double mtbf_hard = 480.0;    // mean time to a hard crash (0 = never)
+    double torn_write_rate = 0;  // events per logical second
+    double bit_flip_rate = 0;
+    double outage_rate = 0;
+    double outage_duration = 5.0;
+    double degrade_rate = 0;
+    double degrade_duration = 10.0;
+    double degrade_factor = 4.0;
+    double helper_stall_rate = 0;
+    double helper_stall_duration = 10.0;
+    double helper_kill_rate = 0;
+    int ranks = 1;               // victim ranks are sampled in [0, ranks)
+  };
+
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+  void set_seed(std::uint64_t s) { seed_ = s; }
+
+  /// Append an event (kept sorted by at_seconds; crash events truncate
+  /// anything scheduled after them -- nothing fires past node death).
+  void add(FaultEvent ev);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// The terminal crash event, or nullptr for a crash-free plan.
+  const FaultEvent* crash() const;
+
+  /// Sample a plan from `spec` using `seed` (deterministic).
+  static FaultPlan generate(const GenSpec& spec, std::uint64_t seed);
+
+  /// JSON round-trip:
+  ///   {"seed": S, "events": [{"type": "...", "at": t, ...}, ...]}
+  Json to_json() const;
+  static bool from_json(const Json& j, FaultPlan* out,
+                        std::string* err = nullptr);
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<FaultEvent> events_;  // sorted by at_seconds
+};
+
+}  // namespace nvmcp::fault

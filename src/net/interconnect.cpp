@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/injector.hpp"
 #include "telemetry/trace.hpp"
 
 namespace nvmcp::net {
@@ -31,6 +32,14 @@ double Interconnect::transfer_copy(void* dst, const void* src,
         std::min(ThrottledCopier::kBlockSize, bytes - off);
     if (d && s) std::memcpy(d + off, s + off, len);
     sleep_until(limiter_.acquire(len));
+    if (injector_ && injector_->armed()) {
+      // Degradation window: the block takes factor times as long as the
+      // link's nominal rate would allow.
+      const double rate = limiter_.rate();
+      const double extra = injector_->transfer_extra_delay(
+          rate > 0 ? static_cast<double>(len) / rate : 0.0);
+      if (extra > 0) precise_sleep(extra);
+    }
     // Attribute each block to the bucket in which it finished, so a long
     // transfer shows up spread over the timeline instead of as one spike.
     record(len, cls, 0.0);

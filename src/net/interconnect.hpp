@@ -22,6 +22,10 @@
 #include "common/stats.hpp"
 #include "nvm/throttle.hpp"
 
+namespace nvmcp::fault {
+class FaultInjector;
+}
+
 namespace nvmcp::net {
 
 enum class TrafficClass { kApplication = 0, kCheckpoint = 1 };
@@ -68,6 +72,11 @@ class Interconnect {
 
   void reset_accounting();
 
+  /// Attach a fault injector (chaos campaigns): transfers slow down by
+  /// the injector's link-degradation factor while a degrade window is
+  /// open. nullptr detaches.
+  void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
+
   /// Direct access for callers that pipeline the link against another
   /// limiter (e.g. RDMA into remote NVM): acquire on the limiter, then
   /// note the bytes so timelines and totals stay accurate.
@@ -80,6 +89,7 @@ class Interconnect {
   void record(std::size_t bytes, TrafficClass cls, double secs);
 
   BandwidthLimiter limiter_;
+  fault::FaultInjector* injector_ = nullptr;
 
   mutable std::mutex mu_;
   LinkStats stats_;

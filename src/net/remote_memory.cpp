@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "fault/injector.hpp"
 
 namespace nvmcp::net {
 namespace {
@@ -51,6 +52,12 @@ double RemoteStore::put(std::uint32_t src_rank, std::uint64_t chunk_id,
                         const void* data, std::size_t n, std::uint64_t epoch,
                         bool do_commit, Interconnect* link,
                         BandwidthLimiter* pace) {
+  if (injector_ && injector_->armed() && injector_->should_drop_remote_op()) {
+    // Lost in transit: the in-progress slot keeps its old payload and no
+    // pending checksum is recorded, so a later commit of this epoch is a
+    // no-op (exactly what a dropped RDMA put looks like to the store).
+    return 0.0;
+  }
   const std::uint64_t id = pair_id(src_rank, chunk_id);
   vmem::ChunkRecord* rec;
   {
@@ -102,6 +109,9 @@ void RemoteStore::commit(std::uint32_t src_rank, std::uint64_t chunk_id,
 
 bool RemoteStore::get(std::uint32_t src_rank, std::uint64_t chunk_id,
                       void* dst, std::size_t n, Interconnect* link) {
+  if (injector_ && injector_->armed() && injector_->should_drop_remote_op()) {
+    return false;
+  }
   const std::uint64_t id = pair_id(src_rank, chunk_id);
   vmem::ChunkRecord* rec;
   {

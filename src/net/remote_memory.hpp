@@ -33,6 +33,11 @@ class RemoteStore {
 
   NvmDevice& device() { return dev_; }
 
+  /// Attach a fault injector (chaos campaigns): puts/gets are dropped in
+  /// transit during outage windows or at the injector's sampled loss
+  /// rate. nullptr detaches.
+  void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
+
   /// Write `n` bytes into the in-progress slot of (src_rank, chunk_id),
   /// allocating record + slots on first use. `link` (may be null) paces
   /// the transfer at interconnect speed, pipelined with the remote NVM
@@ -67,6 +72,7 @@ class RemoteStore {
   vmem::ChunkRecord* find_or_create(std::uint64_t id, std::size_t n);
 
   NvmDevice dev_;
+  fault::FaultInjector* injector_ = nullptr;
   vmem::Container container_;
   mutable std::mutex mu_;
   // Checksums of data currently sitting (uncommitted) in in-progress slots.

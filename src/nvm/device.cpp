@@ -10,6 +10,8 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "fault/injector.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace nvmcp {
@@ -133,6 +135,9 @@ double NvmDevice::write(std::size_t off, const void* src, std::size_t n,
   if (cfg_.throttle) precise_sleep(cfg_.spec.page_write_latency);
   ThrottledCopier::copy(data_ + off, src, n,
                         cfg_.throttle ? &write_limiter_ : nullptr, stream);
+  if (injector_ && injector_->armed()) {
+    injector_->maybe_tear_write(data_ + off, n);
+  }
   touch_pages(off, n);
   const double secs = sw.elapsed();
   bytes_written_.fetch_add(n, std::memory_order_relaxed);
@@ -175,7 +180,7 @@ void NvmDevice::flush(std::size_t off, std::size_t n) {
   unflushed_.clear_range(first, last - first + 1);
 }
 
-void NvmDevice::simulate_crash(Rng& rng) {
+std::size_t NvmDevice::simulate_crash(Rng& rng) {
   const std::size_t pages = page_count();
   std::size_t scrambled = 0;
   for (std::size_t p = 0; p < pages; ++p) {
@@ -189,8 +194,12 @@ void NvmDevice::simulate_crash(Rng& rng) {
     ++scrambled;
   }
   unflushed_.clear_all();
+  telemetry::MetricRegistry::global()
+      .counter("nvm.crash.pages_scrambled")
+      .add(scrambled);
   log_info("NvmDevice: crash simulated, %zu unflushed pages scrambled",
            scrambled);
+  return scrambled;
 }
 
 void NvmDevice::clear_nvdirty(std::size_t off, std::size_t n) {

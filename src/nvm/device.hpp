@@ -31,6 +31,10 @@
 #include "nvm/spec.hpp"
 #include "nvm/throttle.hpp"
 
+namespace nvmcp::fault {
+class FaultInjector;
+}
+
 namespace nvmcp {
 
 struct NvmConfig {
@@ -109,8 +113,15 @@ class NvmDevice {
   std::size_t unflushed_page_count() const { return unflushed_.count_all(); }
   bool page_flushed(std::size_t page) const { return !unflushed_.test(page); }
   /// Scramble every page written-but-not-flushed, as a power failure
-  /// would. Clears the unflushed set.
-  void simulate_crash(Rng& rng);
+  /// would. Clears the unflushed set. Returns the number of pages
+  /// scrambled (also recorded as the global telemetry counter
+  /// "nvm.crash.pages_scrambled").
+  std::size_t simulate_crash(Rng& rng);
+
+  /// Attach a fault injector to the write path (chaos campaigns). The
+  /// injector may tear writes (scramble a tail of the written span).
+  /// nullptr detaches; when detached the hook costs one pointer check.
+  void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
 
   // --- nvdirty bits ----------------------------------------------------
   void clear_nvdirty(std::size_t off, std::size_t n);
@@ -127,6 +138,7 @@ class NvmDevice {
   void touch_pages(std::size_t off, std::size_t n);
 
   NvmConfig cfg_;
+  fault::FaultInjector* injector_ = nullptr;
   int fd_ = -1;
   std::byte* map_ = nullptr;   // header page + arena
   std::byte* data_ = nullptr;  // arena (map_ + one page)

@@ -17,6 +17,9 @@
 #include "core/restart.hpp"       // RestartCoordinator
 #include "core/tuner.hpp"         // IntervalTuner
 #include "ecc/parity_group.hpp"   // erasure-coded remote checkpoints
+#include "fault/campaign.hpp"     // chaos campaigns (CampaignRunner)
+#include "fault/injector.hpp"     // fault-injection hooks
+#include "fault/plan.hpp"         // seeded fault schedules
 #include "model/model.hpp"        // Section III analytical model
 #include "net/remote_memory.hpp"  // ARMCI-style remote memory
 #include "nvm/device.hpp"         // emulated NVM device

@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "nvm/device.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace nvmcp {
 namespace {
@@ -136,6 +137,23 @@ TEST(NvmDevice, CrashScramblesOnlyUnflushedPages) {
   EXPECT_NE(0, std::memcmp(dev.data() + kNvmPageSize, b.data(), b.size()))
       << "unflushed page must be scrambled";
   EXPECT_EQ(dev.unflushed_page_count(), 0u);
+}
+
+TEST(NvmDevice, CrashReportsScrambledPageCount) {
+  NvmDevice dev(small_config());
+  std::vector<std::byte> buf(3 * kNvmPageSize, std::byte{0xCC});
+  dev.write(0, buf.data(), buf.size());  // three unflushed pages
+  const std::uint64_t before = telemetry::MetricRegistry::global()
+                                   .counter("nvm.crash.pages_scrambled")
+                                   .value();
+  Rng rng(7);
+  EXPECT_EQ(dev.simulate_crash(rng), 3u);
+  EXPECT_EQ(telemetry::MetricRegistry::global()
+                .counter("nvm.crash.pages_scrambled")
+                .value(),
+            before + 3);
+  // A second crash with nothing unflushed scrambles nothing.
+  EXPECT_EQ(dev.simulate_crash(rng), 0u);
 }
 
 TEST(NvmDevice, RootOffsetPersistsInHeader) {

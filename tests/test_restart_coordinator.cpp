@@ -6,6 +6,8 @@
 
 #include "common/rng.hpp"
 #include "core/restart.hpp"
+#include "ecc/parity_group.hpp"
+#include "fault/injector.hpp"
 
 namespace nvmcp::core {
 namespace {
@@ -141,6 +143,57 @@ TEST_F(RestartCoordinatorTest, LazySoftRestartArmsInsteadOfCopying) {
   EXPECT_TRUE(matches(*c, 9));
   EXPECT_EQ(allocator_->lazy_state(*c),
             vmem::ProtectionManager::LazyState::kDone);
+}
+
+TEST_F(RestartCoordinatorTest, HardRestartFallsBackToParityRebuild) {
+  // Two-rank SPMD group: the fixture is rank 0, a second stack plays the
+  // surviving rank 1. Both register the same chunk id, as the workload
+  // driver does.
+  alloc::Chunk* c = checkpointed_chunk("spmd", 11, /*ship_remote=*/true);
+
+  NvmConfig cfg2;
+  cfg2.capacity = 32 * MiB;
+  cfg2.throttle = false;
+  NvmDevice dev2(cfg2);
+  vmem::Container cont2(dev2);
+  alloc::ChunkAllocator alloc2(cont2);
+  CheckpointConfig ccfg2;
+  ccfg2.rank = 3;
+  CheckpointManager mgr2(alloc2, ccfg2);
+  alloc::Chunk* c2 = alloc2.nvalloc("spmd", 64 * KiB, true);
+  fill(*c2, 12);
+  mgr2.nvchkptall();
+
+  // Protect one epoch with a single parity shard in its own store.
+  NvmConfig pcfg;
+  pcfg.capacity = 32 * MiB;
+  pcfg.throttle = false;
+  net::RemoteStore parity_store(pcfg);
+  ecc::ParityCheckpointGroup group({mgr_.get(), &mgr2},
+                                   net::RemoteMemory(link_, parity_store),
+                                   /*parity_shards=*/1);
+  ASSERT_GT(group.protect_epoch(), 0u);
+
+  // The buddy store holds the data but an injected outage makes every
+  // fetch fail in transit -- a hard crash while the interconnect to the
+  // buddy is down. Only the parity path can bring rank 0 back.
+  fault::FaultInjector inj;
+  inj.arm(123);
+  inj.set_outage(true);
+  store_->set_fault_injector(&inj);
+  fill(*c, 99);  // live DRAM state dies with the node
+
+  RestartCoordinator::Options opts;
+  opts.parity_rebuild = [&] { return group.recover_ranks({0}); };
+  RestartCoordinator rc(*mgr_, remote_.get(), opts);
+  const RestartReport rep = rc.restart_after(FailureKind::kHard);
+  EXPECT_EQ(rep.status, RestoreStatus::kOkFromRemote);
+  EXPECT_EQ(rep.chunks_parity, 1);
+  EXPECT_EQ(rep.chunks_remote, 0);
+  EXPECT_EQ(rep.chunks_failed, 0);
+  EXPECT_EQ(rep.bytes_parity, 64 * KiB);
+  EXPECT_TRUE(matches(*c, 11));  // byte-correct, from survivors + parity
+  EXPECT_EQ(group.stats().chunks_recovered, 1u);
 }
 
 TEST_F(RestartCoordinatorTest, NonPersistentChunksAreIgnored) {

@@ -1,0 +1,179 @@
+// Parallel multi-stream checkpoint data path: blocking time of the
+// coordinated commit (nvchkptall, the paper's t_lcl) vs copy_threads.
+//
+// Each worker of the sharded commit drives its own NVMBW_core stream
+// limiter (400 MiB/s, the paper's per-core budget), so on an unthrottled
+// device the blocking time should fall ~linearly with the thread count —
+// the limiter sleeps overlap. On a throttled PCM device the device-global
+// limiter caps the aggregate at ~2 GB/s, so the curve flattens once
+// copy_threads * NVMBW_core crosses the device bandwidth (between 4 and
+// 8 threads here): per-stream parallelism buys speedup only up to the
+// device's aggregate budget.
+//
+// Output: console table + bench_parallel_ckpt.csv + a RunReport JSON.
+//
+// --smoke: CI perf gate. Runs only the unthrottled device at {1, 4}
+// threads and exits 1 if the 4-thread blocking time is not >= 1.5x better
+// than serial.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/nvmalloc.hpp"
+#include "local_experiment.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/manager.hpp"
+#include "telemetry/telemetry.hpp"
+#include "vmem/container.hpp"
+
+namespace nvmcp::bench {
+namespace {
+
+/// Mixed chunk sizes (MiB) so the largest-first sharding has real
+/// balancing work: 128 MiB total across 15 chunks, 1..24 MiB each.
+constexpr std::size_t kChunkMiB[] = {24, 20, 16, 12, 12, 8, 8,
+                                     8,  6,  4,  4,  2,  2, 1, 1};
+
+struct DeviceCase {
+  std::string label;
+  bool throttle = false;
+};
+
+struct Point {
+  std::size_t threads = 0;
+  double blocking = 0;  // best-of-N nvchkptall seconds
+  double rate = 0;      // payload / blocking
+  double speedup = 0;   // vs threads == 1 on the same device
+};
+
+/// One full measurement: fresh device + allocator + manager at the given
+/// thread count, full-dirty payload, best blocking time over `iters`
+/// coordinated checkpoints.
+double measure_blocking(const DeviceCase& dc, std::size_t threads,
+                        int iters, std::size_t* payload_out) {
+  NvmConfig ncfg;
+  ncfg.capacity = 512 * MiB;  // 2x slots for 128 MiB payload + metadata
+  ncfg.spec = NvmSpec::pcm();
+  ncfg.throttle = dc.throttle;
+  NvmDevice dev(ncfg);
+  vmem::Container cont(dev);
+  alloc::ChunkAllocator allocator(cont);
+
+  core::CheckpointConfig ccfg;
+  ccfg.local_policy = core::PrecopyPolicy::kNone;
+  ccfg.nvm_bw_per_core = 400.0 * MiB;  // per-stream NVMBW_core
+  ccfg.copy_threads = threads;
+  core::CheckpointManager mgr(allocator, ccfg);
+
+  std::vector<alloc::Chunk*> chunks;
+  std::size_t payload = 0;
+  int idx = 0;
+  for (const std::size_t mib : kChunkMiB) {
+    alloc::Chunk* c = allocator.nvalloc(
+        "par_chunk" + std::to_string(idx++), mib * MiB, true);
+    std::memset(c->data(), 0x5a, c->size());
+    chunks.push_back(c);
+    payload += c->size();
+  }
+  if (payload_out) *payload_out = payload;
+
+  mgr.nvchkptall();  // warm-up: first full copy, arms page tracking
+
+  double best = 1e30;
+  for (int it = 0; it < iters; ++it) {
+    // Re-dirty every page (one stamped word per 4 KiB) so each measured
+    // checkpoint moves the full payload, not a diff.
+    for (alloc::Chunk* c : chunks) {
+      auto* p = static_cast<unsigned char*>(c->data());
+      for (std::size_t off = 0; off < c->size(); off += 4096) {
+        p[off] = static_cast<unsigned char>(it + 1);
+      }
+    }
+    const double t = mgr.nvchkptall();
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+int run(bool smoke) {
+  telemetry::init_from_env();
+
+  const std::vector<DeviceCase> devices =
+      smoke ? std::vector<DeviceCase>{{"unthrottled", false}}
+            : std::vector<DeviceCase>{{"unthrottled", false},
+                                      {"PCM 2 GB/s", true}};
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  const int iters = smoke ? 2 : 3;
+  const std::string csv = smoke ? std::string{} : "bench_parallel_ckpt.csv";
+
+  telemetry::RunReport report("bench_parallel_ckpt");
+  report.config()["payload_mib"] = 128.0;
+  report.config()["nvm_bw_per_core"] = 400.0 * MiB;
+  report.config()["smoke"] = smoke;
+  Json& points = report.section("points");
+
+  TableWriter table(
+      "Parallel checkpoint data path -- blocking t_lcl vs copy_threads\n"
+      "   (sharded nvchkptall, one 400 MiB/s NVMBW_core stream per worker)",
+      {"device", "copy_threads", "blocking time", "effective rate",
+       "speedup vs 1"},
+      csv);
+
+  bool smoke_ok = true;
+  for (const DeviceCase& dc : devices) {
+    std::vector<Point> pts;
+    for (const std::size_t threads : thread_counts) {
+      std::size_t payload = 0;
+      Point p;
+      p.threads = threads;
+      p.blocking = measure_blocking(dc, threads, iters, &payload);
+      p.rate = static_cast<double>(payload) / p.blocking;
+      p.speedup = pts.empty() ? 1.0 : pts.front().blocking / p.blocking;
+      pts.push_back(p);
+
+      table.row({dc.label, std::to_string(threads),
+                 format_seconds(p.blocking), format_bandwidth(p.rate),
+                 TableWriter::num(p.speedup) + "x"});
+
+      Json point;
+      point["device"] = dc.label;
+      point["copy_threads"] = static_cast<std::uint64_t>(threads);
+      point["blocking_seconds"] = p.blocking;
+      point["effective_rate"] = p.rate;
+      point["speedup_vs_serial"] = p.speedup;
+      points.push_back(std::move(point));
+    }
+    if (smoke) {
+      const double speedup = pts.back().speedup;
+      smoke_ok = speedup >= 1.5;
+      std::printf("  smoke gate: 4-thread speedup %.2fx (need >= 1.50x) %s\n",
+                  speedup, smoke_ok ? "OK" : "FAIL");
+    }
+  }
+  table.print();
+
+  if (!csv.empty()) {
+    const std::string path = report_path_for(csv);
+    if (report.write(path)) {
+      std::printf("  run report: %s\n", path.c_str());
+    }
+  }
+  telemetry::flush_trace();
+  return smoke_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nvmcp::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return nvmcp::bench::run(smoke);
+}

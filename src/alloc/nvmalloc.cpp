@@ -173,10 +173,11 @@ Chunk* ChunkAllocator::nvrealloc(std::uint64_t id, std::size_t new_size) {
     const std::size_t keep = std::min<std::size_t>(rec.size, new_size);
     std::vector<std::byte> tmp(new_size, std::byte{0});
     dev.read(rec.slot_off[rec.committed], tmp.data(), keep);
-    dev.write(new_slots[0], tmp.data(), new_size);
+    std::uint64_t sum = crc64_init();
+    dev.write(new_slots[0], tmp.data(), new_size, nullptr, &sum);
     dev.flush(new_slots[0], new_size);
     new_committed = 0;
-    new_checksum = crc64(tmp.data(), new_size);
+    new_checksum = crc64_final(sum);
     new_epoch = rec.epoch[rec.committed];
   }
   container_->free_region(rec.slot_off[0], rec.size);
@@ -285,24 +286,32 @@ double ChunkAllocator::precopy_chunk(Chunk& c, std::uint64_t epoch,
     c.tracker_.dirty_local.store(true, std::memory_order_release);
   }
 
-  const std::uint64_t sum = crc64(c.dram_, c.size_);
+  // The checksum is fused into the copy (one pass over the payload
+  // instead of a CRC pass followed by a copy pass) and is computed from
+  // the DESTINATION bytes, so (checksum, slot) is internally consistent
+  // by construction even when stores race the copy: the committed slot
+  // always verifies, and the racing store merely re-marks the chunk dirty
+  // via the fault counter above so its value lands next epoch. (The old
+  // CRC-then-copy order had a tear window between the two passes.)
   auto& dev = container_->device();
   const vmem::ChunkRecord& rec = *c.record_;
   const std::uint32_t slot = rec.in_progress_slot();
+  std::uint64_t sum = crc64_init();
   double secs;
   if (c.mode_ == vmem::TrackMode::kMprotectPage) {
-    secs = copy_dirty_pages_locked(c, slot, stream);
+    secs = copy_dirty_pages_locked(c, slot, stream, &sum);
   } else {
-    secs = dev.write(rec.slot_off[slot], c.dram_, c.size_, stream);
+    secs = dev.write(rec.slot_off[slot], c.dram_, c.size_, stream, &sum);
   }
   dev.flush(rec.slot_off[slot], c.size_);
-  c.pending_checksum_ = sum;
+  c.pending_checksum_ = crc64_final(sum);
   c.precopied_epoch_ = epoch;
   return secs;
 }
 
 double ChunkAllocator::copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
-                                               BandwidthLimiter* stream) {
+                                               BandwidthLimiter* stream,
+                                               std::uint64_t* crc_state) {
   auto& prot = vmem::ProtectionManager::instance();
   auto& dev = container_->device();
   const vmem::ChunkRecord& rec = *c.record_;
@@ -316,23 +325,35 @@ double ChunkAllocator::copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
     c.slot_pages_pending_[1][p] = 1;
   }
 
+  // Walk the payload in offset order, alternating runs of pending and
+  // clean pages: pending runs are written (CRC fused into the copy),
+  // clean runs only feed the CRC — the whole-chunk checksum covers every
+  // byte while only dirty pages move.
   auto& pending = c.slot_pages_pending_[slot];
   double secs = 0;
   std::size_t p = 0;
   while (p < pending.size()) {
-    if (!pending[p]) {
-      ++p;
-      continue;
-    }
+    const bool run_pending = pending[p] != 0;
     std::size_t q = p;
-    while (q < pending.size() && pending[q]) ++q;
+    while (q < pending.size() && (pending[q] != 0) == run_pending) ++q;
     const std::size_t off = p * page;
     if (off < c.size_) {
       const std::size_t len = std::min(q * page, c.size_) - off;
-      secs += dev.write(rec.slot_off[slot] + off, c.dram_ + off, len,
-                        stream);
+      if (run_pending) {
+        secs += dev.write(rec.slot_off[slot] + off, c.dram_ + off, len,
+                          stream, crc_state);
+      } else if (crc_state) {
+        // Clean runs feed the CRC from the slot's own bytes, not from
+        // DRAM: a store racing this walk could change DRAM after the run
+        // was classified clean, and the checksum must describe the slot
+        // content the commit will publish.
+        *crc_state = crc64_update(
+            *crc_state, dev.data() + rec.slot_off[slot] + off, len);
+      }
     }
-    for (std::size_t i = p; i < q; ++i) pending[i] = 0;
+    if (run_pending) {
+      for (std::size_t i = p; i < q; ++i) pending[i] = 0;
+    }
     p = q;
   }
   return secs;
@@ -365,9 +386,11 @@ RestoreStatus ChunkAllocator::restore_chunk(Chunk& c) {
   const vmem::ChunkRecord& rec = *c.record_;
   if (!rec.has_committed()) return RestoreStatus::kNoData;
   auto& dev = container_->device();
-  dev.read(rec.slot_off[rec.committed], c.dram_, c.size_);
+  std::uint64_t sum = crc64_init();
+  dev.read(rec.slot_off[rec.committed], c.dram_, c.size_, nullptr,
+           opts_.verify_checksums ? &sum : nullptr);
   if (opts_.verify_checksums &&
-      crc64(c.dram_, c.size_) != rec.checksum[rec.committed]) {
+      crc64_final(sum) != rec.checksum[rec.committed]) {
     return RestoreStatus::kChecksumMismatch;
   }
   c.tracker_.mark_dirty();  // restored data is not yet re-checkpointed
@@ -395,9 +418,12 @@ vmem::ProtectionManager::LazyState ChunkAllocator::lazy_state(
 bool ChunkAllocator::read_committed(const Chunk& c, void* dst) const {
   const vmem::ChunkRecord& rec = *c.record_;
   if (!rec.has_committed()) return false;
-  container_->device().read(rec.slot_off[rec.committed], dst, rec.size);
+  std::uint64_t sum = crc64_init();
+  container_->device().read(rec.slot_off[rec.committed], dst, rec.size,
+                            nullptr,
+                            opts_.verify_checksums ? &sum : nullptr);
   if (opts_.verify_checksums &&
-      crc64(dst, rec.size) != rec.checksum[rec.committed]) {
+      crc64_final(sum) != rec.checksum[rec.committed]) {
     return false;
   }
   return true;

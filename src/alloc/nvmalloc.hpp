@@ -99,9 +99,13 @@ class ChunkAllocator {
   // --- checkpoint primitives -------------------------------------------
   /// Copy the DRAM payload into the chunk's in-progress NVM slot and flush
   /// it; records the payload checksum and `epoch` in the chunk (not yet in
-  /// the persistent record). Clears dirty_local and re-arms protection
-  /// *before* copying, so a store racing with the copy re-marks the chunk
-  /// dirty and the torn slot is never committed. Returns seconds spent.
+  /// the persistent record). The checksum is computed inline with the copy
+  /// (single pass over the payload). Clears dirty_local and re-arms
+  /// protection *before* copying, so a store racing with the copy re-marks
+  /// the chunk dirty and the torn slot is never committed. Thread-safe for
+  /// distinct chunks (the sharded commit path runs one worker per chunk);
+  /// callers must never run two copies of the SAME chunk concurrently.
+  /// Returns seconds spent.
   double precopy_chunk(Chunk& c, std::uint64_t epoch,
                        BandwidthLimiter* stream = nullptr);
 
@@ -138,9 +142,12 @@ class ChunkAllocator {
   Chunk* alloc_common(std::uint64_t id, std::size_t size, bool persistent,
                       std::string_view name, void* attach_src);
   void release_chunk_locked(Chunk& c, bool free_regions);
-  /// Page-level tracking mode: copy only the pages pending for `slot`.
+  /// Page-level tracking mode: copy only the pages pending for `slot`,
+  /// folding every payload byte (copied or clean) into `crc_state` so the
+  /// whole-chunk checksum comes out of the same pass.
   double copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
-                                 BandwidthLimiter* stream);
+                                 BandwidthLimiter* stream,
+                                 std::uint64_t* crc_state);
 
   vmem::Container* container_;
   Options opts_;

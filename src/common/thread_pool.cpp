@@ -33,10 +33,22 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // One blocked range per worker, not one queued task per index: a
+  // million-index loop costs `size()` allocations and queue operations
+  // instead of a million.
+  const std::size_t blocks = std::min(n, std::max<std::size_t>(size(), 1));
+  const std::size_t base = n / blocks;
+  const std::size_t extra = n % blocks;  // first `extra` blocks get +1
   std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futs.push_back(submit([&fn, i] { fn(i); }));
+  futs.reserve(blocks);
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t end = begin + base + (b < extra ? 1 : 0);
+    futs.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
   }
   for (auto& f : futs) f.get();
 }

@@ -1,6 +1,7 @@
 // Checkpoint policy configuration (paper Section IV).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/units.hpp"
@@ -38,6 +39,14 @@ struct CheckpointConfig {
   /// (useful when only the shared device limit should apply).
   double nvm_bw_per_core = 400.0 * MiB;
 
+  /// Copier threads for the coordinated commit (nvchkptall), restore_all
+  /// and the background pre-copy scan. Each worker drives its own
+  /// NVMBW_core stream limiter (the paper's concurrent-copier model,
+  /// Fig 4) while the device-global limiter still caps the aggregate.
+  /// 0 = resolve from the NVMCP_COPY_THREADS environment variable,
+  /// defaulting to 1 (serial); an explicit value ignores the environment.
+  std::size_t copy_threads = 0;
+
   /// Cadence of the background pre-copy scan loop.
   double precopy_scan_period = 2e-3;
 
@@ -60,6 +69,11 @@ struct CheckpointConfig {
   /// Rank of this process within its node (used for remote put keys).
   std::uint32_t rank = 0;
 };
+
+/// Resolve CheckpointConfig::copy_threads: 0 consults NVMCP_COPY_THREADS
+/// (clamped to [1, 64]; unset or unparsable means 1), anything else is
+/// returned unchanged.
+std::size_t resolve_copy_threads(std::size_t configured);
 
 struct RemoteConfig {
   PrecopyPolicy policy = PrecopyPolicy::kDcpcp;

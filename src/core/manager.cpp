@@ -1,17 +1,64 @@
 #include "core/manager.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <future>
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
 #include "telemetry/trace.hpp"
 
 namespace nvmcp::core {
+namespace {
+
+/// Size-balanced shards, largest chunk first (LPT scheduling): sort the
+/// work descending by payload size, then greedily place each chunk on the
+/// least-loaded shard. Deterministic for a given work list.
+std::vector<std::vector<alloc::Chunk*>> shard_by_size(
+    std::vector<alloc::Chunk*> work, std::size_t shards) {
+  std::stable_sort(work.begin(), work.end(),
+                   [](const alloc::Chunk* a, const alloc::Chunk* b) {
+                     return a->size() > b->size();
+                   });
+  std::vector<std::vector<alloc::Chunk*>> out(shards);
+  std::vector<std::uint64_t> load(shards, 0);
+  for (alloc::Chunk* c : work) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    out[best].push_back(c);
+    load[best] += c->size();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t resolve_copy_threads(std::size_t configured) {
+  if (configured != 0) return configured;
+  const char* env = std::getenv("NVMCP_COPY_THREADS");
+  if (!env || !*env) return 1;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || v == 0) return 1;
+  return std::min<std::size_t>(v, 64);
+}
 
 CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
                                      CheckpointConfig cfg)
     : alloc_(&allocator), cfg_(cfg), stream_(cfg.nvm_bw_per_core),
-      prediction_(cfg.learn_alpha) {
+      prediction_(cfg.learn_alpha),
+      copy_threads_(resolve_copy_threads(cfg.copy_threads)) {
+  if (copy_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(copy_threads_);
+    worker_streams_.reserve(copy_threads_);
+    for (std::size_t i = 0; i < copy_threads_; ++i) {
+      worker_streams_.push_back(
+          std::make_unique<BandwidthLimiter>(cfg.nvm_bw_per_core));
+    }
+  }
   interval_start_ = now_seconds();
   m_.local_checkpoints = &metrics_.counter("ckpt.local_checkpoints");
   m_.bytes_coordinated = &metrics_.counter("ckpt.bytes_coordinated");
@@ -46,6 +93,33 @@ void CheckpointManager::stop() {
   }
   engine_cv_.notify_all();
   if (engine_.joinable()) engine_.join();
+}
+
+void CheckpointManager::run_sharded(
+    const std::vector<alloc::Chunk*>& work,
+    const std::function<void(alloc::Chunk&, BandwidthLimiter*)>& op) {
+  const auto shards = shard_by_size(work, copy_threads_);
+  std::vector<std::future<void>> futs;
+  futs.reserve(shards.size());
+  for (std::size_t w = 0; w < shards.size(); ++w) {
+    if (shards[w].empty()) continue;
+    BandwidthLimiter* stream = worker_streams_[w].get();
+    const std::vector<alloc::Chunk*>& shard = shards[w];
+    futs.push_back(pool_->submit([&op, &shard, stream] {
+      for (alloc::Chunk* c : shard) op(*c, stream);
+    }));
+  }
+  // Join every worker before surfacing a failure so no task outlives the
+  // shard vectors (or the lock the caller holds).
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 double CheckpointManager::learned_interval() const {
@@ -86,6 +160,7 @@ void CheckpointManager::precopy_loop() {
     if (delayed && !threshold_reached()) continue;
 
     const std::uint64_t epoch = next_epoch();
+    std::vector<alloc::Chunk*> eligible;
     for (alloc::Chunk* c : alloc_->chunks()) {
       if (!running_.load(std::memory_order_acquire)) return;
       if (!c->persistent() || !c->dirty_local()) continue;
@@ -96,6 +171,27 @@ void CheckpointManager::precopy_loop() {
                   std::memory_order_acquire))) {
         continue;  // hot chunk: expected to be modified again, skip
       }
+      eligible.push_back(c);
+    }
+
+    if (copy_threads_ > 1 && eligible.size() > 1) {
+      // Sharded scan: up to copy_threads_ chunks move concurrently per
+      // batch, each on its own NVMBW_core stream. The checkpoint mutex is
+      // held per batch (not for the whole scan) so the coordinated step
+      // can still preempt between batches, as it could between chunks.
+      for (std::size_t i = 0; i < eligible.size(); i += copy_threads_) {
+        if (!running_.load(std::memory_order_acquire)) return;
+        const std::size_t end =
+            std::min(eligible.size(), i + copy_threads_);
+        precopy_batch({eligible.begin() + static_cast<std::ptrdiff_t>(i),
+                       eligible.begin() + static_cast<std::ptrdiff_t>(end)},
+                      epoch);
+      }
+      continue;
+    }
+
+    for (alloc::Chunk* c : eligible) {
+      if (!running_.load(std::memory_order_acquire)) return;
       double secs = 0;
       {
         std::lock_guard<std::mutex> lock(ckpt_mu_);
@@ -110,6 +206,30 @@ void CheckpointManager::precopy_loop() {
   }
 }
 
+void CheckpointManager::precopy_batch(
+    const std::vector<alloc::Chunk*>& batch, std::uint64_t epoch) {
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> passes{0};
+  std::atomic<std::uint64_t> nanos{0};
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    telemetry::Span span("precopy_batch", "ckpt.local");
+    run_sharded(batch, [&](alloc::Chunk& c, BandwidthLimiter* stream) {
+      if (!c.dirty_local()) return;  // raced with the coordinated step
+      const double secs = alloc_->precopy_chunk(c, epoch, stream);
+      bytes.fetch_add(c.size(), std::memory_order_relaxed);
+      passes.fetch_add(1, std::memory_order_relaxed);
+      nanos.fetch_add(static_cast<std::uint64_t>(secs * 1e9),
+                      std::memory_order_relaxed);
+    });
+  }
+  // Per-worker tallies merge into the registry once, after the join.
+  m_.bytes_precopied->add(bytes.load(std::memory_order_relaxed));
+  m_.precopy_seconds->add(
+      static_cast<double>(nanos.load(std::memory_order_relaxed)) * 1e-9);
+  m_.precopy_passes->add(passes.load(std::memory_order_relaxed));
+}
+
 double CheckpointManager::nvchkptall() {
   std::lock_guard<std::mutex> lock(ckpt_mu_);
   telemetry::Span span("nvchkptall", "ckpt.local");
@@ -120,7 +240,11 @@ double CheckpointManager::nvchkptall() {
   std::uint64_t bytes_this_step = 0;
   std::uint64_t bytes_committed_total = 0;
   std::uint64_t committed_precopy = 0, recopied = 0, skipped = 0;
+  std::vector<alloc::Chunk*> residual;
 
+  // Classification pass (serial, metadata-only): commit-from-precopy
+  // flips and skip decisions are cheap; the residual-dirty copies — the
+  // paper's D/BW blocking cost — are collected and sharded below.
   for (alloc::Chunk* c : alloc_->chunks()) {
     if (!c->persistent()) continue;
     const bool dirty =
@@ -134,7 +258,7 @@ double CheckpointManager::nvchkptall() {
       ++committed_precopy;
     } else if (dirty || !c->record().has_committed()) {
       // Residual dirty data: this is the copying the blocking step pays.
-      alloc_->checkpoint_chunk(*c, epoch, &stream_);
+      residual.push_back(c);
       bytes_this_step += c->size();
       bytes_committed_total += c->size();
       ++recopied;
@@ -148,6 +272,22 @@ double CheckpointManager::nvchkptall() {
         c->id(),
         c->tracker().mods_in_interval.exchange(0,
                                                std::memory_order_acq_rel));
+  }
+
+  if (copy_threads_ > 1 && residual.size() > 1) {
+    // Sharded commit: each worker copies+commits its own chunks on its
+    // own NVMBW_core stream. Workers never share a chunk, every commit
+    // touches only that chunk's record, and ckpt_mu_ is held across the
+    // join, so the crash-ordering of each per-chunk commit is unchanged
+    // from the serial path.
+    run_sharded(residual,
+                [this, epoch](alloc::Chunk& c, BandwidthLimiter* stream) {
+                  alloc_->checkpoint_chunk(c, epoch, stream);
+                });
+  } else {
+    for (alloc::Chunk* c : residual) {
+      alloc_->checkpoint_chunk(*c, epoch, &stream_);
+    }
   }
 
   next_epoch_.fetch_add(1, std::memory_order_acq_rel);
@@ -196,9 +336,28 @@ double CheckpointManager::nvchkptid(std::uint64_t id) {
 RestoreStatus CheckpointManager::restore_all() {
   std::lock_guard<std::mutex> lock(ckpt_mu_);
   telemetry::Span span("restore_all", "ckpt.restart");
-  RestoreStatus worst = RestoreStatus::kOk;
+  std::vector<alloc::Chunk*> work;
   for (alloc::Chunk* c : alloc_->chunks()) {
-    if (!c->persistent()) continue;
+    if (c->persistent()) work.push_back(c);
+  }
+  if (copy_threads_ > 1 && work.size() > 1) {
+    // Sharded restore: NVM reads are fast (Table I) but still metered by
+    // the device-global limiter, so concurrent readers overlap their
+    // throttle sleeps. The worst status is folded with an atomic max
+    // (RestoreStatus values are ordered by severity).
+    std::atomic<int> worst{static_cast<int>(RestoreStatus::kOk)};
+    run_sharded(work, [this, &worst](alloc::Chunk& c, BandwidthLimiter*) {
+      const int st = static_cast<int>(alloc_->restore_chunk(c));
+      int cur = worst.load(std::memory_order_relaxed);
+      while (st > cur &&
+             !worst.compare_exchange_weak(cur, st,
+                                          std::memory_order_relaxed)) {
+      }
+    });
+    return static_cast<RestoreStatus>(worst.load(std::memory_order_relaxed));
+  }
+  RestoreStatus worst = RestoreStatus::kOk;
+  for (alloc::Chunk* c : work) {
     const RestoreStatus st = alloc_->restore_chunk(*c);
     if (static_cast<int>(st) > static_cast<int>(worst)) worst = st;
   }

@@ -16,10 +16,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "alloc/nvmalloc.hpp"
+#include "common/thread_pool.hpp"
 #include "core/config.hpp"
 #include "core/prediction.hpp"
 #include "core/stats.hpp"
@@ -83,16 +87,41 @@ class CheckpointManager {
   /// pre-copy engine and the coordinated step of this rank.
   BandwidthLimiter& stream_limiter() { return stream_; }
 
+  /// Resolved copier-thread count (config knob or NVMCP_COPY_THREADS).
+  /// 1 = the serial legacy data path; >1 = sharded commit/restore/pre-copy
+  /// across an internal pool, one NVMBW_core stream per worker.
+  std::size_t copy_threads() const { return copy_threads_; }
+
  private:
   void precopy_loop();
   bool threshold_reached() const;
   void end_interval_bookkeeping(double blocking_secs,
                                 std::uint64_t bytes_this_ckpt);
 
+  /// Run `op(chunk, worker_stream)` over `work`, sharded size-balanced
+  /// (largest-first) across the copier pool; joins every worker before
+  /// returning and rethrows the first worker exception. Requires
+  /// copy_threads_ > 1. Caller holds ckpt_mu_.
+  void run_sharded(
+      const std::vector<alloc::Chunk*>& work,
+      const std::function<void(alloc::Chunk&, BandwidthLimiter*)>& op);
+  /// Pre-copy one batch (<= copy_threads_ chunks) under ckpt_mu_,
+  /// merging byte/pass/seconds tallies into the telemetry counters.
+  void precopy_batch(const std::vector<alloc::Chunk*>& batch,
+                     std::uint64_t epoch);
+
   alloc::ChunkAllocator* alloc_;
   CheckpointConfig cfg_;
   BandwidthLimiter stream_;
   PredictionTable prediction_;
+
+  // Parallel data path: resolved worker count, lazily absent pool (only
+  // built for copy_threads_ > 1) and one per-worker NVMBW_core stream so
+  // concurrent copiers model the paper's per-core bandwidth while the
+  // device-global limiter caps the aggregate.
+  std::size_t copy_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<BandwidthLimiter>> worker_streams_;
 
   std::atomic<std::uint64_t> next_epoch_{1};
 

@@ -85,6 +85,7 @@ Json CampaignSpec::to_json() const {
   j["trials"] = trials;
   j["seed"] = seed;
   j["threads"] = threads;
+  j["copy_threads"] = static_cast<std::uint64_t>(copy_threads);
   j["ranks"] = ranks;
   j["chunks_per_rank"] = chunks_per_rank;
   j["chunk_bytes"] = static_cast<std::uint64_t>(chunk_bytes);
@@ -201,6 +202,7 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
     core::CheckpointConfig ccfg;
     ccfg.local_policy = core::PrecopyPolicy::kNone;
     ccfg.nvm_bw_per_core = 0;  // unthrottled (logical costs are modeled)
+    ccfg.copy_threads = s.copy_threads;
     ccfg.rank = static_cast<std::uint32_t>(r);
     rn.mgr = std::make_unique<core::CheckpointManager>(*rn.alloc, ccfg);
     for (int j = 0; j < s.chunks_per_rank; ++j) {

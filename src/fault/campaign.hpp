@@ -83,6 +83,14 @@ struct CampaignSpec {
   double nvm_bw_core = 400.0 * MiB;
   double link_bw = 5.0e9;
 
+  /// Copier threads for each trial's CheckpointManagers (0 = resolve from
+  /// NVMCP_COPY_THREADS, i.e. CheckpointConfig semantics). >1 exercises
+  /// the sharded commit/restore path under fault injection. Note the
+  /// injector's RNG draw order then depends on thread interleaving, so
+  /// replay determinism of individual fault *points* is relaxed; outcome
+  /// invariants (no undetected loss) must hold regardless.
+  std::size_t copy_threads = 0;
+
   /// Fault rates. horizon and ranks are overwritten by the runner to
   /// match the workload; everything else is caller-controlled.
   FaultPlan::GenSpec faults;

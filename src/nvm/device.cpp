@@ -127,14 +127,15 @@ void NvmDevice::touch_pages(std::size_t off, std::size_t n) {
 }
 
 double NvmDevice::write(std::size_t off, const void* src, std::size_t n,
-                        BandwidthLimiter* stream) {
+                        BandwidthLimiter* stream, std::uint64_t* crc_state) {
   check_range(off, n);
   if (n == 0) return 0.0;
   telemetry::Span span("nvm_write", "nvm");
   const Stopwatch sw;
   if (cfg_.throttle) precise_sleep(cfg_.spec.page_write_latency);
   ThrottledCopier::copy(data_ + off, src, n,
-                        cfg_.throttle ? &write_limiter_ : nullptr, stream);
+                        cfg_.throttle ? &write_limiter_ : nullptr, stream,
+                        crc_state);
   if (injector_ && injector_->armed()) {
     injector_->maybe_tear_write(data_ + off, n);
   }
@@ -148,13 +149,15 @@ double NvmDevice::write(std::size_t off, const void* src, std::size_t n,
 }
 
 double NvmDevice::read(std::size_t off, void* dst, std::size_t n,
-                       BandwidthLimiter* stream) const {
+                       BandwidthLimiter* stream,
+                       std::uint64_t* crc_state) const {
   check_range(off, n);
   if (n == 0) return 0.0;
   const Stopwatch sw;
   if (cfg_.throttle) precise_sleep(cfg_.spec.page_read_latency);
   ThrottledCopier::copy(dst, data_ + off, n,
-                        cfg_.throttle ? &read_limiter_ : nullptr, stream);
+                        cfg_.throttle ? &read_limiter_ : nullptr, stream,
+                        crc_state);
   bytes_read_.fetch_add(n, std::memory_order_relaxed);
   read_calls_.fetch_add(1, std::memory_order_relaxed);
   return sw.elapsed();

@@ -89,13 +89,21 @@ class NvmDevice {
 
   /// Throttled persistent write of n bytes at arena offset `off`.
   /// `stream` optionally imposes an additional per-core/per-stream rate
-  /// (the paper's NVMBW_core knob). Returns seconds spent.
+  /// (the paper's NVMBW_core knob). When `crc_state` is non-null it is
+  /// advanced over the bytes placed in the arena, inline with the copy
+  /// (fused single-pass checksum). Fault injection tears the arena only
+  /// *after* the CRC is taken, so a torn write is still caught at
+  /// restore. Returns seconds spent.
   double write(std::size_t off, const void* src, std::size_t n,
-               BandwidthLimiter* stream = nullptr);
+               BandwidthLimiter* stream = nullptr,
+               std::uint64_t* crc_state = nullptr);
 
   /// Throttled read into dst. Reads are fast (Table I) but still modeled.
+  /// A non-null `crc_state` is advanced over the bytes read, fused with
+  /// the copy, so restore verification needs no second pass.
   double read(std::size_t off, void* dst, std::size_t n,
-              BandwidthLimiter* stream = nullptr) const;
+              BandwidthLimiter* stream = nullptr,
+              std::uint64_t* crc_state = nullptr) const;
 
   /// Account for an in-place store done through data() without the
   /// throttled write path (used for small metadata stores, which on real

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/checksum.hpp"
+
 namespace nvmcp {
 
 TimePoint BandwidthLimiter::acquire(std::size_t bytes) {
@@ -38,11 +40,18 @@ double run_throttled(std::size_t n, BandwidthLimiter* a, BandwidthLimiter* b,
 }  // namespace
 
 double ThrottledCopier::copy(void* dst, const void* src, std::size_t n,
-                             BandwidthLimiter* a, BandwidthLimiter* b) {
+                             BandwidthLimiter* a, BandwidthLimiter* b,
+                             std::uint64_t* crc_state) {
   auto* d = static_cast<unsigned char*>(dst);
   const auto* s = static_cast<const unsigned char*>(src);
   return run_throttled(n, a, b, [&](std::size_t off, std::size_t len) {
     std::memcpy(d + off, s + off, len);
+    // CRC the destination, not the source: the source may be a live
+    // application buffer, and a store landing between the memcpy and a
+    // second source read would make the checksum disagree with the bytes
+    // actually placed in dst. The destination block is private to this
+    // copy (still cache-hot), so checksum == delivered bytes, always.
+    if (crc_state) *crc_state = crc64_update(*crc_state, d + off, len);
   });
 }
 

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <span>
 
@@ -59,9 +60,15 @@ class ThrottledCopier {
   static constexpr std::size_t kBlockSize = 256 * 1024;
 
   /// Copy n bytes from src to dst at the speed allowed by the limiters.
-  /// Any limiter pointer may be null (= unlimited). Returns seconds spent.
+  /// Any limiter pointer may be null (= unlimited). When `crc_state` is
+  /// non-null it is advanced with crc64_update over the destination
+  /// bytes as each block lands (checksum == bytes delivered, even if the
+  /// source is a live application buffer being mutated concurrently),
+  /// block by block while each block is still cache-hot — the fused
+  /// single-pass CRC of the checkpoint data path. Returns seconds spent.
   static double copy(void* dst, const void* src, std::size_t n,
-                     BandwidthLimiter* a, BandwidthLimiter* b = nullptr);
+                     BandwidthLimiter* a, BandwidthLimiter* b = nullptr,
+                     std::uint64_t* crc_state = nullptr);
 
   /// "Transfer" without data movement: consume limiter budget and sleep as
   /// if n bytes moved. Used by the interconnect model where no real

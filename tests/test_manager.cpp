@@ -3,7 +3,9 @@
 // interval/data estimates, and restore.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
@@ -222,6 +224,188 @@ TEST_F(ManagerTest, FaultCountSurfacesInStats) {
   mgr->nvchkptall();
   fill(*a, 2);  // one protection fault (chunk was re-armed by the copy)
   EXPECT_GE(mgr->stats().protection_faults, 1u);
+}
+
+// --- parallel data path (copy_threads) ---------------------------------
+
+/// One independent device + allocator + manager stack, so runs at
+/// different thread counts never share NVM state.
+struct Stack {
+  std::unique_ptr<NvmDevice> dev;
+  std::unique_ptr<vmem::Container> cont;
+  std::unique_ptr<alloc::ChunkAllocator> alloc;
+  std::unique_ptr<CheckpointManager> mgr;
+  std::vector<alloc::Chunk*> chunks;
+};
+
+/// Chunk shapes for the equivalence runs: mixed sizes (so the
+/// largest-first sharding actually has to balance), plus one
+/// non-persistent chunk that must stay untouched by the commit.
+struct ChunkShape {
+  const char* name;
+  std::size_t size;
+  bool persistent;
+};
+constexpr ChunkShape kShapes[] = {
+    {"eq_a", 192 * KiB, true}, {"eq_b", 16 * KiB, true},
+    {"eq_c", 64 * KiB, true},  {"eq_d", 128 * KiB, true},
+    {"eq_e", 8 * KiB, true},   {"eq_f", 48 * KiB, true},
+    {"eq_g", 96 * KiB, true},  {"eq_scratch", 32 * KiB, false},
+};
+
+Stack make_stack(PrecopyPolicy policy, std::size_t copy_threads) {
+  Stack s;
+  NvmConfig ncfg;
+  ncfg.capacity = 64 * MiB;
+  ncfg.throttle = false;
+  s.dev = std::make_unique<NvmDevice>(ncfg);
+  s.cont = std::make_unique<vmem::Container>(*s.dev);
+  s.alloc = std::make_unique<alloc::ChunkAllocator>(*s.cont);
+  CheckpointConfig ccfg;
+  ccfg.local_policy = policy;
+  ccfg.nvm_bw_per_core = 0;
+  ccfg.precopy_scan_period = 1e-3;
+  ccfg.copy_threads = copy_threads;
+  s.mgr = std::make_unique<CheckpointManager>(*s.alloc, ccfg);
+  for (const ChunkShape& sh : kShapes) {
+    s.chunks.push_back(s.alloc->nvalloc(sh.name, sh.size, sh.persistent));
+  }
+  return s;
+}
+
+void fill_chunk(alloc::Chunk& c, std::uint64_t seed) {
+  Rng rng(seed);
+  auto* p = static_cast<std::byte*>(c.data());
+  for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    std::memcpy(p + i, &v, 8);
+  }
+}
+
+/// Everything the coordinated commit persists or counts, captured after a
+/// run so serial and sharded runs can be compared field by field.
+struct CommitObservation {
+  std::uint64_t bytes_coordinated = 0;
+  std::uint64_t local_checkpoints = 0;
+  std::uint64_t committed_epoch = 0;
+  std::vector<std::uint64_t> checksums;  // committed slot, per chunk
+  std::vector<std::uint64_t> epochs;     // committed slot, per chunk
+  std::vector<std::vector<std::byte>> restored;
+};
+
+CommitObservation run_and_observe(std::size_t copy_threads) {
+  Stack s = make_stack(PrecopyPolicy::kNone, copy_threads);
+  EXPECT_EQ(s.mgr->copy_threads(), copy_threads);
+  // Two checkpoints with a partial re-dirty in between, so the second
+  // commit exercises recopy, skip and (non-persistent) ignore together.
+  for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+    fill_chunk(*s.chunks[i], 100 + i);
+  }
+  s.mgr->nvchkptall();
+  for (std::size_t i = 0; i < s.chunks.size(); i += 2) {
+    fill_chunk(*s.chunks[i], 200 + i);
+  }
+  s.mgr->nvchkptall();
+
+  CommitObservation ob;
+  const CheckpointStats st = s.mgr->stats();
+  ob.bytes_coordinated = st.bytes_coordinated;
+  ob.local_checkpoints = st.local_checkpoints;
+  ob.committed_epoch = s.mgr->committed_epoch();
+  for (alloc::Chunk* c : s.chunks) {
+    if (!c->persistent()) continue;
+    const vmem::ChunkRecord& rec = c->record();
+    EXPECT_TRUE(rec.has_committed()) << c->record().name;
+    ob.checksums.push_back(rec.checksum[rec.committed]);
+    ob.epochs.push_back(rec.epoch[rec.committed]);
+  }
+  // Scribble over DRAM, then restore and capture the recovered payloads
+  // (the restart-path byte verification of the acceptance criteria).
+  for (alloc::Chunk* c : s.chunks) fill_chunk(*c, 999);
+  EXPECT_EQ(s.mgr->restore_all(), RestoreStatus::kOk);
+  for (alloc::Chunk* c : s.chunks) {
+    if (!c->persistent()) continue;
+    std::vector<std::byte> bytes(c->size());
+    std::memcpy(bytes.data(), c->data(), c->size());
+    ob.restored.push_back(std::move(bytes));
+  }
+  return ob;
+}
+
+// The tentpole's equivalence criterion: sharding the commit across 4
+// workers must change nothing observable — same coordinated bytes, same
+// per-chunk committed checksums and epochs, same restored payloads.
+TEST_F(ManagerTest, ParallelCommitMatchesSerialByteForByte) {
+  const CommitObservation serial = run_and_observe(1);
+  const CommitObservation sharded = run_and_observe(4);
+
+  EXPECT_EQ(serial.bytes_coordinated, sharded.bytes_coordinated);
+  EXPECT_EQ(serial.local_checkpoints, sharded.local_checkpoints);
+  EXPECT_EQ(serial.committed_epoch, sharded.committed_epoch);
+  ASSERT_EQ(serial.checksums.size(), sharded.checksums.size());
+  for (std::size_t i = 0; i < serial.checksums.size(); ++i) {
+    EXPECT_EQ(serial.checksums[i], sharded.checksums[i]) << "chunk " << i;
+    EXPECT_EQ(serial.epochs[i], sharded.epochs[i]) << "chunk " << i;
+  }
+  ASSERT_EQ(serial.restored.size(), sharded.restored.size());
+  for (std::size_t i = 0; i < serial.restored.size(); ++i) {
+    ASSERT_EQ(serial.restored[i].size(), sharded.restored[i].size());
+    EXPECT_EQ(0, std::memcmp(serial.restored[i].data(),
+                             sharded.restored[i].data(),
+                             serial.restored[i].size()))
+        << "chunk " << i;
+  }
+}
+
+// Sharded commit racing the background pre-copy engine: the engine
+// pre-copies between coordinated steps while rounds keep re-dirtying;
+// every committed chunk must still restore to exactly what was in DRAM at
+// its last checkpoint. The fills hold the commit mutex so they interleave
+// with engine copies at batch granularity (chunks go stale after being
+// pre-copied and must be recopied) without the byte-level store-vs-copy
+// overlap, which is test_stress territory and a TSan report by design.
+TEST_F(ManagerTest, ParallelCommitRacingPrecopyRestoresCleanly) {
+  Stack s = make_stack(PrecopyPolicy::kCpc, 4);
+  s.mgr->start();
+  std::vector<std::vector<std::byte>> golden(s.chunks.size());
+  for (int round = 1; round <= 4; ++round) {
+    {
+      std::lock_guard<std::mutex> fill_lock(s.mgr->commit_mutex());
+      for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+        fill_chunk(*s.chunks[i],
+                   static_cast<std::uint64_t>(round) * 1000 + i);
+      }
+    }
+    precise_sleep(2e-3);  // let the pre-copy engine race ahead
+    s.mgr->nvchkptall();
+    for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+      if (!s.chunks[i]->persistent()) continue;
+      golden[i].resize(s.chunks[i]->size());
+      std::memcpy(golden[i].data(), s.chunks[i]->data(),
+                  s.chunks[i]->size());
+    }
+  }
+  s.mgr->stop();
+  for (alloc::Chunk* c : s.chunks) fill_chunk(*c, 31337);
+  EXPECT_EQ(s.mgr->restore_all(), RestoreStatus::kOk);
+  for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+    if (!s.chunks[i]->persistent()) continue;
+    EXPECT_EQ(0, std::memcmp(s.chunks[i]->data(), golden[i].data(),
+                             golden[i].size()))
+        << "chunk " << i;
+  }
+}
+
+TEST_F(ManagerTest, CopyThreadsResolvesFromEnvironmentWhenZero) {
+  ::setenv("NVMCP_COPY_THREADS", "3", 1);
+  EXPECT_EQ(resolve_copy_threads(0), 3u);
+  EXPECT_EQ(resolve_copy_threads(2), 2u);  // explicit value wins
+  ::setenv("NVMCP_COPY_THREADS", "not-a-number", 1);
+  EXPECT_EQ(resolve_copy_threads(0), 1u);
+  ::setenv("NVMCP_COPY_THREADS", "9999", 1);
+  EXPECT_EQ(resolve_copy_threads(0), 64u);  // clamped
+  ::unsetenv("NVMCP_COPY_THREADS");
+  EXPECT_EQ(resolve_copy_threads(0), 1u);
 }
 
 }  // namespace

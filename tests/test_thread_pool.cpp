@@ -26,6 +26,38 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+// parallel_for now enqueues one blocked range per worker instead of one
+// task per index. With n far above the pool size, every index must still
+// run exactly once — no index double-dispatched across block boundaries,
+// none dropped by the n % workers remainder split.
+TEST(ThreadPool, ParallelForBlockedRangesCoverEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;  // n >> pool size, n % workers == 0
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+
+  // Uneven remainder: 10007 indices over 4 workers (remainder 3).
+  std::vector<std::atomic<int>> odd(10007);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(odd.size(), [&odd, &total](std::size_t i) {
+    ++odd[i];
+    ++total;
+  });
+  EXPECT_EQ(total.load(), odd.size());
+  for (std::size_t i = 0; i < odd.size(); ++i) {
+    ASSERT_EQ(odd[i].load(), 1) << "index " << i;
+  }
+
+  // Fewer indices than workers and the empty range both behave.
+  std::vector<std::atomic<int>> tiny(3);
+  pool.parallel_for(tiny.size(), [&tiny](std::size_t i) { ++tiny[i]; });
+  for (const auto& h : tiny) EXPECT_EQ(h.load(), 1);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "fn ran for n == 0"; });
+}
+
 TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
   ThreadPool pool(1);
   auto fut = pool.submit([] { throw std::runtime_error("boom"); });

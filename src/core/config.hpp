@@ -75,6 +75,56 @@ struct CheckpointConfig {
 /// returned unchanged.
 std::size_t resolve_copy_threads(std::size_t configured);
 
+/// Health of one rank's remote-replication path. Transitions are driven by
+/// the helper's send outcomes (see RemoteCheckpointer):
+///   kHealthy  -> kDegraded   a send exhausted its retry allowance
+///   kDegraded -> kIsolated   `isolate_failures` consecutive failed sends
+///   any       -> kHealthy    `probation_puts` consecutive successful puts
+/// An isolated rank is effectively not remote-protected; RestartCoordinator
+/// consults this to prefer a parity rebuild over a suspect buddy copy.
+enum class RemoteHealth : std::uint8_t { kHealthy, kDegraded, kIsolated };
+
+inline const char* to_string(RemoteHealth h) {
+  switch (h) {
+    case RemoteHealth::kHealthy: return "healthy";
+    case RemoteHealth::kDegraded: return "degraded";
+    case RemoteHealth::kIsolated: return "isolated";
+  }
+  return "?";
+}
+
+/// Retry/timeout/backoff policy for remote checkpoint puts. A transient
+/// link outage retries under this policy instead of silently dropping the
+/// chunk; on exhaustion the coordination round completes *degraded* (the
+/// stale chunks are recorded and re-shipped next round) rather than
+/// pretending the remote cut advanced.
+struct RemoteRetryPolicy {
+  /// Put attempts in phase 1 / eager pre-copy retries happen in the scan
+  /// loop itself, so pre-copy sends use a single attempt.
+  int max_attempts = 4;
+  /// Put attempts during the commit pass. Phase 2 runs under every
+  /// manager's commit mutex, so its retries are bounded separately to cap
+  /// the mutex hold time.
+  int phase2_attempts = 2;
+  /// Wall-clock deadline for one chunk send including its retries.
+  double put_deadline = 0.5;
+  /// Exponential backoff between attempts: base * factor^n, capped at
+  /// backoff_max, each sleep jittered by +/- `jitter` (fraction, from
+  /// common/rng) to de-synchronize ranks hammering a recovering link.
+  double backoff_base = 1e-3;
+  double backoff_factor = 2.0;
+  double backoff_max = 50e-3;
+  double jitter = 0.5;
+  /// Total backoff-sleep budget per coordination round. Once spent, the
+  /// round stops retrying and completes degraded.
+  double round_budget = 1.0;
+  /// Consecutive failed sends before a rank's health drops to kIsolated.
+  int isolate_failures = 6;
+  /// Consecutive successful puts before a degraded/isolated rank is
+  /// considered healthy again (probation).
+  int probation_puts = 3;
+};
+
 struct RemoteConfig {
   PrecopyPolicy policy = PrecopyPolicy::kDcpcp;
   /// Coordinated remote checkpoint interval, seconds (paper: 47-180 s;
@@ -86,6 +136,21 @@ struct RemoteConfig {
   /// remote pre-copy starts ("the delay time before a remote pre-copy is
   /// dependent on the remote checkpoint interval").
   double delay_fraction = 0.4;
+  /// Retry/backoff policy for remote puts.
+  RemoteRetryPolicy retry;
+  /// When true (default), NVMCP_REMOTE_* environment knobs override the
+  /// configured retry fields (ops tuning without a rebuild). Deterministic
+  /// harnesses (chaos campaigns, replay tests) pin this to false.
+  bool retry_from_env = true;
 };
+
+/// Resolve RemoteConfig::retry: applies the NVMCP_REMOTE_MAX_ATTEMPTS,
+/// NVMCP_REMOTE_PHASE2_ATTEMPTS, NVMCP_REMOTE_PUT_DEADLINE,
+/// NVMCP_REMOTE_BACKOFF_BASE, NVMCP_REMOTE_BACKOFF_MAX,
+/// NVMCP_REMOTE_JITTER, NVMCP_REMOTE_ROUND_BUDGET,
+/// NVMCP_REMOTE_ISOLATE_FAILURES and NVMCP_REMOTE_PROBATION_PUTS
+/// environment overrides (unless retry_from_env is false) and clamps every
+/// field to a sane range.
+RemoteRetryPolicy resolve_remote_retry(const RemoteConfig& cfg);
 
 }  // namespace nvmcp::core

@@ -1,6 +1,9 @@
 #include "core/remote.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
@@ -8,19 +11,89 @@
 #include "telemetry/trace.hpp"
 
 namespace nvmcp::core {
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) return fallback;
+  return v;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s) return fallback;
+  return static_cast<int>(v);
+}
+
+template <typename T>
+T clamp_field(T v, T lo, T hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+RemoteRetryPolicy resolve_remote_retry(const RemoteConfig& cfg) {
+  RemoteRetryPolicy p = cfg.retry;
+  if (cfg.retry_from_env) {
+    p.max_attempts = env_int("NVMCP_REMOTE_MAX_ATTEMPTS", p.max_attempts);
+    p.phase2_attempts =
+        env_int("NVMCP_REMOTE_PHASE2_ATTEMPTS", p.phase2_attempts);
+    p.put_deadline = env_double("NVMCP_REMOTE_PUT_DEADLINE", p.put_deadline);
+    p.backoff_base = env_double("NVMCP_REMOTE_BACKOFF_BASE", p.backoff_base);
+    p.backoff_max = env_double("NVMCP_REMOTE_BACKOFF_MAX", p.backoff_max);
+    p.jitter = env_double("NVMCP_REMOTE_JITTER", p.jitter);
+    p.round_budget = env_double("NVMCP_REMOTE_ROUND_BUDGET", p.round_budget);
+    p.isolate_failures =
+        env_int("NVMCP_REMOTE_ISOLATE_FAILURES", p.isolate_failures);
+    p.probation_puts =
+        env_int("NVMCP_REMOTE_PROBATION_PUTS", p.probation_puts);
+  }
+  p.max_attempts = clamp_field(p.max_attempts, 1, 64);
+  p.phase2_attempts = clamp_field(p.phase2_attempts, 1, 16);
+  p.put_deadline = clamp_field(p.put_deadline, 1e-6, 3600.0);
+  p.backoff_base = clamp_field(p.backoff_base, 0.0, 10.0);
+  p.backoff_factor = clamp_field(p.backoff_factor, 1.0, 16.0);
+  p.backoff_max = clamp_field(p.backoff_max, p.backoff_base, 60.0);
+  p.jitter = clamp_field(p.jitter, 0.0, 1.0);
+  p.round_budget = clamp_field(p.round_budget, 0.0, 3600.0);
+  p.isolate_failures = clamp_field(p.isolate_failures, 1, 1 << 20);
+  p.probation_puts = clamp_field(p.probation_puts, 1, 1 << 20);
+  return p;
+}
 
 RemoteCheckpointer::RemoteCheckpointer(
     std::vector<CheckpointManager*> managers, net::RemoteMemory remote,
     RemoteConfig cfg)
-    : managers_(std::move(managers)), remote_(remote), cfg_(cfg) {
+    : managers_(std::move(managers)),
+      remote_(remote),
+      cfg_(cfg),
+      retry_(resolve_remote_retry(cfg)) {
   round_start_ = now_seconds();
   m_.coordinations = &metrics_.counter("remote.coordinations");
   m_.bytes_sent = &metrics_.counter("remote.bytes_sent");
   m_.precopy_puts = &metrics_.counter("remote.precopy_puts");
   m_.coordinated_puts = &metrics_.counter("remote.coordinated_puts");
+  m_.put_retries = &metrics_.counter("remote.put_retries");
+  m_.put_failures = &metrics_.counter("remote.put_failures");
+  m_.degraded_rounds = &metrics_.counter("remote.degraded_rounds");
+  m_.isolations = &metrics_.counter("remote.health.isolations");
+  m_.recoveries = &metrics_.counter("remote.health.recoveries");
   m_.busy_seconds = &metrics_.gauge("remote.busy_seconds");
   m_.wall_seconds = &metrics_.gauge("remote.wall_seconds");
   m_.last_round_seconds = &metrics_.gauge("remote.last_round_seconds");
+  m_.stale_chunks = &metrics_.gauge("remote.stale_chunks");
+  health_.resize(managers_.size());
+  for (std::size_t i = 0; i < managers_.size(); ++i) {
+    health_[i].gauge = &metrics_.gauge(
+        "remote.health.rank" + std::to_string(managers_[i]->config().rank));
+    health_[i].gauge->set(0);
+  }
 }
 
 RemoteCheckpointer::~RemoteCheckpointer() { stop(); }
@@ -29,16 +102,17 @@ void RemoteCheckpointer::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   wall_.reset();
-  round_start_ = now_seconds();
+  {
+    std::lock_guard<std::mutex> lock(round_mu_);
+    round_start_ = now_seconds();
+  }
   helper_ = std::thread([this] { helper_loop(); });
 }
 
 void RemoteCheckpointer::stop() {
-  if (!running_.exchange(false)) {
-    if (helper_.joinable()) helper_.join();
-    return;
-  }
-  cv_.notify_all();
+  // The wall gauge must reflect the helper lifetime even if stop() races
+  // with (or repeats after) another stop, so it is set unconditionally.
+  if (running_.exchange(false)) cv_.notify_all();
   if (helper_.joinable()) helper_.join();
   m_.wall_seconds->set(wall_.elapsed());
 }
@@ -59,49 +133,154 @@ bool RemoteCheckpointer::precopy_gate_open(double round_elapsed) const {
   return false;
 }
 
-std::uint64_t RemoteCheckpointer::send_chunk(std::size_t mgr_idx,
-                                             alloc::Chunk& c,
-                                             bool count_as_precopy,
-                                             bool paced) {
-  CheckpointManager& mgr = *managers_[mgr_idx];
-  if (injector_ && injector_->armed() && injector_->helper_send_blocked()) {
-    return 0;  // stalled or dead helper moves nothing
+void RemoteCheckpointer::record_put_ok(std::size_t mgr_idx) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  HealthSlot& h = health_[mgr_idx];
+  h.consecutive_failures = 0;
+  if (h.state == RemoteHealth::kHealthy) return;
+  if (++h.probation_successes >= retry_.probation_puts) {
+    log_info("remote path for rank %u back to healthy after probation",
+             managers_[mgr_idx]->config().rank);
+    h.state = RemoteHealth::kHealthy;
+    h.probation_successes = 0;
+    h.gauge->set(0);
+    m_.recoveries->add(1);
   }
+}
+
+void RemoteCheckpointer::record_put_failure(std::size_t mgr_idx) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  HealthSlot& h = health_[mgr_idx];
+  h.probation_successes = 0;
+  ++h.consecutive_failures;
+  if (h.state == RemoteHealth::kHealthy) {
+    h.state = RemoteHealth::kDegraded;
+    h.gauge->set(1);
+  }
+  if (h.state == RemoteHealth::kDegraded &&
+      h.consecutive_failures >= retry_.isolate_failures) {
+    log_warn("remote path for rank %u isolated after %d consecutive "
+             "failed sends",
+             managers_[mgr_idx]->config().rank, h.consecutive_failures);
+    h.state = RemoteHealth::kIsolated;
+    h.gauge->set(2);
+    m_.isolations->add(1);
+  }
+}
+
+void RemoteCheckpointer::isolate_all_ranks() {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  for (HealthSlot& h : health_) {
+    h.probation_successes = 0;
+    if (h.state != RemoteHealth::kIsolated) {
+      h.state = RemoteHealth::kIsolated;
+      h.gauge->set(2);
+      m_.isolations->add(1);
+    }
+  }
+}
+
+RemoteHealth RemoteCheckpointer::health(std::size_t mgr_idx) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_[mgr_idx].state;
+}
+
+CoordinationOutcome RemoteCheckpointer::last_coordination() const {
+  std::lock_guard<std::mutex> lock(round_mu_);
+  return last_outcome_;
+}
+
+std::vector<StaleChunk> RemoteCheckpointer::stale() const {
+  std::lock_guard<std::mutex> lock(round_mu_);
+  return stale_;
+}
+
+RemoteCheckpointer::SendResult RemoteCheckpointer::send_chunk(
+    std::size_t mgr_idx, alloc::Chunk& c, bool count_as_precopy, bool paced,
+    int max_attempts, double* backoff_budget) {
+  CheckpointManager& mgr = *managers_[mgr_idx];
   const vmem::ChunkRecord& rec = c.record();
-  if (!rec.has_committed()) return 0;
+  if (!rec.has_committed()) return SendResult{SendStatus::kNothingCommitted};
   const std::uint64_t epoch = rec.epoch[rec.committed];
+
+  // Serialize with the other send path (helper pre-copy vs. external
+  // coordination): the staging buffer, the pace limiter and the jitter
+  // stream are all single-helper state.
+  std::lock_guard<std::mutex> send_lock(send_mu_);
   if (staging_.size() < c.size()) staging_.resize(c.size());
   // Read the stable committed payload from local NVM ("shared NVM
   // support"); a torn read is impossible because committed slots are only
   // replaced after the *next* commit flips away from them, and the commit
-  // pass below re-verifies epochs under the commit mutex.
-  if (!mgr.allocator().read_committed(c, staging_.data())) return 0;
+  // pass re-verifies epochs under the commit mutex.
+  if (!mgr.allocator().read_committed(c, staging_.data())) {
+    return SendResult{SendStatus::kLocalReadFailed};
+  }
   // Pace *before* the busy window: waiting for pace credit is idle time,
   // not helper work (Table V measures the helper core's utilization).
   if (paced && !pace_.unlimited()) {
     sleep_until(pace_.acquire(c.size()));
   }
-  const Stopwatch sw;
-  {
-    telemetry::Span span(count_as_precopy ? "remote_precopy_put"
-                                          : "remote_coordinated_put",
-                         "ckpt.remote");
-    remote_.put(mgr.config().rank, c.id(), staging_.data(), c.size(), epoch,
-                /*commit=*/false);
+
+  SendResult res;
+  const Stopwatch deadline_sw;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Retrying: the attempt count is the primary (deterministic) bound;
+      // the deadline and the round's backoff budget cap wall time.
+      if (deadline_sw.elapsed() >= retry_.put_deadline) break;
+      if (backoff_budget && *backoff_budget <= 0) break;
+      double pause = std::min(
+          retry_.backoff_base * std::pow(retry_.backoff_factor, attempt - 1),
+          retry_.backoff_max);
+      // Jitter de-synchronizes ranks hammering a recovering link. Drawn
+      // from a private stream so retries never perturb injector replay.
+      pause *= 1.0 + retry_.jitter * retry_rng_.uniform(-1.0, 1.0);
+      if (backoff_budget) {
+        pause = std::min(pause, *backoff_budget);
+        *backoff_budget -= pause;
+      }
+      if (pause > 0) precise_sleep(pause);
+      m_.put_retries->add(1);
+    }
+    res.attempts = attempt + 1;
+    if (injector_ && injector_->armed() && injector_->helper_send_blocked()) {
+      res.status = SendStatus::kStalled;
+      // A killed helper never comes back; a stall window might.
+      if (injector_->helper_killed()) break;
+      continue;
+    }
+    const Stopwatch sw;
+    net::PutResult put;
+    {
+      telemetry::Span span(count_as_precopy ? "remote_precopy_put"
+                                            : "remote_coordinated_put",
+                           "ckpt.remote");
+      put = remote_.put(mgr.config().rank, c.id(), staging_.data(), c.size(),
+                        epoch, /*commit=*/false);
+    }
+    m_.busy_seconds->add(sw.elapsed());
+    if (put.ok) {
+      m_.bytes_sent->add(c.size());
+      if (count_as_precopy) {
+        m_.precopy_puts->add(1);
+      } else {
+        m_.coordinated_puts->add(1);
+      }
+      res.status = SendStatus::kOk;
+      res.epoch = epoch;
+      record_put_ok(mgr_idx);
+      return res;
+    }
+    res.status = SendStatus::kDropped;  // lost in transit; retry
   }
-  const double secs = sw.elapsed();
-  m_.bytes_sent->add(c.size());
-  m_.busy_seconds->add(secs);
-  if (count_as_precopy) {
-    m_.precopy_puts->add(1);
-  } else {
-    m_.coordinated_puts->add(1);
-  }
-  return epoch;
+  // Exhausted the retry allowance: a real transport failure, visible to
+  // the health machine and (via the caller) the round outcome.
+  m_.put_failures->add(1);
+  record_put_failure(mgr_idx);
+  return res;
 }
 
 void RemoteCheckpointer::helper_loop() {
-  double deadline = round_start_ + cfg_.interval;
   while (running_.load(std::memory_order_acquire)) {
     {
       std::unique_lock<std::mutex> lock(cv_mu_);
@@ -111,20 +290,30 @@ void RemoteCheckpointer::helper_loop() {
     if (!running_.load(std::memory_order_acquire)) return;
     if (injector_ && injector_->armed() && injector_->helper_killed()) {
       log_warn("remote helper killed by fault injection");
+      isolate_all_ranks();
       return;
     }
 
-    const double now = now_seconds();
-    if (now >= deadline) {
+    // Derive the coordination deadline from round_start_ every iteration
+    // (under round_mu_): an external coordinate_now() advances it, and the
+    // helper must honour that instead of firing a second burst off a
+    // stale cached deadline.
+    double round_start;
+    {
+      std::lock_guard<std::mutex> lock(round_mu_);
+      round_start = round_start_;
+    }
+    const double elapsed = now_seconds() - round_start;
+    if (elapsed >= cfg_.interval) {
       coordinate_now();
-      deadline = now_seconds() + cfg_.interval;
       continue;
     }
 
-    if (!precopy_gate_open(now - round_start_)) continue;
+    if (!precopy_gate_open(elapsed)) continue;
 
     // Eager pre-copy: ship chunks whose local committed epoch moved past
-    // what the remote in-progress slot holds.
+    // what the remote in-progress slot holds. Single attempt per chunk --
+    // the scan loop itself is the retry mechanism here.
     for (std::size_t m = 0; m < managers_.size(); ++m) {
       if (!running_.load(std::memory_order_acquire)) return;
       for (alloc::Chunk* c : managers_[m]->allocator().chunks()) {
@@ -140,25 +329,59 @@ void RemoteCheckpointer::helper_loop() {
           if (it != sent_epoch_.end()) last_sent = it->second;
         }
         if (local_epoch <= last_sent) continue;
-        const std::uint64_t sent =
-            send_chunk(m, *c, /*count_as_precopy=*/true, /*paced=*/true);
-        if (sent) {
+        const SendResult sent =
+            send_chunk(m, *c, /*count_as_precopy=*/true, /*paced=*/true,
+                       /*max_attempts=*/1, /*backoff_budget=*/nullptr);
+        if (sent.ok()) {
           std::lock_guard<std::mutex> lock(round_mu_);
-          sent_epoch_[key] = sent;
+          sent_epoch_[key] = sent.epoch;
         }
       }
     }
   }
 }
 
-void RemoteCheckpointer::coordinate_now() {
-  if (injector_ && injector_->armed() && injector_->helper_killed()) return;
+CoordinationOutcome RemoteCheckpointer::coordinate_now() {
   std::lock_guard<std::mutex> round_lock(round_mu_);
+  CoordinationOutcome out;
+
+  if (injector_ && injector_->armed() && injector_->helper_killed()) {
+    // A dead helper coordinates nothing, but the caller still learns the
+    // truth: every chunk whose remote commit lags the local cut is stale.
+    isolate_all_ranks();
+    stale_.clear();
+    for (std::size_t m = 0; m < managers_.size(); ++m) {
+      for (alloc::Chunk* c : managers_[m]->allocator().chunks()) {
+        if (!c->persistent()) continue;
+        const vmem::ChunkRecord& rec = c->record();
+        if (!rec.has_committed()) continue;
+        const std::uint64_t local_epoch = rec.epoch[rec.committed];
+        const Key key{m, c->id()};
+        auto it = remote_epoch_.find(key);
+        const std::uint64_t have =
+            it != remote_epoch_.end() ? it->second : 0;
+        if (have != local_epoch) {
+          stale_.push_back(StaleChunk{managers_[m]->config().rank, c->id(),
+                                      local_epoch, have});
+        }
+      }
+    }
+    out.helper_dead = true;
+    out.degraded = !stale_.empty();
+    out.stale_chunks = static_cast<int>(stale_.size());
+    m_.stale_chunks->set(static_cast<double>(stale_.size()));
+    if (out.degraded) m_.degraded_rounds->add(1);
+    last_outcome_ = out;
+    return out;
+  }
+
   telemetry::Span span("remote_coordinate", "ckpt.remote");
   const Stopwatch round_sw;
+  double budget = retry_.round_budget;
 
   // Phase 1 (concurrent with the application): top up every chunk whose
-  // remote in-progress payload is stale.
+  // remote in-progress payload is stale, retrying transport failures
+  // under the full policy.
   for (std::size_t m = 0; m < managers_.size(); ++m) {
     for (alloc::Chunk* c : managers_[m]->allocator().chunks()) {
       if (!c->persistent()) continue;
@@ -170,17 +393,27 @@ void RemoteCheckpointer::coordinate_now() {
       if (it != sent_epoch_.end() && it->second == local_epoch) continue;
       // Pre-copy policies smooth even the coordination top-up (it is
       // asynchronous to the application); kNone bursts by definition.
-      const std::uint64_t sent =
+      const SendResult sent =
           send_chunk(m, *c, /*count_as_precopy=*/false,
-                     /*paced=*/cfg_.policy != PrecopyPolicy::kNone);
-      if (sent) sent_epoch_[key] = sent;
+                     /*paced=*/cfg_.policy != PrecopyPolicy::kNone,
+                     retry_.max_attempts, &budget);
+      out.retries += std::max(0, sent.attempts - 1);
+      if (sent.ok()) {
+        sent_epoch_[key] = sent.epoch;
+      } else if (sent.status == SendStatus::kStalled ||
+                 sent.status == SendStatus::kDropped) {
+        ++out.failed_sends;
+      }
     }
   }
 
   // Phase 2 (brief): hold every manager's commit mutex so no local commit
   // interleaves; re-verify epochs (re-sending any chunk that committed
-  // since phase 1) and flip the remote commit pointers. The remote cut is
-  // a single moment's local committed state.
+  // since phase 1, under the tighter phase-2 retry bound so the mutex
+  // hold stays capped) and flip the remote commit pointers. Chunks whose
+  // payload never arrived are recorded stale instead of committed -- the
+  // remote cut stays consistent, just behind.
+  stale_.clear();
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(managers_.size());
   for (CheckpointManager* mgr : managers_) {
@@ -196,19 +429,43 @@ void RemoteCheckpointer::coordinate_now() {
       const std::uint64_t local_epoch = rec.epoch[rec.committed];
       auto it = sent_epoch_.find(key);
       if (it == sent_epoch_.end() || it->second != local_epoch) {
-        const std::uint64_t sent =
-            send_chunk(m, *c, /*count_as_precopy=*/false, /*paced=*/false);
-        if (!sent) continue;
-        sent_epoch_[key] = sent;
+        const SendResult sent =
+            send_chunk(m, *c, /*count_as_precopy=*/false, /*paced=*/false,
+                       retry_.phase2_attempts, &budget);
+        out.retries += std::max(0, sent.attempts - 1);
+        if (!sent.ok()) {
+          if (sent.status == SendStatus::kStalled ||
+              sent.status == SendStatus::kDropped) {
+            ++out.failed_sends;
+          }
+          auto re = remote_epoch_.find(key);
+          stale_.push_back(StaleChunk{
+              mgr.config().rank, c->id(), local_epoch,
+              re != remote_epoch_.end() ? re->second : 0});
+          continue;  // never commit an epoch whose payload is not there
+        }
+        sent_epoch_[key] = sent.epoch;
       }
       remote_.commit(mgr.config().rank, c->id(), local_epoch);
+      // Bookkeeping advances only after a delivered put + commit, so
+      // remote_epoch_ exactly tracks the store's committed ground truth.
       remote_epoch_[key] = local_epoch;
     }
   }
   locks.clear();
 
+  out.degraded = !stale_.empty();
+  out.stale_chunks = static_cast<int>(stale_.size());
   m_.coordinations->add(1);
   m_.last_round_seconds->set(round_sw.elapsed());
+  m_.stale_chunks->set(static_cast<double>(stale_.size()));
+  if (out.degraded) {
+    m_.degraded_rounds->add(1);
+    log_warn("remote coordination degraded: %d chunk(s) remote-stale, "
+             "%d failed send(s), %d retr%s",
+             out.stale_chunks, out.failed_sends, out.retries,
+             out.retries == 1 ? "y" : "ies");
+  }
   // Learning: pace the next interval's eager sends so that this round's
   // data volume spreads over ~80% of the interval instead of bursting.
   // (bytes_at_round_start_ is guarded by round_mu_, held here.)
@@ -220,6 +477,8 @@ void RemoteCheckpointer::coordinate_now() {
                    (0.8 * cfg_.interval));
   }
   round_start_ = now_seconds();
+  last_outcome_ = out;
+  return out;
 }
 
 RemoteStats RemoteCheckpointer::stats() const {
@@ -236,20 +495,10 @@ RemoteStats RemoteCheckpointer::stats() const {
 }
 
 RestoreStatus restore_with_remote(CheckpointManager& mgr,
-                                  net::RemoteMemory& remote) {
-  RestoreStatus worst = RestoreStatus::kOk;
-  for (alloc::Chunk* c : mgr.allocator().chunks()) {
-    if (!c->persistent()) continue;
-    RestoreStatus st = mgr.allocator().restore_chunk(*c);
-    if (st != RestoreStatus::kOk) {
-      if (remote.get(mgr.config().rank, c->id(), c->data(), c->size())) {
-        c->tracker().mark_dirty();
-        st = RestoreStatus::kOkFromRemote;
-      }
-    }
-    if (static_cast<int>(st) > static_cast<int>(worst)) worst = st;
-  }
-  return worst;
+                                  net::RemoteMemory& remote,
+                                  RestartCoordinator::Options opts) {
+  RestartCoordinator rc(mgr, &remote, std::move(opts));
+  return rc.restart_after(FailureKind::kSoft).status;
 }
 
 }  // namespace nvmcp::core

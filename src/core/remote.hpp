@@ -14,6 +14,18 @@
 // manager's commit mutex (so no local commit can interleave), re-verifies
 // epochs and commits all pairs -- the remote committed cut is always some
 // single moment's local committed state.
+//
+// Transport hardening: a put lost in transit (link outage, drop, helper
+// stall) is a first-class recoverable state, not dropped work. Sends
+// retry under RemoteRetryPolicy (exponential backoff with jitter, per-put
+// deadline, per-round budget; phase-2 retries bounded separately so the
+// commit-mutex hold time stays capped). On exhaustion the round completes
+// *degraded*: the chunks whose remote cut is stale are recorded (stale()),
+// the outcome says so, and the next coordination re-ships them. Each
+// rank's transport health walks kHealthy -> kDegraded -> kIsolated on
+// failures and recovers through a probation of successful puts; the state
+// is exported through telemetry ("remote.health.rank<N>") and consulted
+// by RestartCoordinator after a hard crash.
 #pragma once
 
 #include <atomic>
@@ -24,7 +36,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/manager.hpp"
+#include "core/restart.hpp"
 #include "net/remote_memory.hpp"
 
 namespace nvmcp::fault {
@@ -32,6 +46,26 @@ class FaultInjector;
 }
 
 namespace nvmcp::core {
+
+/// One (rank, chunk) pair whose remote committed epoch is behind the local
+/// cut after a degraded coordination round.
+struct StaleChunk {
+  std::uint32_t rank = 0;
+  std::uint64_t chunk_id = 0;
+  std::uint64_t local_epoch = 0;
+  std::uint64_t remote_epoch = 0;  // 0 = never committed remotely
+};
+
+/// What one coordination round achieved. A degraded round is complete and
+/// consistent (everything committed remotely is a true local cut) but the
+/// remote protection of `stale_chunks` chunks lags the local epoch.
+struct CoordinationOutcome {
+  bool degraded = false;
+  bool helper_dead = false;  // a killed helper coordinates nothing
+  int stale_chunks = 0;      // chunks left remote-stale this round
+  int failed_sends = 0;      // sends that exhausted their retry allowance
+  int retries = 0;           // put attempts beyond the first, this round
+};
 
 class RemoteCheckpointer {
  public:
@@ -46,8 +80,21 @@ class RemoteCheckpointer {
   void stop();
 
   /// Run one coordination round synchronously (also used by drivers to
-  /// seal the final remote checkpoint).
-  void coordinate_now();
+  /// seal the final remote checkpoint). Returns what the round achieved;
+  /// callers that ignore the outcome can still observe it later through
+  /// last_coordination() / stale() / the metric registry.
+  CoordinationOutcome coordinate_now();
+
+  /// Outcome of the most recent coordination round.
+  CoordinationOutcome last_coordination() const;
+  /// Chunks whose remote committed epoch lagged the local cut at the end
+  /// of the last coordination round (empty when converged).
+  std::vector<StaleChunk> stale() const;
+  /// Transport health of one manager's replication path (index into the
+  /// constructor's manager list).
+  RemoteHealth health(std::size_t mgr_idx) const;
+  /// Resolved retry policy (config + NVMCP_REMOTE_* overrides).
+  const RemoteRetryPolicy& retry_policy() const { return retry_; }
 
   /// Legacy summary view over metrics() (same numbers, struct shape).
   RemoteStats stats() const;
@@ -57,10 +104,11 @@ class RemoteCheckpointer {
   net::RemoteMemory& remote() { return remote_; }
   const RemoteConfig& config() const { return cfg_; }
 
-  /// Attach a fault injector (chaos campaigns): sends are skipped while a
-  /// helper-stall window is open, and a helper-kill fault makes the
-  /// background loop exit for good (coordinate_now also becomes a no-op,
-  /// as a dead helper coordinates nothing). nullptr detaches.
+  /// Attach a fault injector (chaos campaigns): sends fail while a
+  /// helper-stall window is open (and retry under the policy), and a
+  /// helper-kill fault makes the background loop exit for good --
+  /// coordinate_now then only reports the (degraded) state of the remote
+  /// cut, and every rank's health drops to kIsolated. nullptr detaches.
   void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
 
  private:
@@ -72,18 +120,44 @@ class RemoteCheckpointer {
     }
   };
 
+  /// How one chunk send ended (after retries, for the failure states).
+  enum class SendStatus : std::uint8_t {
+    kOk,                // payload delivered; epoch is valid
+    kNothingCommitted,  // chunk has no committed local version (not a
+                        // failure; there is nothing to protect yet)
+    kLocalReadFailed,   // committed local read failed verification
+    kStalled,           // every attempt hit a helper stall/kill window
+    kDropped,           // every attempt was lost in transit
+  };
+  struct SendResult {
+    SendStatus status = SendStatus::kDropped;
+    std::uint64_t epoch = 0;  // valid iff status == kOk
+    int attempts = 0;         // put attempts actually made
+    bool ok() const { return status == SendStatus::kOk; }
+  };
+
   void helper_loop();
-  /// Send the committed payload of a chunk to the remote in-progress slot.
-  /// Returns the epoch sent (0 if nothing committed locally yet). `paced`
-  /// spreads the transfer at the learned rate (pre-copy smoothing); the
-  /// commit pass sends unpaced because it runs under the commit mutexes.
-  std::uint64_t send_chunk(std::size_t mgr_idx, alloc::Chunk& c,
-                           bool count_as_precopy, bool paced);
+  /// Send the committed payload of a chunk to the remote in-progress slot,
+  /// retrying transport failures up to `max_attempts` times under the
+  /// policy's backoff/deadline. `backoff_budget` (may be null) is the
+  /// round's remaining retry-sleep allowance; sleeps draw it down and no
+  /// retry sleeps once it is spent. `paced` spreads the transfer at the
+  /// learned rate (pre-copy smoothing); the commit pass sends unpaced
+  /// because it runs under the commit mutexes.
+  SendResult send_chunk(std::size_t mgr_idx, alloc::Chunk& c,
+                        bool count_as_precopy, bool paced, int max_attempts,
+                        double* backoff_budget);
   bool precopy_gate_open(double round_elapsed) const;
+
+  // Health-state transitions (take health_mu_).
+  void record_put_ok(std::size_t mgr_idx);
+  void record_put_failure(std::size_t mgr_idx);
+  void isolate_all_ranks();
 
   std::vector<CheckpointManager*> managers_;
   net::RemoteMemory remote_;
   RemoteConfig cfg_;
+  RemoteRetryPolicy retry_;
   fault::FaultInjector* injector_ = nullptr;
 
   std::thread helper_;
@@ -98,12 +172,32 @@ class RemoteCheckpointer {
   BandwidthLimiter pace_{0.0};
   std::uint64_t bytes_at_round_start_ = 0;
 
-  std::mutex round_mu_;  // serializes coordination rounds
+  mutable std::mutex round_mu_;  // serializes coordination rounds
   // Last epoch whose payload was put to the remote in-progress slot.
   std::map<Key, std::uint64_t> sent_epoch_;
-  // Last epoch committed remotely.
+  // Last epoch committed remotely (only recorded after a *successful* put
+  // + commit; a dropped put must never advance this).
   std::map<Key, std::uint64_t> remote_epoch_;
+  std::vector<StaleChunk> stale_;        // guarded by round_mu_
+  CoordinationOutcome last_outcome_;     // guarded by round_mu_
+
+  // The helper moves one chunk at a time (the paper's single helper core):
+  // send_mu_ serializes sends from the background pre-copy loop and an
+  // external coordinate_now(), and guards staging_ + the jitter stream.
+  // Lock order: round_mu_ -> commit mutexes -> send_mu_.
+  std::mutex send_mu_;
   std::vector<std::byte> staging_;
+  Rng retry_rng_{0x7e721e5};  // backoff jitter only; never affects data
+
+  // Per-rank transport health (index == manager index).
+  struct HealthSlot {
+    RemoteHealth state = RemoteHealth::kHealthy;
+    int consecutive_failures = 0;
+    int probation_successes = 0;
+    telemetry::Gauge* gauge = nullptr;  // 0 healthy / 1 degraded / 2 isolated
+  };
+  mutable std::mutex health_mu_;
+  std::vector<HealthSlot> health_;
 
   // Metrics registry + cached handles (see CheckpointManager::m_).
   telemetry::MetricRegistry metrics_;
@@ -112,19 +206,28 @@ class RemoteCheckpointer {
     telemetry::Counter* bytes_sent;
     telemetry::Counter* precopy_puts;
     telemetry::Counter* coordinated_puts;
+    telemetry::Counter* put_retries;
+    telemetry::Counter* put_failures;
+    telemetry::Counter* degraded_rounds;
+    telemetry::Counter* isolations;
+    telemetry::Counter* recoveries;
     telemetry::Gauge* busy_seconds;
     telemetry::Gauge* wall_seconds;
     telemetry::Gauge* last_round_seconds;
+    telemetry::Gauge* stale_chunks;
   } m_{};
   Stopwatch wall_;
-  double round_start_ = 0;
+  double round_start_ = 0;  // guarded by round_mu_ once helper_ runs
 };
 
 /// Restore every persistent chunk of `mgr`, falling back to the remote
 /// store when the local copy is missing or corrupt (the paper's restart
 /// component: "first checks if the checkpoint data is available/consistent
-/// and if not, fetches the data from the remote peer node").
+/// and if not, fetches the data from the remote peer node"). A thin
+/// wrapper over RestartCoordinator's soft path, so it shares the same
+/// status handling and (via `opts`) the parity-rebuild fallback.
 RestoreStatus restore_with_remote(CheckpointManager& mgr,
-                                  net::RemoteMemory& remote);
+                                  net::RemoteMemory& remote,
+                                  RestartCoordinator::Options opts = {});
 
 }  // namespace nvmcp::core

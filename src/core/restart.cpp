@@ -46,6 +46,15 @@ bool RestartCoordinator::try_parity_rebuild(
   return true;
 }
 
+void RestartCoordinator::finalize(RestartReport& rep,
+                                  const std::vector<alloc::Chunk*>& failed,
+                                  RestoreStatus worst) {
+  rep.chunks_failed = static_cast<int>(failed.size());
+  // `worst` starts at kOk, so a rank with zero persistent chunks (nothing
+  // to restore, nothing failed) correctly restarts as kOk.
+  rep.status = failed.empty() ? worst : RestoreStatus::kNoData;
+}
+
 RestartReport RestartCoordinator::restart_soft() {
   RestartReport rep;
   auto& allocator = mgr_->allocator();
@@ -72,9 +81,7 @@ RestartReport RestartCoordinator::restart_soft() {
     if (static_cast<int>(st) > static_cast<int>(worst)) worst = st;
   }
   try_parity_rebuild(rep, failed, worst);
-  rep.chunks_failed = static_cast<int>(failed.size());
-  if (!failed.empty()) worst = RestoreStatus::kNoData;
-  rep.status = worst;
+  finalize(rep, failed, worst);
   return rep;
 }
 
@@ -83,9 +90,21 @@ RestartReport RestartCoordinator::restart_hard() {
   auto& allocator = mgr_->allocator();
   RestoreStatus worst = RestoreStatus::kOk;
   std::vector<alloc::Chunk*> failed;
+  // An isolated replication path means the buddy's committed cut may be
+  // arbitrarily stale (its last successful coordination could be many
+  // epochs behind), so the parity group -- which protects the latest
+  // protected epoch -- is the more trustworthy source. Try it first and
+  // keep the buddy only as a per-chunk fallback.
+  const bool distrust_buddy =
+      opts_.buddy_health == RemoteHealth::kIsolated &&
+      static_cast<bool>(opts_.parity_rebuild);
+  if (distrust_buddy) {
+    log_warn("hard restart: buddy was isolated at crash time; preferring "
+             "parity rebuild over the (suspect) remote copy");
+  }
   for (alloc::Chunk* c : allocator.chunks()) {
     if (!c->persistent()) continue;
-    if (fetch_remote(*c)) {
+    if (!distrust_buddy && fetch_remote(*c)) {
       ++rep.chunks_remote;
       rep.bytes_remote += c->size();
       if (static_cast<int>(RestoreStatus::kOkFromRemote) >
@@ -96,13 +115,25 @@ RestartReport RestartCoordinator::restart_hard() {
       failed.push_back(c);
     }
   }
-  try_parity_rebuild(rep, failed, worst);
-  rep.chunks_failed = static_cast<int>(failed.size());
-  if (!failed.empty()) worst = RestoreStatus::kNoData;
-  rep.status = rep.chunks_remote == 0 && rep.chunks_parity == 0 &&
-                       rep.chunks_failed == 0
-                   ? RestoreStatus::kNoData
-                   : worst;
+  if (!try_parity_rebuild(rep, failed, worst) && distrust_buddy) {
+    // Parity declined or failed: the suspect buddy is still better than
+    // nothing for whatever remains.
+    std::vector<alloc::Chunk*> still_failed;
+    for (alloc::Chunk* c : failed) {
+      if (fetch_remote(*c)) {
+        ++rep.chunks_remote;
+        rep.bytes_remote += c->size();
+        if (static_cast<int>(RestoreStatus::kOkFromRemote) >
+            static_cast<int>(worst)) {
+          worst = RestoreStatus::kOkFromRemote;
+        }
+      } else {
+        still_failed.push_back(c);
+      }
+    }
+    failed.swap(still_failed);
+  }
+  finalize(rep, failed, worst);
   return rep;
 }
 

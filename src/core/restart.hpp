@@ -57,6 +57,12 @@ class RestartCoordinator {
     /// callback, so core/ need not depend on ecc/). It must return true
     /// only after reconstructing every persistent chunk's DRAM payload.
     std::function<bool()> parity_rebuild;
+    /// Transport health of this rank's replication path at crash time
+    /// (RemoteCheckpointer::health). When the buddy was kIsolated the
+    /// remote cut is suspect (arbitrarily stale), so a hard restart tries
+    /// the parity rebuild *first* and falls back to per-chunk buddy
+    /// fetches only for what parity cannot cover.
+    RemoteHealth buddy_health = RemoteHealth::kHealthy;
   };
 
   /// `remote` may be null when no buddy store exists (local-only jobs);
@@ -78,6 +84,12 @@ class RestartCoordinator {
   bool try_parity_rebuild(RestartReport& rep,
                           std::vector<alloc::Chunk*>& failed,
                           RestoreStatus& worst);
+  /// Shared tail of every restart path: count the leftover failures and
+  /// settle the report status. A rank with nothing to restore (and no
+  /// failures) is kOk -- an empty rank restarts fine by definition.
+  static void finalize(RestartReport& rep,
+                       const std::vector<alloc::Chunk*>& failed,
+                       RestoreStatus worst);
 
   CheckpointManager* mgr_;
   net::RemoteMemory* remote_;

@@ -129,6 +129,10 @@ Json TrialResult::to_json() const {
   j["bytes_remote"] = bytes_remote;
   j["bytes_parity"] = bytes_parity;
   j["pages_scrambled"] = static_cast<std::uint64_t>(pages_scrambled);
+  j["remote_degraded"] = remote_degraded;
+  j["degraded_coordinations"] = degraded_coordinations;
+  j["remote_stale_chunks"] = remote_stale_chunks;
+  j["remote_cut_verified"] = remote_cut_verified;
   j["logical_total_seconds"] = logical_total_seconds;
   j["logical_efficiency"] = logical_efficiency;
   j["plan"] = plan.to_json();
@@ -233,6 +237,16 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
     core::RemoteConfig rcfg;
     rcfg.policy = core::PrecopyPolicy::kNone;
     rcfg.interval = 1e9;  // rounds are driven synchronously, never by time
+    // Pin the retry policy: the attempt counts (not wall time) must bound
+    // retries so replays agree, env knobs must not leak into trials, and
+    // backoff sleeps stay negligible against the logical clock.
+    rcfg.retry_from_env = false;
+    rcfg.retry.max_attempts = 2;
+    rcfg.retry.phase2_attempts = 1;
+    rcfg.retry.put_deadline = 5.0;  // generous; attempts are the bound
+    rcfg.retry.backoff_base = 1e-4;
+    rcfg.retry.backoff_max = 1e-3;
+    rcfg.retry.round_budget = 0.05;
     repl = std::make_unique<core::RemoteCheckpointer>(mgrs, rmem, rcfg);
     repl->set_fault_injector(&inj);
   }
@@ -272,6 +286,33 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
     inj.set_outage(outage);
     inj.set_helper_stalled(stall);
     inj.set_link_degrade_factor(degrade);
+  };
+
+  // Every coordination round's self-report is checked against the buddy
+  // store's ground truth: the set of chunks whose remote committed epoch
+  // lags the local cut must be exactly what the outcome claims. A round
+  // that under-reports has silently lost remote protection.
+  auto note_coordination = [&](const core::CoordinationOutcome& co) {
+    if (co.degraded || co.helper_dead) {
+      tr.remote_degraded = tr.remote_degraded || co.degraded;
+      if (co.degraded) ++tr.degraded_coordinations;
+    }
+    tr.remote_stale_chunks = co.stale_chunks;
+    int actually_stale = 0;
+    for (int r = 0; r < s.ranks; ++r) {
+      for (alloc::Chunk* c : node[r].chunks) {
+        const vmem::ChunkRecord& rec = c->record();
+        if (!rec.has_committed()) continue;
+        if (store.committed_epoch(static_cast<std::uint32_t>(r), c->id()) !=
+            rec.epoch[rec.committed]) {
+          ++actually_stale;
+        }
+      }
+    }
+    if (actually_stale != co.stale_chunks ||
+        co.degraded != (actually_stale > 0)) {
+      tr.remote_cut_verified = false;
+    }
   };
 
   const auto& events = tr.plan.events();
@@ -367,7 +408,7 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
           parity->protect_epoch();
         }
       } else {
-        repl->coordinate_now();
+        note_coordination(repl->coordinate_now());
       }
       last_commit_t = t1;
       if (victim >= 0) {
@@ -394,8 +435,22 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
   double logical_total = horizon + n_ckpt_full * t_ckpt;
 
   if (!crashed) {
-    tr.outcome = TrialOutcome::kNoFault;
-    tr.detail = "no crash within the horizon";
+    if (repl) {
+      // Seal + verify the final remote cut: any outage/stall that degraded
+      // an earlier round must either have converged by now or be reported
+      // degraded here -- a silently stale cut is a library bug.
+      refresh_knobs(horizon);
+      note_coordination(repl->coordinate_now());
+    }
+    if (!tr.remote_cut_verified) {
+      tr.outcome = TrialOutcome::kUndetectedLoss;
+      tr.detail = "remote cut silently stale -- library bug";
+    } else {
+      tr.outcome = TrialOutcome::kNoFault;
+      tr.detail = tr.remote_degraded
+                      ? "no crash; transient remote degradation, reported"
+                      : "no crash within the horizon";
+    }
     tr.logical_total_seconds = logical_total;
     tr.logical_efficiency = horizon / logical_total;
     tr.injector = inj.stats();
@@ -432,6 +487,11 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
     ropts.parity_rebuild = [&]() {
       return parity->recover_ranks({static_cast<std::size_t>(victim)});
     };
+  }
+  if (repl) {
+    // The victim's replication health at crash time steers the hard path:
+    // an isolated buddy is suspect, parity (when present) goes first.
+    ropts.buddy_health = repl->health(static_cast<std::size_t>(victim));
   }
   core::RestartCoordinator rc(*vs.mgr, &rmem, ropts);
   const core::RestartReport rep = rc.restart_after(
@@ -495,6 +555,10 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
       tr.detail = "consistent but older epoch (progress lost, detectable)";
     }
   }
+  if (!tr.remote_cut_verified) {
+    tr.outcome = TrialOutcome::kUndetectedLoss;
+    tr.detail = "remote cut silently stale -- library bug";
+  }
 
   // Crash trials also pay rework since the last commit plus a logical
   // restart (local reads at NVM speed, remote/parity over the link,
@@ -548,6 +612,12 @@ CampaignResult CampaignRunner::run() {
     m.counter("campaign.faults_fired")
         .add(static_cast<std::uint64_t>(t.faults_fired));
     if (t.crash_seconds >= 0) rec_hist.observe(t.recovery_wall_seconds);
+    if (t.remote_degraded) m.counter("campaign.remote_degraded_trials").add(1);
+    m.counter("campaign.degraded_coordinations")
+        .add(static_cast<std::uint64_t>(t.degraded_coordinations));
+    if (!t.remote_cut_verified) {
+      m.counter("campaign.remote_cut_mismatches").add(1);
+    }
     inj_sum.writes_torn += t.injector.writes_torn;
     inj_sum.bytes_scrambled += t.injector.bytes_scrambled;
     inj_sum.bits_flipped += t.injector.bits_flipped;

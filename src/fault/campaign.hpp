@@ -112,6 +112,15 @@ struct TrialResult {
   std::int64_t restored_epoch = -1;   // epoch verified after recovery
                                       // (-2 = chunks at mixed epochs)
 
+  /// Remote-cut health (replication trials). Every coordination round's
+  /// degraded/stale report is cross-checked against the buddy store's
+  /// committed epochs; a mismatch means the library claimed a remote cut
+  /// it does not have (always a bug, classified kUndetectedLoss).
+  bool remote_degraded = false;       // some round completed degraded
+  int degraded_coordinations = 0;
+  int remote_stale_chunks = 0;        // stale count after the last round
+  bool remote_cut_verified = true;    // reports matched store ground truth
+
   double recovery_wall_seconds = 0;   // measured restart-path time
   std::uint64_t bytes_local = 0;
   std::uint64_t bytes_remote = 0;

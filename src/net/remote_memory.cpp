@@ -48,15 +48,15 @@ vmem::ChunkRecord* RemoteStore::find_or_create(std::uint64_t id,
   return rec;
 }
 
-double RemoteStore::put(std::uint32_t src_rank, std::uint64_t chunk_id,
-                        const void* data, std::size_t n, std::uint64_t epoch,
-                        bool do_commit, Interconnect* link,
-                        BandwidthLimiter* pace) {
+PutResult RemoteStore::put(std::uint32_t src_rank, std::uint64_t chunk_id,
+                           const void* data, std::size_t n,
+                           std::uint64_t epoch, bool do_commit,
+                           Interconnect* link, BandwidthLimiter* pace) {
   if (injector_ && injector_->armed() && injector_->should_drop_remote_op()) {
     // Lost in transit: the in-progress slot keeps its old payload and no
     // pending checksum is recorded, so a later commit of this epoch is a
     // no-op (exactly what a dropped RDMA put looks like to the store).
-    return 0.0;
+    return PutResult{false, 0.0};
   }
   const std::uint64_t id = pair_id(src_rank, chunk_id);
   vmem::ChunkRecord* rec;
@@ -87,7 +87,7 @@ double RemoteStore::put(std::uint32_t src_rank, std::uint64_t chunk_id,
     pending_[id] = Pending{crc64(data, n), epoch};
   }
   if (do_commit) commit(src_rank, chunk_id, epoch);
-  return sw.elapsed();
+  return PutResult{true, sw.elapsed()};
 }
 
 void RemoteStore::commit(std::uint32_t src_rank, std::uint64_t chunk_id,
@@ -145,9 +145,10 @@ std::size_t RemoteStore::stored_chunks() const {
   return container_.metadata().record_count();
 }
 
-double RemoteMemory::put(std::uint32_t src_rank, std::uint64_t chunk_id,
-                         const void* data, std::size_t n, std::uint64_t epoch,
-                         bool commit, BandwidthLimiter* pace) {
+PutResult RemoteMemory::put(std::uint32_t src_rank, std::uint64_t chunk_id,
+                            const void* data, std::size_t n,
+                            std::uint64_t epoch, bool commit,
+                            BandwidthLimiter* pace) {
   return store_->put(src_rank, chunk_id, data, n, epoch, commit, link_,
                      pace);
 }

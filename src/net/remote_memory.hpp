@@ -23,6 +23,18 @@
 
 namespace nvmcp::net {
 
+/// Result of one remote put. `ok` is false when the transfer was lost in
+/// transit (injected outage or sampled drop): the in-progress slot keeps
+/// its old payload and no pending checksum is recorded, so a later commit
+/// of that epoch is a no-op. Callers that care about delivery (the remote
+/// checkpoint helper's retry layer) must check `ok` -- a dropped put is a
+/// recoverable transport failure, not a slow one.
+struct PutResult {
+  bool ok = false;
+  double seconds = 0;  // transfer time spent (0 when dropped)
+  explicit operator bool() const noexcept { return ok; }
+};
+
 /// The buddy/IO node's NVM checkpoint store.
 class RemoteStore {
  public:
@@ -42,13 +54,15 @@ class RemoteStore {
   /// allocating record + slots on first use. `link` (may be null) paces
   /// the transfer at interconnect speed, pipelined with the remote NVM
   /// write bandwidth, and records it as checkpoint traffic. If `commit`,
-  /// the slot is committed with `epoch`. Returns seconds spent.
-  /// `pace` (optional) additionally rate-limits the transfer; the remote
-  /// checkpoint helper uses it to spread pre-copy traffic over the remote
-  /// interval instead of bursting at link speed.
-  double put(std::uint32_t src_rank, std::uint64_t chunk_id, const void* data,
-             std::size_t n, std::uint64_t epoch, bool commit,
-             Interconnect* link, BandwidthLimiter* pace = nullptr);
+  /// the slot is committed with `epoch`. Returns whether the payload
+  /// arrived plus seconds spent. `pace` (optional) additionally
+  /// rate-limits the transfer; the remote checkpoint helper uses it to
+  /// spread pre-copy traffic over the remote interval instead of bursting
+  /// at link speed.
+  PutResult put(std::uint32_t src_rank, std::uint64_t chunk_id,
+                const void* data, std::size_t n, std::uint64_t epoch,
+                bool commit, Interconnect* link,
+                BandwidthLimiter* pace = nullptr);
 
   /// Commit whatever the in-progress slot of the pair holds as `epoch`.
   /// Used for coordinated remote checkpoints where the payload arrived in
@@ -90,9 +104,9 @@ class RemoteMemory {
       : link_(&link), store_(&store) {}
 
   /// Remote put of a chunk payload; accounted as checkpoint traffic.
-  double put(std::uint32_t src_rank, std::uint64_t chunk_id, const void* data,
-             std::size_t n, std::uint64_t epoch, bool commit,
-             BandwidthLimiter* pace = nullptr);
+  PutResult put(std::uint32_t src_rank, std::uint64_t chunk_id,
+                const void* data, std::size_t n, std::uint64_t epoch,
+                bool commit, BandwidthLimiter* pace = nullptr);
 
   void commit(std::uint32_t src_rank, std::uint64_t chunk_id,
               std::uint64_t epoch) {

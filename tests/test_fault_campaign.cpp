@@ -248,6 +248,46 @@ TEST(CampaignRunner, HelperKillLeavesRemoteStale) {
             0);
 }
 
+// Tentpole invariant: outage/stall trials end either fully recovered or
+// *explicitly* degraded -- never with an undetected stale remote cut.
+// run_trial cross-checks every coordination round's degraded/stale report
+// against the buddy store's committed epochs and classifies any mismatch
+// as kUndetectedLoss; this campaign makes outages long enough to swallow
+// whole coordination rounds and asserts the reports stay truthful.
+TEST(CampaignRunner, OutageTrialsReportDegradedNeverSilentlyStale) {
+  CampaignSpec s = small_spec();
+  s.trials = 24;
+  s.seed = 0xd16e57;
+  s.faults = {};
+  s.faults.mtbf_soft = 0;  // no crashes: pure transport chaos
+  s.faults.mtbf_hard = 0;
+  s.faults.outage_rate = 0.08;      // ~3 outages per 40 s horizon
+  s.faults.outage_duration = 12.0;  // spans entire coordination rounds
+  s.faults.helper_stall_rate = 0.04;
+  s.faults.helper_stall_duration = 8.0;
+  CampaignRunner runner(s);
+  const CampaignResult res = runner.run();
+  ASSERT_EQ(res.trials.size(), 24u);
+  EXPECT_EQ(res.count(TrialOutcome::kUndetectedLoss), 0)
+      << "a coordination round under-reported remote staleness";
+  int degraded_trials = 0;
+  for (const TrialResult& t : res.trials) {
+    EXPECT_TRUE(t.remote_cut_verified) << "trial " << t.index;
+    if (t.remote_degraded) ++degraded_trials;
+  }
+  EXPECT_GT(degraded_trials, 0)
+      << "no outage covered a coordination round; the campaign is vacuous";
+
+  // Degraded-round accounting replays exactly from the trial seed.
+  for (const TrialResult& t : res.trials) {
+    const TrialResult replay = runner.run_trial(t.seed);
+    EXPECT_EQ(replay.outcome, t.outcome) << "trial " << t.index;
+    EXPECT_EQ(replay.remote_degraded, t.remote_degraded);
+    EXPECT_EQ(replay.degraded_coordinations, t.degraded_coordinations);
+    EXPECT_EQ(replay.remote_stale_chunks, t.remote_stale_chunks);
+  }
+}
+
 // The sharded (copy_threads=4) data path under chaos: the per-trial
 // managers commit/restore in parallel while torn writes, bit flips and
 // crashes fire. Fault *points* are interleaving-dependent here, so no

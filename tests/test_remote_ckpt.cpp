@@ -1,13 +1,15 @@
 // RemoteCheckpointer: eager pre-copy of committed chunks, coordination
-// rounds producing a consistent remote cut, helper stats, and multi-rank
-// coverage.
+// rounds producing a consistent remote cut, helper stats, retry/degraded
+// behaviour under injected transport faults, and multi-rank coverage.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "core/remote.hpp"
+#include "fault/injector.hpp"
 
 namespace nvmcp::core {
 namespace {
@@ -202,6 +204,230 @@ TEST_F(RemoteCkptTest, HelperUtilizationTracked) {
   EXPECT_GT(s.busy_seconds, 0.0);
   EXPECT_GT(s.wall_seconds, 0.0);
   EXPECT_LE(s.helper_utilization(), 1.0 + 1e-9);
+}
+
+// A RemoteConfig with a small, deterministic retry policy for fault tests.
+RemoteConfig fault_test_config() {
+  RemoteConfig rcfg;
+  rcfg.policy = PrecopyPolicy::kNone;
+  rcfg.retry_from_env = false;
+  rcfg.retry.max_attempts = 2;
+  rcfg.retry.phase2_attempts = 1;
+  rcfg.retry.backoff_base = 1e-4;
+  rcfg.retry.backoff_max = 1e-3;
+  rcfg.retry.probation_puts = 1;
+  return rcfg;
+}
+
+// The tentpole acceptance scenario, and the regression for the old
+// epoch-as-success-flag bug: a put dropped by an outage used to still
+// record its epoch in the sent bookkeeping, so later rounds skipped the
+// chunk forever and the remote cut stayed silently stale.
+TEST_F(RemoteCkptTest, OutageCoordinationIsDegradedThenConverges) {
+  fault::FaultInjector inj;
+  inj.arm(0x1dea);
+  store_->set_fault_injector(&inj);
+  auto helper = make_helper(fault_test_config());
+  helper.set_fault_injector(&inj);
+
+  std::vector<alloc::Chunk*> chunks;
+  for (int r = 0; r < kRanks; ++r) {
+    alloc::Chunk* c = allocators_[static_cast<std::size_t>(r)]->nvalloc(
+        "data", 64 * KiB, true);
+    fill(*c, static_cast<std::uint64_t>(r) + 1);
+    managers_[static_cast<std::size_t>(r)]->nvchkptall();
+    chunks.push_back(c);
+  }
+  const CoordinationOutcome first = helper.coordinate_now();
+  EXPECT_FALSE(first.degraded);
+  EXPECT_EQ(first.stale_chunks, 0);
+
+  // Epoch 2 commits locally while the link is fully out: the round must
+  // complete *degraded*, with every chunk reported remote-stale and the
+  // store still holding epoch 1 -- not pretend the cut advanced.
+  for (int r = 0; r < kRanks; ++r) {
+    fill(*chunks[static_cast<std::size_t>(r)],
+         static_cast<std::uint64_t>(r) + 10);
+    managers_[static_cast<std::size_t>(r)]->nvchkptall();
+  }
+  inj.set_outage(true);
+  const CoordinationOutcome bad = helper.coordinate_now();
+  EXPECT_TRUE(bad.degraded);
+  EXPECT_EQ(bad.stale_chunks, kRanks);
+  EXPECT_GT(bad.failed_sends, 0);
+  EXPECT_GT(bad.retries, 0);
+  EXPECT_EQ(helper.stale().size(), static_cast<std::size_t>(kRanks));
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(store_->committed_epoch(static_cast<std::uint32_t>(r),
+                                      chunks[static_cast<std::size_t>(r)]->id()),
+              1u);
+    EXPECT_NE(helper.health(static_cast<std::size_t>(r)),
+              RemoteHealth::kHealthy);
+  }
+  EXPECT_GT(helper.metrics().counter("remote.degraded_rounds").value(), 0u);
+
+  // Outage clears: the next coordination re-ships the stale chunks and
+  // converges the remote epoch everywhere; health recovers via probation.
+  inj.set_outage(false);
+  const CoordinationOutcome good = helper.coordinate_now();
+  EXPECT_FALSE(good.degraded);
+  EXPECT_EQ(good.stale_chunks, 0);
+  EXPECT_TRUE(helper.stale().empty());
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(store_->committed_epoch(static_cast<std::uint32_t>(r),
+                                      chunks[static_cast<std::size_t>(r)]->id()),
+              2u);
+    EXPECT_EQ(helper.health(static_cast<std::size_t>(r)),
+              RemoteHealth::kHealthy);
+  }
+}
+
+TEST_F(RemoteCkptTest, StalledHelperRoundIsDegradedThenConverges) {
+  fault::FaultInjector inj;
+  inj.arm(0x57a11);
+  store_->set_fault_injector(&inj);
+  auto helper = make_helper(fault_test_config());
+  helper.set_fault_injector(&inj);
+
+  alloc::Chunk* c = allocators_[0]->nvalloc("stalled", 64 * KiB, true);
+  fill(*c, 7);
+  managers_[0]->nvchkptall();
+
+  inj.set_helper_stalled(true);
+  const CoordinationOutcome bad = helper.coordinate_now();
+  EXPECT_TRUE(bad.degraded);
+  EXPECT_EQ(bad.stale_chunks, 1);
+  EXPECT_EQ(store_->committed_epoch(0, c->id()), 0u);
+
+  inj.set_helper_stalled(false);
+  const CoordinationOutcome good = helper.coordinate_now();
+  EXPECT_FALSE(good.degraded);
+  EXPECT_EQ(store_->committed_epoch(0, c->id()), 1u);
+}
+
+TEST_F(RemoteCkptTest, KilledHelperReportsDeadAndIsolatesRanks) {
+  fault::FaultInjector inj;
+  inj.arm(0xdead);
+  store_->set_fault_injector(&inj);
+  auto helper = make_helper(fault_test_config());
+  helper.set_fault_injector(&inj);
+
+  alloc::Chunk* c = allocators_[0]->nvalloc("victim", 64 * KiB, true);
+  fill(*c, 3);
+  managers_[0]->nvchkptall();
+
+  inj.kill_helper();
+  const CoordinationOutcome out = helper.coordinate_now();
+  EXPECT_TRUE(out.helper_dead);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.stale_chunks, 1);  // the committed chunk never shipped
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(helper.health(static_cast<std::size_t>(r)),
+              RemoteHealth::kIsolated);
+  }
+  EXPECT_EQ(store_->committed_epoch(0, c->id()), 0u);
+}
+
+TEST_F(RemoteCkptTest, RepeatedFailuresIsolateThenProbationRecovers) {
+  fault::FaultInjector inj;
+  inj.arm(0x150);
+  store_->set_fault_injector(&inj);
+  RemoteConfig rcfg = fault_test_config();
+  rcfg.retry.isolate_failures = 2;
+  auto helper = make_helper(rcfg);
+  helper.set_fault_injector(&inj);
+
+  alloc::Chunk* c = allocators_[0]->nvalloc("flaky", 64 * KiB, true);
+  fill(*c, 1);
+  managers_[0]->nvchkptall();
+
+  inj.set_outage(true);
+  helper.coordinate_now();  // phase1 + phase2 exhausted = 2 failures
+  EXPECT_EQ(helper.health(0), RemoteHealth::kIsolated);
+  EXPECT_GE(helper.metrics().counter("remote.health.isolations").value(), 1u);
+
+  inj.set_outage(false);
+  helper.coordinate_now();  // probation_puts=1: one good put recovers
+  EXPECT_EQ(helper.health(0), RemoteHealth::kHealthy);
+  EXPECT_GE(helper.metrics().counter("remote.health.recoveries").value(), 1u);
+}
+
+// Regression: the helper used to cache its coordination deadline locally,
+// so an external coordinate_now() (which restarts the round) was followed
+// by a second burst when the stale cached deadline expired.
+TEST_F(RemoteCkptTest, ExternalCoordinationResetsHelperDeadline) {
+  RemoteConfig rcfg;
+  rcfg.policy = PrecopyPolicy::kNone;
+  rcfg.interval = 1.0;
+  rcfg.scan_period = 1e-3;
+  auto helper = make_helper(rcfg);
+  alloc::Chunk* c = allocators_[0]->nvalloc("timed", 64 * KiB, true);
+  fill(*c, 1);
+  managers_[0]->nvchkptall();
+
+  helper.start();
+  const Stopwatch sw;
+  while (sw.elapsed() < 0.3) precise_sleep(5e-3);
+  helper.coordinate_now();  // external round at ~0.3 s
+  EXPECT_EQ(helper.stats().coordinations, 1u);
+  // The helper's next round is now due at ~1.3 s. With the old cached
+  // deadline it fired again at ~1.0 s (a double burst).
+  while (sw.elapsed() < 1.12) precise_sleep(5e-3);
+  EXPECT_EQ(helper.stats().coordinations, 1u);
+  helper.stop();
+}
+
+// Regression: stop() on a never-started helper used to early-return past
+// the wall_seconds gauge update, leaving it at zero after real work.
+TEST_F(RemoteCkptTest, StopAlwaysSetsWallGauge) {
+  RemoteConfig rcfg;
+  rcfg.policy = PrecopyPolicy::kNone;
+  auto helper = make_helper(rcfg);
+  alloc::Chunk* c = allocators_[0]->nvalloc("gauge", 64 * KiB, true);
+  fill(*c, 1);
+  managers_[0]->nvchkptall();
+  helper.coordinate_now();  // synchronous use, helper thread never started
+  helper.stop();
+  const telemetry::Gauge* g =
+      helper.metrics().find_gauge("remote.wall_seconds");
+  ASSERT_NE(g, nullptr);
+  EXPECT_GT(g->value(), 0.0);
+}
+
+TEST(RemoteRetryEnvTest, KnobsParseAndClamp) {
+  ::setenv("NVMCP_REMOTE_MAX_ATTEMPTS", "7", 1);
+  ::setenv("NVMCP_REMOTE_PHASE2_ATTEMPTS", "999", 1);  // clamped to 16
+  ::setenv("NVMCP_REMOTE_PUT_DEADLINE", "0.25", 1);
+  ::setenv("NVMCP_REMOTE_BACKOFF_BASE", "0.002", 1);
+  ::setenv("NVMCP_REMOTE_BACKOFF_MAX", "0.0001", 1);  // raised to >= base
+  ::setenv("NVMCP_REMOTE_JITTER", "1.5", 1);          // clamped to 1
+  ::setenv("NVMCP_REMOTE_ROUND_BUDGET", "2.5", 1);
+  ::setenv("NVMCP_REMOTE_ISOLATE_FAILURES", "3", 1);
+  ::setenv("NVMCP_REMOTE_PROBATION_PUTS", "garbage", 1);  // ignored
+  RemoteConfig cfg;
+  const RemoteRetryPolicy p = resolve_remote_retry(cfg);
+  EXPECT_EQ(p.max_attempts, 7);
+  EXPECT_EQ(p.phase2_attempts, 16);
+  EXPECT_DOUBLE_EQ(p.put_deadline, 0.25);
+  EXPECT_DOUBLE_EQ(p.backoff_base, 0.002);
+  EXPECT_GE(p.backoff_max, p.backoff_base);
+  EXPECT_DOUBLE_EQ(p.jitter, 1.0);
+  EXPECT_DOUBLE_EQ(p.round_budget, 2.5);
+  EXPECT_EQ(p.isolate_failures, 3);
+  EXPECT_EQ(p.probation_puts, RemoteRetryPolicy{}.probation_puts);
+
+  cfg.retry_from_env = false;  // pinned policies ignore the environment
+  const RemoteRetryPolicy pinned = resolve_remote_retry(cfg);
+  EXPECT_EQ(pinned.max_attempts, RemoteRetryPolicy{}.max_attempts);
+
+  for (const char* k :
+       {"NVMCP_REMOTE_MAX_ATTEMPTS", "NVMCP_REMOTE_PHASE2_ATTEMPTS",
+        "NVMCP_REMOTE_PUT_DEADLINE", "NVMCP_REMOTE_BACKOFF_BASE",
+        "NVMCP_REMOTE_BACKOFF_MAX", "NVMCP_REMOTE_JITTER",
+        "NVMCP_REMOTE_ROUND_BUDGET", "NVMCP_REMOTE_ISOLATE_FAILURES",
+        "NVMCP_REMOTE_PROBATION_PUTS"}) {
+    ::unsetenv(k);
+  }
 }
 
 }  // namespace

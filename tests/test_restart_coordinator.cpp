@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/rng.hpp"
+#include "core/remote.hpp"
 #include "core/restart.hpp"
 #include "ecc/parity_group.hpp"
 #include "fault/injector.hpp"
@@ -201,6 +202,130 @@ TEST_F(RestartCoordinatorTest, NonPersistentChunksAreIgnored) {
   RestartCoordinator rc(*mgr_, remote_.get());
   const RestartReport rep = rc.restart_after(FailureKind::kSoft);
   EXPECT_EQ(rep.chunks_local + rep.chunks_remote + rep.chunks_failed, 0);
+}
+
+// Regression: a rank with zero persistent chunks used to hard-restart as
+// kNoData ("nothing came from remote or parity"); nothing to restore and
+// nothing failed is kOk, for both failure kinds.
+TEST_F(RestartCoordinatorTest, EmptyRankRestartsAsOk) {
+  allocator_->nvalloc("scratch", 16 * KiB, false);  // non-persistent only
+  RestartCoordinator rc(*mgr_, remote_.get());
+  const RestartReport hard = rc.restart_after(FailureKind::kHard);
+  EXPECT_EQ(hard.status, RestoreStatus::kOk);
+  EXPECT_EQ(hard.chunks_failed, 0);
+  const RestartReport soft = rc.restart_after(FailureKind::kSoft);
+  EXPECT_EQ(soft.status, RestoreStatus::kOk);
+}
+
+// The folded status handling: a chunk that fails local, remote and parity
+// alike settles the report at kNoData with the failure counted, on the
+// soft path exactly as on the hard one.
+TEST_F(RestartCoordinatorTest, SoftRestartUnrecoverableChunkIsNoData) {
+  alloc::Chunk* bad = checkpointed_chunk("doomed", 31, /*ship_remote=*/false);
+  corrupt_local_slots(*bad);
+  fill(*bad, 99);
+  RestartCoordinator rc(*mgr_, remote_.get());  // buddy never got the data
+  const RestartReport rep = rc.restart_after(FailureKind::kSoft);
+  EXPECT_EQ(rep.status, RestoreStatus::kNoData);
+  EXPECT_EQ(rep.chunks_failed, 1);
+}
+
+TEST_F(RestartCoordinatorTest, IsolatedBuddyPrefersParityRebuild) {
+  // The buddy received epoch 1, then this rank's replication path was
+  // isolated: epoch 2 is protected only by the parity group. A hard
+  // restart told about the isolation must not trust the (stale) buddy
+  // copy -- parity goes first and brings back the latest epoch.
+  alloc::Chunk* c = checkpointed_chunk("spmd", 21, /*ship_remote=*/true);
+
+  NvmConfig cfg2;
+  cfg2.capacity = 32 * MiB;
+  cfg2.throttle = false;
+  NvmDevice dev2(cfg2);
+  vmem::Container cont2(dev2);
+  alloc::ChunkAllocator alloc2(cont2);
+  CheckpointConfig ccfg2;
+  ccfg2.rank = 3;
+  CheckpointManager mgr2(alloc2, ccfg2);
+  alloc::Chunk* c2 = alloc2.nvalloc("spmd", 64 * KiB, true);
+  fill(*c2, 12);
+  mgr2.nvchkptall();
+
+  fill(*c, 22);
+  mgr_->nvchkptall();  // epoch 2 commits locally; the buddy never sees it
+
+  NvmConfig pcfg;
+  pcfg.capacity = 32 * MiB;
+  pcfg.throttle = false;
+  net::RemoteStore parity_store(pcfg);
+  ecc::ParityCheckpointGroup group({mgr_.get(), &mgr2},
+                                   net::RemoteMemory(link_, parity_store),
+                                   /*parity_shards=*/1);
+  ASSERT_GT(group.protect_epoch(), 0u);  // protects epoch 2
+
+  fill(*c, 99);  // live DRAM state dies with the node
+
+  RestartCoordinator::Options opts;
+  opts.parity_rebuild = [&] { return group.recover_ranks({0}); };
+  opts.buddy_health = RemoteHealth::kIsolated;
+  RestartCoordinator rc(*mgr_, remote_.get(), opts);
+  const RestartReport rep = rc.restart_after(FailureKind::kHard);
+  EXPECT_EQ(rep.status, RestoreStatus::kOkFromRemote);
+  EXPECT_EQ(rep.chunks_parity, 1);
+  EXPECT_EQ(rep.chunks_remote, 0);
+  EXPECT_EQ(rep.chunks_failed, 0);
+  EXPECT_TRUE(matches(*c, 22));  // the latest epoch, not the buddy's 21
+}
+
+TEST_F(RestartCoordinatorTest, IsolatedBuddyWithoutParityStillFetches) {
+  // Isolation without a registered parity group: the suspect buddy is
+  // still the only source, so the hard restart falls back to it.
+  alloc::Chunk* c = checkpointed_chunk("lone", 33, /*ship_remote=*/true);
+  fill(*c, 99);
+  RestartCoordinator::Options opts;
+  opts.buddy_health = RemoteHealth::kIsolated;
+  RestartCoordinator rc(*mgr_, remote_.get(), opts);
+  const RestartReport rep = rc.restart_after(FailureKind::kHard);
+  EXPECT_EQ(rep.status, RestoreStatus::kOkFromRemote);
+  EXPECT_EQ(rep.chunks_remote, 1);
+  EXPECT_TRUE(matches(*c, 33));
+}
+
+// Regression: restore_with_remote used to reimplement the soft path by
+// hand, with no parity fallback. As a RestartCoordinator wrapper it now
+// recovers even when both the local slots and the buddy fail.
+TEST_F(RestartCoordinatorTest, RestoreWithRemoteUsesParityFallback) {
+  alloc::Chunk* c = checkpointed_chunk("spmd", 41, /*ship_remote=*/false);
+
+  NvmConfig cfg2;
+  cfg2.capacity = 32 * MiB;
+  cfg2.throttle = false;
+  NvmDevice dev2(cfg2);
+  vmem::Container cont2(dev2);
+  alloc::ChunkAllocator alloc2(cont2);
+  CheckpointConfig ccfg2;
+  ccfg2.rank = 3;
+  CheckpointManager mgr2(alloc2, ccfg2);
+  alloc::Chunk* c2 = alloc2.nvalloc("spmd", 64 * KiB, true);
+  fill(*c2, 42);
+  mgr2.nvchkptall();
+
+  NvmConfig pcfg;
+  pcfg.capacity = 32 * MiB;
+  pcfg.throttle = false;
+  net::RemoteStore parity_store(pcfg);
+  ecc::ParityCheckpointGroup group({mgr_.get(), &mgr2},
+                                   net::RemoteMemory(link_, parity_store),
+                                   /*parity_shards=*/1);
+  ASSERT_GT(group.protect_epoch(), 0u);
+
+  corrupt_local_slots(*c);  // local gone; buddy never had it
+  fill(*c, 99);
+
+  RestartCoordinator::Options opts;
+  opts.parity_rebuild = [&] { return group.recover_ranks({0}); };
+  EXPECT_EQ(restore_with_remote(*mgr_, *remote_, opts),
+            RestoreStatus::kOkFromRemote);
+  EXPECT_TRUE(matches(*c, 41));
 }
 
 }  // namespace

@@ -58,6 +58,22 @@ class Chunk {
   /// protection fault the caller knows is coming).
   void notify_write();
 
+  /// kWriteLog fast path: record a dirty byte range [off, off+len) of the
+  /// working buffer. MUST be called AFTER the store it describes -- the
+  /// record's release-publish is what orders the data for the copier (the
+  /// store-then-log contract; see vmem/write_log.hpp). Falls back to
+  /// notify_write() for other tracking modes, so application code can call
+  /// it unconditionally.
+  void log_write(std::size_t off, std::size_t len) {
+    if (log_sink_) {
+      vmem::WriteLogRegistry::instance().append(log_sink_, off, len);
+    } else {
+      notify_write();
+    }
+  }
+
+  vmem::TrackMode track_mode() const { return mode_; }
+
   /// Epoch of the payload sitting in the in-progress slot from a pre-copy,
   /// 0 if none. Managed by the checkpoint engine.
   std::uint64_t precopied_epoch() const { return precopied_epoch_; }
@@ -82,6 +98,9 @@ class Chunk {
   vmem::WriteTracker tracker_;
   int prot_handle_ = -1;
   vmem::TrackMode mode_ = vmem::TrackMode::kSoftware;
+  /// kWriteLog only: cached ProtectionManager sink (stable for the
+  /// registration's lifetime) so log_write stays lock-free.
+  vmem::DirtyLogSink* log_sink_ = nullptr;
 
   // Pre-copy state (owned by the checkpoint engine, stored here so the
   // engine stays stateless per chunk).
@@ -92,6 +111,17 @@ class Chunk {
   // is pending for a slot until its contents have been copied into that
   // slot). One byte per page; guarded by the manager's checkpoint mutex.
   std::vector<std::uint8_t> slot_pages_pending_[2];
+
+  // kWriteLog only: per-NVM-slot pending dirty byte ranges (a logged range
+  // stays pending for a slot until copied into it). Guarded by the
+  // manager's checkpoint mutex.
+  std::vector<vmem::DirtyRange> slot_ranges_pending_[2];
+
+  /// Fault counter snapshot taken when this chunk was armed via
+  /// ChunkAllocator::arm_chunks: a later mismatch means a fault already
+  /// disarmed the chunk, so the pre-copy must re-arm it individually
+  /// before its clear-and-recheck dance.
+  std::uint64_t batch_armed_faults_ = 0;
 };
 
 }  // namespace nvmcp::alloc

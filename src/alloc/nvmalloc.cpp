@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/checksum.hpp"
@@ -16,6 +17,28 @@ std::byte* map_dram(std::size_t bytes) {
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (p == MAP_FAILED) throw NvmcpError("nvalloc: mmap DRAM buffer failed");
   return static_cast<std::byte*>(p);
+}
+
+std::uint64_t resolve_merge_gap(long configured) {
+  if (configured >= 0) return static_cast<std::uint64_t>(configured);
+  const char* env = std::getenv("NVMCP_DIRTY_LOG_MERGE_GAP");
+  if (!env || !*env) return 512;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  return end == env ? 512 : static_cast<std::uint64_t>(v);
+}
+
+double resolve_max_coverage(double configured) {
+  double v = configured;
+  if (v < 0) {
+    v = 0.5;
+    if (const char* env = std::getenv("NVMCP_DIRTY_LOG_MAX_COVERAGE")) {
+      char* end = nullptr;
+      const double parsed = std::strtod(env, &end);
+      if (end != env) v = parsed;
+    }
+  }
+  return std::clamp(v, 0.0, 1.0);
 }
 
 }  // namespace
@@ -34,7 +57,10 @@ ChunkAllocator::ChunkAllocator(vmem::Container& container)
     : ChunkAllocator(container, Options{}) {}
 
 ChunkAllocator::ChunkAllocator(vmem::Container& container, Options opts)
-    : container_(&container), opts_(opts) {}
+    : container_(&container),
+      opts_(opts),
+      log_merge_gap_(resolve_merge_gap(opts.dirty_log_merge_gap)),
+      log_max_coverage_(resolve_max_coverage(opts.dirty_log_max_coverage)) {}
 
 ChunkAllocator::~ChunkAllocator() {
   std::unique_lock lock(mu_);
@@ -133,6 +159,13 @@ Chunk* ChunkAllocator::alloc_common(std::uint64_t id, std::size_t size,
     c.slot_pages_pending_[0].assign(pages, 1);
     c.slot_pages_pending_[1].assign(pages, 1);
   }
+  if (c.mode_ == vmem::TrackMode::kWriteLog) {
+    c.log_sink_ =
+        vmem::ProtectionManager::instance().log_sink(c.prot_handle_);
+    // The whole payload is pending for both slots until the first copies.
+    c.slot_ranges_pending_[0] = {{0, c.size_}};
+    c.slot_ranges_pending_[1] = {{0, c.size_}};
+  }
 
   if (persistent && !fresh_record && rec->has_committed()) {
     c.restore_status_ = restore_chunk(c);
@@ -208,6 +241,12 @@ Chunk* ChunkAllocator::nvrealloc(std::uint64_t id, std::size_t new_size) {
       c->slot_pages_pending_[0].assign(pages, 1);
       c->slot_pages_pending_[1].assign(pages, 1);
     }
+    if (c->mode_ == vmem::TrackMode::kWriteLog) {
+      c->log_sink_ =
+          vmem::ProtectionManager::instance().log_sink(c->prot_handle_);
+      c->slot_ranges_pending_[0] = {{0, new_size}};
+      c->slot_ranges_pending_[1] = {{0, new_size}};
+    }
   }
   c->size_ = new_size;
   c->precopied_epoch_ = 0;
@@ -269,20 +308,54 @@ AllocStats ChunkAllocator::stats() const {
   return s;
 }
 
+std::size_t ChunkAllocator::arm_chunks(const std::vector<Chunk*>& cs) {
+  std::vector<int> handles;
+  handles.reserve(cs.size());
+  for (Chunk* c : cs) {
+    if (c->prot_handle_ >= 0) handles.push_back(c->prot_handle_);
+  }
+  const std::size_t calls =
+      vmem::ProtectionManager::instance().protect_batch(handles);
+  // Snapshot fault counters AFTER arming: precopy_chunk(skip_arm=true)
+  // re-arms individually iff a fault landed in the widened window between
+  // this batch arm and its own dirty-flag dance (that fault disarmed the
+  // chunk, and the dance is only sound against an armed range).
+  for (Chunk* c : cs) {
+    c->batch_armed_faults_ =
+        c->tracker_.faults.load(std::memory_order_acquire);
+  }
+  return calls;
+}
+
 double ChunkAllocator::precopy_chunk(Chunk& c, std::uint64_t epoch,
-                                     BandwidthLimiter* stream) {
+                                     BandwidthLimiter* stream,
+                                     bool skip_arm) {
   auto& prot = vmem::ProtectionManager::instance();
   // Arm tracking first, then clear the chunk's dirty flag, then verify no
   // fault raced the clear: the handler bumps the fault counter *before*
   // setting the dirty flags, so an unchanged counter proves the flag we
   // cleared was not concurrently re-set. A store that lands after this
   // dance faults normally (the range is armed) and re-marks the chunk, so
-  // the possibly-torn slot is never committed.
-  if (c.prot_handle_ >= 0) prot.protect(c.prot_handle_);
+  // the possibly-torn slot is never committed. (In kWriteLog mode
+  // writes_logged plays the fault counter's role: append bumps it before
+  // the dirty flags.)
+  if (c.prot_handle_ >= 0) {
+    if (!skip_arm) {
+      prot.protect(c.prot_handle_);
+    } else if (c.tracker_.faults.load(std::memory_order_acquire) !=
+               c.batch_armed_faults_) {
+      // A fault since the batch arm disarmed this chunk: re-arm it so the
+      // dance below is race-safe again.
+      prot.protect(c.prot_handle_);
+    }
+  }
   const std::uint64_t f0 =
-      c.tracker_.faults.load(std::memory_order_acquire);
+      c.tracker_.faults.load(std::memory_order_acquire) +
+      c.tracker_.writes_logged.load(std::memory_order_acquire);
   c.tracker_.dirty_local.store(false, std::memory_order_release);
-  if (c.tracker_.faults.load(std::memory_order_acquire) != f0) {
+  if (c.tracker_.faults.load(std::memory_order_acquire) +
+          c.tracker_.writes_logged.load(std::memory_order_acquire) !=
+      f0) {
     c.tracker_.dirty_local.store(true, std::memory_order_release);
   }
 
@@ -300,6 +373,8 @@ double ChunkAllocator::precopy_chunk(Chunk& c, std::uint64_t epoch,
   double secs;
   if (c.mode_ == vmem::TrackMode::kMprotectPage) {
     secs = copy_dirty_pages_locked(c, slot, stream, &sum);
+  } else if (c.mode_ == vmem::TrackMode::kWriteLog) {
+    secs = copy_dirty_ranges_locked(c, slot, stream, &sum);
   } else {
     secs = dev.write(rec.slot_off[slot], c.dram_, c.size_, stream, &sum);
   }
@@ -359,6 +434,67 @@ double ChunkAllocator::copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
   return secs;
 }
 
+double ChunkAllocator::copy_dirty_ranges_locked(Chunk& c, std::uint32_t slot,
+                                                BandwidthLimiter* stream,
+                                                std::uint64_t* crc_state) {
+  auto& prot = vmem::ProtectionManager::instance();
+  auto& dev = container_->device();
+  const vmem::ChunkRecord& rec = *c.record_;
+
+  // Ranges logged since the last collection become pending for BOTH
+  // slots: each slot independently needs the new contents before the next
+  // commit into it is complete (same invariant as the page-level path).
+  auto collected = prot.collect_dirty_ranges(c.prot_handle_);
+  if (collected.whole) {
+    c.slot_ranges_pending_[0] = {{0, c.size_}};
+    c.slot_ranges_pending_[1] = {{0, c.size_}};
+  } else {
+    for (const vmem::DirtyRange& r : collected.ranges) {
+      if (r.off >= c.size_ || r.len == 0) continue;
+      const std::uint64_t len = std::min<std::uint64_t>(r.len,
+                                                        c.size_ - r.off);
+      c.slot_ranges_pending_[0].push_back({r.off, len});
+      c.slot_ranges_pending_[1].push_back({r.off, len});
+    }
+  }
+
+  auto& pending = c.slot_ranges_pending_[slot];
+  vmem::merge_dirty_ranges(pending, log_merge_gap_);
+
+  std::uint64_t covered = 0;
+  for (const vmem::DirtyRange& r : pending) covered += r.len;
+  if (covered >= static_cast<std::uint64_t>(
+                     log_max_coverage_ * static_cast<double>(c.size_)) &&
+      covered > 0) {
+    // Dense enough that one sequential whole-chunk write beats many small
+    // ones (and the CRC pass is paid either way).
+    pending.clear();
+    return dev.write(rec.slot_off[slot], c.dram_, c.size_, stream,
+                     crc_state);
+  }
+
+  // Walk the payload in offset order, alternating logged dirty ranges
+  // (written, CRC fused) and clean gaps (CRC fed from the slot's own
+  // bytes -- the checksum must describe what the commit will publish).
+  double secs = 0;
+  std::uint64_t pos = 0;
+  for (const vmem::DirtyRange& r : pending) {
+    if (crc_state && r.off > pos) {
+      *crc_state = crc64_update(
+          *crc_state, dev.data() + rec.slot_off[slot] + pos, r.off - pos);
+    }
+    secs += dev.write(rec.slot_off[slot] + r.off, c.dram_ + r.off, r.len,
+                      stream, crc_state);
+    pos = r.end();
+  }
+  if (crc_state && pos < c.size_) {
+    *crc_state = crc64_update(
+        *crc_state, dev.data() + rec.slot_off[slot] + pos, c.size_ - pos);
+  }
+  pending.clear();
+  return secs;
+}
+
 void ChunkAllocator::commit_chunk(Chunk& c, std::uint64_t epoch) {
   if (c.precopied_epoch_ != epoch) {
     throw NvmcpError("commit_chunk: in-progress slot does not hold epoch " +
@@ -376,8 +512,9 @@ void ChunkAllocator::commit_chunk(Chunk& c, std::uint64_t epoch) {
 }
 
 double ChunkAllocator::checkpoint_chunk(Chunk& c, std::uint64_t epoch,
-                                        BandwidthLimiter* stream) {
-  const double secs = precopy_chunk(c, epoch, stream);
+                                        BandwidthLimiter* stream,
+                                        bool skip_arm) {
+  const double secs = precopy_chunk(c, epoch, stream, skip_arm);
   commit_chunk(c, epoch);
   return secs;
 }
@@ -400,7 +537,8 @@ RestoreStatus ChunkAllocator::restore_chunk(Chunk& c) {
 bool ChunkAllocator::restore_chunk_lazy(Chunk& c) {
   const vmem::ChunkRecord& rec = *c.record_;
   if (!rec.has_committed() || c.prot_handle_ < 0 ||
-      c.mode_ == vmem::TrackMode::kSoftware) {
+      (c.mode_ != vmem::TrackMode::kMprotect &&
+       c.mode_ != vmem::TrackMode::kMprotectPage)) {
     return false;
   }
   const std::byte* src =

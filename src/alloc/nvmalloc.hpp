@@ -53,6 +53,13 @@ class ChunkAllocator {
     vmem::TrackMode track_mode = vmem::TrackMode::kMprotect;
     /// Verify checksums when restoring.
     bool verify_checksums = true;
+    /// kWriteLog: merge logged ranges whose gap is <= this many bytes
+    /// before copying (-1: NVMCP_DIRTY_LOG_MERGE_GAP, default 512).
+    long dirty_log_merge_gap = -1;
+    /// kWriteLog: fall back to a whole-chunk copy when merged logged
+    /// coverage exceeds this fraction of the chunk (-1:
+    /// NVMCP_DIRTY_LOG_MAX_COVERAGE, default 0.5).
+    double dirty_log_max_coverage = -1;
   };
 
   explicit ChunkAllocator(vmem::Container& container);
@@ -105,9 +112,20 @@ class ChunkAllocator {
   /// the chunk dirty and the torn slot is never committed. Thread-safe for
   /// distinct chunks (the sharded commit path runs one worker per chunk);
   /// callers must never run two copies of the SAME chunk concurrently.
-  /// Returns seconds spent.
+  /// With `skip_arm` the caller promises the chunk was armed by a
+  /// preceding arm_chunks() batch; the per-chunk re-arm is then elided
+  /// unless a fault already disarmed it (detected via the fault-counter
+  /// snapshot arm_chunks took). Returns seconds spent.
   double precopy_chunk(Chunk& c, std::uint64_t epoch,
-                       BandwidthLimiter* stream = nullptr);
+                       BandwidthLimiter* stream = nullptr,
+                       bool skip_arm = false);
+
+  /// Batched re-arm: protect every chunk in `cs` through
+  /// ProtectionManager::protect_batch (address-adjacent ranges coalesce
+  /// into one mprotect call) and snapshot each chunk's fault counter so a
+  /// later precopy_chunk(..., skip_arm=true) can detect an intervening
+  /// fault. Returns the number of mprotect calls issued.
+  std::size_t arm_chunks(const std::vector<Chunk*>& cs);
 
   /// Crash-safe commit of the in-progress slot holding `epoch` data:
   /// updates checksum/epoch fields, then flips the committed index, then
@@ -117,7 +135,8 @@ class ChunkAllocator {
 
   /// Convenience for the coordinated path: precopy + commit.
   double checkpoint_chunk(Chunk& c, std::uint64_t epoch,
-                          BandwidthLimiter* stream = nullptr);
+                          BandwidthLimiter* stream = nullptr,
+                          bool skip_arm = false);
 
   /// Read the committed slot back into DRAM, verifying the checksum.
   RestoreStatus restore_chunk(Chunk& c);
@@ -148,9 +167,18 @@ class ChunkAllocator {
   double copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
                                  BandwidthLimiter* stream,
                                  std::uint64_t* crc_state);
+  /// kWriteLog: copy only the logged dirty byte ranges pending for `slot`
+  /// (merged, clamped, with whole-chunk fallback past the coverage
+  /// threshold), folding every payload byte into `crc_state` like the
+  /// page-level path.
+  double copy_dirty_ranges_locked(Chunk& c, std::uint32_t slot,
+                                  BandwidthLimiter* stream,
+                                  std::uint64_t* crc_state);
 
   vmem::Container* container_;
   Options opts_;
+  std::uint64_t log_merge_gap_ = 512;
+  double log_max_coverage_ = 0.5;
 
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Chunk>> chunks_;

@@ -19,6 +19,7 @@ namespace {
 struct Touch {
   double frac;  // position within the phase, (0, 1]
   alloc::Chunk* chunk;
+  const ChunkSpec* spec;
 };
 
 /// Scaled chunk size (>= 1 page so protection still works).
@@ -45,12 +46,38 @@ void touch_chunk(alloc::Chunk& c, Rng& rng) {
   }
 }
 
+/// One small random store (KV write shape): pick an 8-aligned offset --
+/// uniform, or inside the hot span (first ~10% of the payload) with
+/// probability hot_fraction -- and overwrite write_bytes there. In
+/// write-log mode the caller logs the range AFTER this store returns.
+std::size_t touch_small_random(alloc::Chunk& c, const ChunkSpec& spec,
+                               Rng& rng, std::size_t* out_len) {
+  const std::size_t n = c.size();
+  const std::size_t wb =
+      std::min<std::size_t>(std::max<std::size_t>(spec.write_bytes, 8), n);
+  std::size_t span = n;
+  if (spec.hot_fraction > 0 &&
+      rng.next_double() < spec.hot_fraction) {
+    span = std::max<std::size_t>(wb, n / 10);
+  }
+  const std::size_t off =
+      span > wb ? rng.next_below(span - wb) & ~static_cast<std::size_t>(7) : 0;
+  auto* p = static_cast<std::byte*>(c.data()) + off;
+  for (std::size_t i = 0; i + 8 <= wb; i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    std::memcpy(p + i, &v, 8);
+  }
+  *out_len = wb;
+  return off;
+}
+
 bool chunk_active(const ChunkSpec& spec, int iter) {
   switch (spec.pattern) {
     case ModPattern::kInitOnly:
       return iter == 0;
     case ModPattern::kEveryIteration:
     case ModPattern::kHotUntilEnd:
+    case ModPattern::kSmallRandom:
       return true;
     case ModPattern::kPeriodic:
       return iter % std::max(1, spec.period) == 0;
@@ -62,7 +89,9 @@ bool chunk_active(const ChunkSpec& spec, int iter) {
 void append_touches(std::vector<Touch>& out, const ChunkSpec& spec,
                     alloc::Chunk* chunk, int iter) {
   if (!chunk_active(spec, iter)) return;
-  const int mods = std::max(1, spec.mods_per_iter);
+  const int mods = std::max(1, spec.pattern == ModPattern::kSmallRandom
+                                   ? spec.writes_per_iter
+                                   : spec.mods_per_iter);
   for (int m = 0; m < mods; ++m) {
     double frac;
     if (spec.pattern == ModPattern::kHotUntilEnd) {
@@ -71,12 +100,16 @@ void append_touches(std::vector<Touch>& out, const ChunkSpec& spec,
       // every background copy).
       frac = 0.2 + 0.78 * (static_cast<double>(m) + 1.0) /
                        static_cast<double>(mods);
+    } else if (spec.pattern == ModPattern::kSmallRandom) {
+      // KV stores arrive all through the phase, no structure to exploit.
+      frac = 0.9 * (static_cast<double>(m) + 1.0) /
+             static_cast<double>(mods);
     } else {
       // Early in the phase, leaving the tail for pre-copy to exploit.
       frac = 0.05 + 0.45 * (static_cast<double>(m) + 1.0) /
                         static_cast<double>(mods);
     }
-    out.push_back(Touch{std::min(frac, 0.99), chunk});
+    out.push_back(Touch{std::min(frac, 0.99), chunk, &spec});
   }
 }
 
@@ -108,6 +141,9 @@ DriverResult run_workload(const DriverConfig& cfg) {
   init_log_from_env();
   const int R = cfg.ranks;
   if (R <= 0) throw NvmcpError("driver: ranks must be positive");
+  const vmem::TrackMode tmode =
+      cfg.track_mode_from_env ? vmem::resolve_track_mode(cfg.track_mode)
+                              : cfg.track_mode;
 
   // Node-level fabric + buddy store.
   net::Interconnect link(cfg.link_bw, cfg.link_timeline_bucket);
@@ -134,7 +170,7 @@ DriverResult run_workload(const DriverConfig& cfg) {
     ctx.device = std::make_unique<NvmDevice>(ncfg);
     ctx.container = std::make_unique<vmem::Container>(*ctx.device);
     alloc::ChunkAllocator::Options aopts;
-    aopts.track_mode = cfg.track_mode;
+    aopts.track_mode = tmode;
     ctx.allocator =
         std::make_unique<alloc::ChunkAllocator>(*ctx.container, aopts);
     core::CheckpointConfig ccfg = cfg.ckpt;
@@ -200,11 +236,28 @@ DriverResult run_workload(const DriverConfig& cfg) {
           const double target = t.frac * phase;
           const double now = phase_sw.elapsed();
           if (target > now) precise_sleep(target - now);
-          touch_chunk(*t.chunk, ctx.rng);
-          // In software tracking mode the application reports its own
-          // writes; in mprotect mode the store above already faulted.
-          if (cfg.track_mode == vmem::TrackMode::kSoftware) {
-            t.chunk->notify_write();
+          if (t.spec->pattern == ModPattern::kSmallRandom) {
+            std::size_t len = 0;
+            const std::size_t off =
+                touch_small_random(*t.chunk, *t.spec, ctx.rng, &len);
+            // Store-then-log: the range is logged only after the store
+            // above landed (write-log mode); software mode reports the
+            // whole chunk, mprotect modes already faulted.
+            if (tmode == vmem::TrackMode::kWriteLog) {
+              t.chunk->log_write(off, len);
+            } else if (tmode == vmem::TrackMode::kSoftware) {
+              t.chunk->notify_write();
+            }
+          } else {
+            touch_chunk(*t.chunk, ctx.rng);
+            // In software tracking mode the application reports its own
+            // writes; in mprotect mode the store above already faulted.
+            // A whole-buffer rewrite under write-log tracking notifies
+            // once (whole-chunk dirty) instead of logging every stride.
+            if (tmode == vmem::TrackMode::kSoftware ||
+                tmode == vmem::TrackMode::kWriteLog) {
+              t.chunk->notify_write();
+            }
           }
         }
         const double left = phase - phase_sw.elapsed();
@@ -266,6 +319,10 @@ DriverResult run_workload(const DriverConfig& cfg) {
     out.ckpt.chunks_committed_from_precopy += s.chunks_committed_from_precopy;
     out.ckpt.chunks_recopied_dirty += s.chunks_recopied_dirty;
     out.ckpt.chunks_skipped_unmodified += s.chunks_skipped_unmodified;
+    out.ckpt.protection_faults += s.protection_faults;
+    out.ckpt.fault_seconds += s.fault_seconds;
+    out.ckpt.log_bytes += s.log_bytes;
+    out.ckpt.log_drops += s.log_drops;
     out.protection_faults += s.protection_faults;
     const NvmDeviceStats d = ctx.device->stats();
     out.nvm.bytes_written += d.bytes_written;
@@ -282,6 +339,13 @@ DriverResult run_workload(const DriverConfig& cfg) {
   out.metrics = std::make_shared<telemetry::MetricRegistry>();
   for (auto& ctx : ranks) out.metrics->merge(ctx.manager->metrics());
   if (remote_ckpt) out.metrics->merge(remote_ckpt->metrics());
+  // Per-chunk tracker sums merge-add correctly across ranks, but the
+  // mprotect counter is process-global (ProtectionManager singleton): the
+  // merged gauge would count it R times, so overwrite it with the truth.
+  out.ckpt.mprotect_calls =
+      vmem::ProtectionManager::instance().total_mprotect_calls();
+  out.metrics->gauge("vmem.mprotect_calls")
+      .set(static_cast<double>(out.ckpt.mprotect_calls));
   out.metrics->gauge("nvm.bytes_written")
       .set(static_cast<double>(out.nvm.bytes_written));
   out.metrics->gauge("nvm.bytes_read")

@@ -14,6 +14,23 @@ void add_chunks(WorkloadSpec& spec, int count, const std::string& stem,
   }
 }
 
+void add_small_random_chunks(WorkloadSpec& spec, int count,
+                             const std::string& stem, std::size_t bytes,
+                             int writes_per_iter, std::size_t write_bytes,
+                             double hot_fraction) {
+  for (int i = 0; i < count; ++i) {
+    ChunkSpec c;
+    c.name = stem + "_" + std::to_string(i);
+    c.bytes = bytes;
+    c.pattern = ModPattern::kSmallRandom;
+    c.mods_per_iter = writes_per_iter;
+    c.writes_per_iter = writes_per_iter;
+    c.write_bytes = write_bytes;
+    c.hot_fraction = hot_fraction;
+    spec.chunks.push_back(std::move(c));
+  }
+}
+
 }  // namespace
 
 WorkloadSpec WorkloadSpec::gtc() {
@@ -69,6 +86,28 @@ WorkloadSpec WorkloadSpec::cm1() {
   add_chunks(s, 21, "cm1_field", 9 * MiB, ModPattern::kEveryIteration);
   add_chunks(s, 2, "cm1_slab", 55 * MiB, ModPattern::kEveryIteration);
   add_chunks(s, 1, "cm1_restart", 105 * MiB, ModPattern::kPeriodic, 1, 2);
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::redis() {
+  // An in-memory KV store sharded into same-sized value arenas. Unlike
+  // the HPC codes above, nothing is phase-structured: every iteration a
+  // handful of 64-byte values change per shard, at offsets the checkpoint
+  // engine cannot predict. Half the shards take uniform writes (cold
+  // keyspace scans), half are skewed 90/10 onto a hot span (the classic
+  // KV access shape) -- with fault tracking each such store dirties and
+  // re-copies a whole shard, which is what kWriteLog's sub-page ranges
+  // avoid.
+  WorkloadSpec s;
+  s.name = "Redis-KV";
+  s.compute_per_iter = 5.0;
+  s.comm_bytes_per_iter = 8 * MiB;
+  s.iters_per_checkpoint = 4;
+  add_small_random_chunks(s, 12, "kv_uniform", 4 * MiB, 32, 64, 0.0);
+  add_small_random_chunks(s, 12, "kv_hot", 4 * MiB, 32, 64, 0.9);
+  // The keyspace index: rewritten wholesale each iteration, like an HPC
+  // field array -- keeps the workload honest about mixed write shapes.
+  add_chunks(s, 2, "kv_index", 8 * MiB, ModPattern::kEveryIteration);
   return s;
 }
 

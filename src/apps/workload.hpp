@@ -37,6 +37,10 @@ enum class ModPattern : std::uint8_t {
   kEveryIteration,  // rewritten early in every compute phase
   kHotUntilEnd,     // modified repeatedly up to the end of the phase
   kPeriodic,        // modified every `period`-th iteration
+  kSmallRandom,     // KV-store regime: a few small stores at random
+                    // offsets each iteration (uniform, or skewed onto a
+                    // hot span via hot_fraction) -- the write shape the
+                    // write-log tracking mode targets
 };
 
 struct ChunkSpec {
@@ -47,6 +51,12 @@ struct ChunkSpec {
   /// state-machine counter; e.g. chunk C3 in LAMMPS is modified 3 times).
   int mods_per_iter = 1;
   int period = 1;  // for kPeriodic
+  // kSmallRandom only:
+  int writes_per_iter = 0;        // random stores per compute phase
+  std::size_t write_bytes = 64;   // bytes per store (a cache line-ish)
+  /// Fraction of writes landing in the chunk's hot span (first ~10% of
+  /// the payload). 0 = uniform over the whole chunk.
+  double hot_fraction = 0;
 };
 
 struct WorkloadSpec {
@@ -62,6 +72,11 @@ struct WorkloadSpec {
   static WorkloadSpec gtc();
   static WorkloadSpec lammps_rhodo();
   static WorkloadSpec cm1();
+  /// Redis-like in-memory KV store: many same-sized value shards taking
+  /// small random-offset writes each iteration -- half uniform, half
+  /// skewed onto hot keys (Zipf-ish 90/10). The regime where per-chunk
+  /// fault tracking pays one whole-chunk copy per 64-byte store.
+  static WorkloadSpec redis();
 
   std::size_t total_ckpt_bytes() const;
   std::size_t chunk_count() const { return chunks.size(); }

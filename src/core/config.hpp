@@ -66,6 +66,13 @@ struct CheckpointConfig {
   /// everything; benches disable this for that baseline.
   bool skip_unmodified = true;
 
+  /// Batched re-arm of dirty tracking: the coordinated step and the
+  /// pre-copy batches protect their chunks through
+  /// ChunkAllocator::arm_chunks, which coalesces address-adjacent ranges
+  /// into O(runs) mprotect calls instead of one per chunk.
+  /// -1 = resolve from NVMCP_BATCH_REARM (default on); 0/1 pin it.
+  int batch_rearm = -1;
+
   /// Rank of this process within its node (used for remote put keys).
   std::uint32_t rank = 0;
 };
@@ -74,6 +81,11 @@ struct CheckpointConfig {
 /// (clamped to [1, 64]; unset or unparsable means 1), anything else is
 /// returned unchanged.
 std::size_t resolve_copy_threads(std::size_t configured);
+
+/// Resolve CheckpointConfig::batch_rearm: -1 consults NVMCP_BATCH_REARM
+/// ("0"/"off"/"false" disables, anything else -- including unset -- means
+/// enabled); 0/1 are returned as false/true regardless of the environment.
+bool resolve_batch_rearm(int configured);
 
 /// Health of one rank's remote-replication path. Transitions are driven by
 /// the helper's send outcomes (see RemoteCheckpointer):

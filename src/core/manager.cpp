@@ -46,11 +46,21 @@ std::size_t resolve_copy_threads(std::size_t configured) {
   return std::min<std::size_t>(v, 64);
 }
 
+bool resolve_batch_rearm(int configured) {
+  if (configured == 0) return false;
+  if (configured > 0) return true;
+  const char* env = std::getenv("NVMCP_BATCH_REARM");
+  if (!env || !*env) return true;
+  const std::string v(env);
+  return !(v == "0" || v == "off" || v == "false");
+}
+
 CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
                                      CheckpointConfig cfg)
     : alloc_(&allocator), cfg_(cfg), stream_(cfg.nvm_bw_per_core),
       prediction_(cfg.learn_alpha),
-      copy_threads_(resolve_copy_threads(cfg.copy_threads)) {
+      copy_threads_(resolve_copy_threads(cfg.copy_threads)),
+      batch_rearm_(resolve_batch_rearm(cfg.batch_rearm)) {
   if (copy_threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(copy_threads_);
     worker_streams_.reserve(copy_threads_);
@@ -71,6 +81,11 @@ CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
   m_.blocking_seconds = &metrics_.gauge("ckpt.blocking_seconds");
   m_.precopy_seconds = &metrics_.gauge("ckpt.precopy_seconds");
   m_.protection_faults = &metrics_.gauge("ckpt.protection_faults");
+  m_.vmem_faults = &metrics_.gauge("vmem.faults");
+  m_.vmem_fault_seconds = &metrics_.gauge("vmem.fault_seconds");
+  m_.vmem_mprotect_calls = &metrics_.gauge("vmem.mprotect_calls");
+  m_.vmem_log_bytes = &metrics_.gauge("vmem.log.bytes");
+  m_.vmem_log_drops = &metrics_.gauge("vmem.log.drops");
   // Blocking times: interesting range spans sub-ms commit flips to
   // multi-second full copies; 1 ms buckets to 5 s.
   m_.blocking_hist =
@@ -214,9 +229,16 @@ void CheckpointManager::precopy_batch(
   {
     std::lock_guard<std::mutex> lock(ckpt_mu_);
     telemetry::Span span("precopy_batch", "ckpt.local");
-    run_sharded(batch, [&](alloc::Chunk& c, BandwidthLimiter* stream) {
+    // Batched re-arm: one coalesced protect_batch for the whole batch
+    // instead of one mprotect per chunk inside each worker. precopy_chunk
+    // still re-arms any chunk a fault disarmed in the window (it compares
+    // the fault counter against arm_chunks' snapshot).
+    const bool batched = batch_rearm_ && batch.size() > 1;
+    if (batched) alloc_->arm_chunks(batch);
+    run_sharded(batch, [&, batched](alloc::Chunk& c,
+                                    BandwidthLimiter* stream) {
       if (!c.dirty_local()) return;  // raced with the coordinated step
-      const double secs = alloc_->precopy_chunk(c, epoch, stream);
+      const double secs = alloc_->precopy_chunk(c, epoch, stream, batched);
       bytes.fetch_add(c.size(), std::memory_order_relaxed);
       passes.fetch_add(1, std::memory_order_relaxed);
       nanos.fetch_add(static_cast<std::uint64_t>(secs * 1e9),
@@ -274,25 +296,31 @@ double CheckpointManager::nvchkptall() {
                                                std::memory_order_acq_rel));
   }
 
+  // Batched re-arm for the residual copies: one coalesced protect_batch
+  // replaces per-chunk mprotects (O(runs) syscalls for an adjacent heap).
+  const bool batched = batch_rearm_ && residual.size() > 1;
+  if (batched) alloc_->arm_chunks(residual);
+
   if (copy_threads_ > 1 && residual.size() > 1) {
     // Sharded commit: each worker copies+commits its own chunks on its
     // own NVMBW_core stream. Workers never share a chunk, every commit
     // touches only that chunk's record, and ckpt_mu_ is held across the
     // join, so the crash-ordering of each per-chunk commit is unchanged
     // from the serial path.
-    run_sharded(residual,
-                [this, epoch](alloc::Chunk& c, BandwidthLimiter* stream) {
-                  alloc_->checkpoint_chunk(c, epoch, stream);
-                });
+    run_sharded(residual, [this, epoch, batched](alloc::Chunk& c,
+                                                 BandwidthLimiter* stream) {
+      alloc_->checkpoint_chunk(c, epoch, stream, batched);
+    });
   } else {
     for (alloc::Chunk* c : residual) {
-      alloc_->checkpoint_chunk(*c, epoch, &stream_);
+      alloc_->checkpoint_chunk(*c, epoch, &stream_, batched);
     }
   }
 
   next_epoch_.fetch_add(1, std::memory_order_acq_rel);
   const double blocking = sw.elapsed();
 
+  refresh_vmem_metrics();
   m_.local_checkpoints->add(1);
   m_.blocking_seconds->add(blocking);
   m_.blocking_hist->observe(blocking);
@@ -364,7 +392,31 @@ RestoreStatus CheckpointManager::restore_all() {
   return worst;
 }
 
+void CheckpointManager::refresh_vmem_metrics() const {
+  // Dirty-tracking costs live in the chunk trackers (bumped from the
+  // SIGSEGV handler / log append, where only raw atomics are safe); sum
+  // them into the registry so snapshots carry the numbers too. The
+  // mprotect count is process-global (singleton manager): multi-rank
+  // drivers overwrite that gauge after merging rank registries.
+  std::uint64_t faults = 0, fault_ns = 0, log_bytes = 0, log_drops = 0;
+  for (const alloc::Chunk* c : alloc_->chunks()) {
+    const auto& t = c->tracker();
+    faults += t.faults.load(std::memory_order_relaxed);
+    fault_ns += t.fault_ns.load(std::memory_order_relaxed);
+    log_bytes += t.log_bytes.load(std::memory_order_relaxed);
+    log_drops += t.log_drops.load(std::memory_order_relaxed);
+  }
+  m_.protection_faults->set(static_cast<double>(faults));
+  m_.vmem_faults->set(static_cast<double>(faults));
+  m_.vmem_fault_seconds->set(static_cast<double>(fault_ns) * 1e-9);
+  m_.vmem_mprotect_calls->set(static_cast<double>(
+      vmem::ProtectionManager::instance().total_mprotect_calls()));
+  m_.vmem_log_bytes->set(static_cast<double>(log_bytes));
+  m_.vmem_log_drops->set(static_cast<double>(log_drops));
+}
+
 CheckpointStats CheckpointManager::stats() const {
+  refresh_vmem_metrics();
   CheckpointStats s;
   s.local_checkpoints = m_.local_checkpoints->value();
   s.local_blocking_seconds = m_.blocking_seconds->value();
@@ -375,15 +427,13 @@ CheckpointStats CheckpointManager::stats() const {
   s.chunks_committed_from_precopy = m_.committed_from_precopy->value();
   s.chunks_recopied_dirty = m_.recopied_dirty->value();
   s.chunks_skipped_unmodified = m_.skipped_unmodified->value();
-  std::uint64_t faults = 0;
-  for (const alloc::Chunk* c : alloc_->chunks()) {
-    faults += c->tracker().faults.load(std::memory_order_relaxed);
-  }
-  s.protection_faults = faults;
-  // Faults live in the chunk trackers (bumped from the SIGSEGV handler,
-  // where only raw atomics are safe); mirror them so registry snapshots
-  // taken after a stats() call carry the number too.
-  m_.protection_faults->set(static_cast<double>(faults));
+  s.protection_faults =
+      static_cast<std::uint64_t>(m_.vmem_faults->value());
+  s.fault_seconds = m_.vmem_fault_seconds->value();
+  s.mprotect_calls =
+      static_cast<std::uint64_t>(m_.vmem_mprotect_calls->value());
+  s.log_bytes = static_cast<std::uint64_t>(m_.vmem_log_bytes->value());
+  s.log_drops = static_cast<std::uint64_t>(m_.vmem_log_drops->value());
   return s;
 }
 

@@ -97,6 +97,9 @@ class CheckpointManager {
   bool threshold_reached() const;
   void end_interval_bookkeeping(double blocking_secs,
                                 std::uint64_t bytes_this_ckpt);
+  /// Sum per-chunk tracker counters (faults, fault time, log bytes/drops)
+  /// plus the process-global mprotect count into the vmem.* gauges.
+  void refresh_vmem_metrics() const;
 
   /// Run `op(chunk, worker_stream)` over `work`, sharded size-balanced
   /// (largest-first) across the copier pool; joins every worker before
@@ -122,6 +125,9 @@ class CheckpointManager {
   std::size_t copy_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<BandwidthLimiter>> worker_streams_;
+
+  /// Batched re-arm resolved from config/env (see CheckpointConfig).
+  bool batch_rearm_ = true;
 
   std::atomic<std::uint64_t> next_epoch_{1};
 
@@ -155,6 +161,11 @@ class CheckpointManager {
     telemetry::Gauge* blocking_seconds;
     telemetry::Gauge* precopy_seconds;
     telemetry::Gauge* protection_faults;
+    telemetry::Gauge* vmem_faults;
+    telemetry::Gauge* vmem_fault_seconds;
+    telemetry::Gauge* vmem_mprotect_calls;
+    telemetry::Gauge* vmem_log_bytes;
+    telemetry::Gauge* vmem_log_drops;
     telemetry::HistogramMetric* blocking_hist;
   } m_{};
 };

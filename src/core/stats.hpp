@@ -29,6 +29,14 @@ struct CheckpointStats {
 
   // Dirty tracking.
   std::uint64_t protection_faults = 0;
+  double fault_seconds = 0;  // time spent inside this rank's chunk faults
+  /// mprotect syscalls issued by the ProtectionManager. Process-global
+  /// (the manager is a singleton), unlike the per-chunk sums above.
+  std::uint64_t mprotect_calls = 0;
+  // kWriteLog: bytes recorded by this rank's chunks / appends dropped to
+  // whole-chunk fallback (ring overflow).
+  std::uint64_t log_bytes = 0;
+  std::uint64_t log_drops = 0;
 
   std::uint64_t total_nvm_bytes() const {
     return bytes_coordinated + bytes_precopied;

@@ -201,7 +201,7 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
     rn.dev->set_fault_injector(&inj);
     rn.cont = std::make_unique<vmem::Container>(*rn.dev);
     alloc::ChunkAllocator::Options aopts;
-    aopts.track_mode = vmem::TrackMode::kSoftware;
+    aopts.track_mode = s.track_mode;
     rn.alloc = std::make_unique<alloc::ChunkAllocator>(*rn.cont, aopts);
     core::CheckpointConfig ccfg;
     ccfg.local_policy = core::PrecopyPolicy::kNone;
@@ -382,15 +382,34 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
     }
     if (crashed) break;
 
-    // Compute phase: every rank rewrites all of its chunks.
+    // Compute phase. The default shape rewrites every chunk wholesale;
+    // under kWriteLog (past the initializing iteration) the ranks instead
+    // perform a burst of small stores, each logged after the bytes land
+    // (store-then-log), so the commit path must reconstruct DRAM exactly
+    // from sub-page ranges alone -- a dropped range fails the golden
+    // byte-compare as undetected loss.
     for (int r = 0; r < s.ranks; ++r) {
       for (int j = 0; j < s.chunks_per_rank; ++j) {
         alloc::Chunk* c = node[r].chunks[j];
-        fill_pattern(static_cast<std::byte*>(c->data()), c->size(),
-                     mix(mix(data_seed, static_cast<std::uint64_t>(iter)),
-                         static_cast<std::uint64_t>(r) * 131071u +
-                             static_cast<std::uint64_t>(j)));
-        c->notify_write();
+        auto* data = static_cast<std::byte*>(c->data());
+        const std::uint64_t cseed =
+            mix(mix(data_seed, static_cast<std::uint64_t>(iter)),
+                static_cast<std::uint64_t>(r) * 131071u +
+                    static_cast<std::uint64_t>(j));
+        if (s.track_mode == vmem::TrackMode::kWriteLog && iter > 0) {
+          std::uint64_t st = cseed;
+          for (int w = 0; w < 16; ++w) {
+            const std::uint64_t draw = splitmix64(st);
+            const std::size_t span = 64 + (draw % 4) * 64;  // 64..256 B
+            const std::size_t off =
+                ((draw >> 8) % (c->size() - span)) & ~std::size_t{7};
+            fill_pattern(data + off, span, mix(cseed, draw));
+            c->log_write(off, span);
+          }
+        } else {
+          fill_pattern(data, c->size(), cseed);
+          c->notify_write();
+        }
       }
     }
 

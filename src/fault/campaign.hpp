@@ -42,6 +42,7 @@
 #include "fault/plan.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/run_report.hpp"
+#include "vmem/protection.hpp"
 
 namespace nvmcp::fault {
 
@@ -82,6 +83,12 @@ struct CampaignSpec {
   // restart-time accounting; trial devices run unthrottled for speed).
   double nvm_bw_core = 400.0 * MiB;
   double link_bw = 5.0e9;
+
+  /// Dirty-tracking mode for every trial chunk. kSoftware keeps trials
+  /// hermetic to signal handling; kWriteLog switches the compute phase to
+  /// small logged stores so sub-page range commits are chaos-tested: a
+  /// dropped or mis-ordered range surfaces as undetected loss.
+  vmem::TrackMode track_mode = vmem::TrackMode::kSoftware;
 
   /// Copier threads for each trial's CheckpointManagers (0 = resolve from
   /// NVMCP_COPY_THREADS, i.e. CheckpointConfig semantics). >1 exercises

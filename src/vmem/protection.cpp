@@ -6,7 +6,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/checksum.hpp"
 #include "common/error.hpp"
@@ -23,7 +26,54 @@ std::uint64_t monotonic_ns() {
          static_cast<std::uint64_t>(ts.tv_nsec);
 }
 
+bool uses_mmu(TrackMode mode) {
+  return mode == TrackMode::kMprotect || mode == TrackMode::kMprotectPage;
+}
+
+/// Scoped in-flight marker for lock-free snapshot readers. The seq_cst
+/// increment-before-load pairs with the seq_cst snapshot publish: if the
+/// reclaimer reads the counter as zero after publishing, any reader it did
+/// not see increments later in the SC total order and therefore loads the
+/// freshly published snapshot, never a retired one. Signal safe (atomics
+/// only).
+struct ReaderGuard {
+  explicit ReaderGuard(std::atomic<std::uint64_t>& counter)
+      : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  ~ReaderGuard() { counter_.fetch_sub(1, std::memory_order_release); }
+  std::atomic<std::uint64_t>& counter_;
+};
+
 }  // namespace
+
+const char* to_string(TrackMode mode) {
+  switch (mode) {
+    case TrackMode::kMprotect:
+      return "mprotect";
+    case TrackMode::kMprotectPage:
+      return "mprotect_page";
+    case TrackMode::kSoftware:
+      return "software";
+    case TrackMode::kWriteLog:
+      return "writelog";
+  }
+  return "unknown";
+}
+
+TrackMode resolve_track_mode(TrackMode fallback) {
+  const char* env = std::getenv("NVMCP_TRACK_MODE");
+  if (!env || !*env) return fallback;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "mprotect" || v == "chunk") return TrackMode::kMprotect;
+  if (v == "mprotect_page" || v == "page") return TrackMode::kMprotectPage;
+  if (v == "software" || v == "soft") return TrackMode::kSoftware;
+  if (v == "writelog" || v == "write_log" || v == "log") {
+    return TrackMode::kWriteLog;
+  }
+  return fallback;
+}
 
 // Out-of-line trampoline so the raw handler signature stays C-compatible.
 struct SigsegvTrampoline {
@@ -77,7 +127,33 @@ void ProtectionManager::publish_locked() {
   });
   Snapshot* raw = snap.get();
   retired_.push_back(std::move(snap));
-  snapshot_.store(raw, std::memory_order_release);
+  // seq_cst: pairs with the readers' increment-then-load (ReaderGuard) so
+  // try_reclaim_locked's quiescence check is sound.
+  snapshot_.store(raw, std::memory_order_seq_cst);
+  try_reclaim_locked();
+}
+
+void ProtectionManager::try_reclaim_locked() {
+  if (retired_.size() <= 1 && retired_ranges_.empty()) return;
+  if (readers_.load(std::memory_order_seq_cst) != 0) return;
+  // Quiescent: no reader is in flight, and any reader arriving after the
+  // counter read increments first (seq_cst) and then observes the current
+  // snapshot -- so nothing can reference a retired snapshot or a Range
+  // that only retired snapshots point to.
+  Snapshot* cur = snapshot_.load(std::memory_order_relaxed);
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                [cur](const std::unique_ptr<Snapshot>& s) {
+                                  return s.get() != cur;
+                                }),
+                 retired_.end());
+  retired_ranges_.clear();
+}
+
+ProtectionManager::Range* ProtectionManager::find_locked(int handle) const {
+  for (const auto& r : ranges_) {
+    if (r->handle == handle) return r.get();
+  }
+  throw NvmcpError("ProtectionManager: unknown handle");
 }
 
 int ProtectionManager::register_range(void* addr, std::size_t len,
@@ -85,9 +161,7 @@ int ProtectionManager::register_range(void* addr, std::size_t len,
   if (!addr || len == 0 || !tracker) {
     throw NvmcpError("ProtectionManager: bad registration");
   }
-  const bool uses_mmu =
-      mode == TrackMode::kMprotect || mode == TrackMode::kMprotectPage;
-  if (uses_mmu) {
+  if (uses_mmu(mode)) {
     const std::size_t page = host_page_size();
     if (reinterpret_cast<std::uintptr_t>(addr) % page != 0 ||
         len % page != 0) {
@@ -96,7 +170,7 @@ int ProtectionManager::register_range(void* addr, std::size_t len,
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
-  if (uses_mmu) install_handler_locked();
+  if (uses_mmu(mode)) install_handler_locked();
   auto range = std::make_unique<Range>();
   range->start = static_cast<std::byte*>(addr);
   range->len = len;
@@ -105,6 +179,12 @@ int ProtectionManager::register_range(void* addr, std::size_t len,
   range->handle = next_handle_++;
   if (mode == TrackMode::kMprotectPage) {
     range->pages = std::make_unique<AtomicBitmap>(len / host_page_size());
+  }
+  if (mode == TrackMode::kWriteLog) {
+    // No handler, no alignment requirement: dirtiness comes entirely from
+    // log_write appends into this sink.
+    range->sink = std::make_unique<DirtyLogSink>();
+    range->sink->tracker = tracker;
   }
   const int handle = range->handle;
   ranges_.push_back(std::move(range));
@@ -116,15 +196,20 @@ void ProtectionManager::unregister_range(int handle) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = ranges_.begin(); it != ranges_.end(); ++it) {
     if ((*it)->handle != handle) continue;
-    if ((*it)->mode != TrackMode::kSoftware &&
+    if (uses_mmu((*it)->mode) &&
         (*it)->armed.load(std::memory_order_acquire)) {
       ::mprotect((*it)->start, (*it)->len, PROT_READ | PROT_WRITE);
+      mprotect_calls_.fetch_add(1, std::memory_order_relaxed);
     }
-    // The Range object must stay alive for any in-flight handler lookups
-    // over an old snapshot; keep it in the retired graveyard via ranges_
-    // swap-to-retired semantics: move ownership into a retired snapshot
-    // holder is overkill here -- we simply require quiescence (documented)
-    // and free it.
+    if ((*it)->sink) {
+      // Flush the dying sink's records out of the rings (the caller
+      // guarantees no concurrent appends to this range).
+      WriteLogRegistry::instance().purge((*it)->sink.get());
+    }
+    // In-flight lock-free readers may still dereference this Range through
+    // an old snapshot: park it in the graveyard until quiescence instead
+    // of freeing it here.
+    retired_ranges_.push_back(std::move(*it));
     ranges_.erase(it);
     publish_locked();
     return;
@@ -134,30 +219,94 @@ void ProtectionManager::unregister_range(int handle) {
 
 void ProtectionManager::protect(int handle) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& r : ranges_) {
-    if (r->handle != handle) continue;
-    if (r->mode != TrackMode::kSoftware) {
-      if (::mprotect(r->start, r->len, PROT_READ) != 0) {
-        throw NvmcpError("ProtectionManager: mprotect(PROT_READ) failed");
-      }
+  Range* r = find_locked(handle);
+  if (uses_mmu(r->mode)) {
+    if (::mprotect(r->start, r->len, PROT_READ) != 0) {
+      throw NvmcpError("ProtectionManager: mprotect(PROT_READ) failed");
     }
-    r->armed.store(true, std::memory_order_release);
-    return;
+    mprotect_calls_.fetch_add(1, std::memory_order_relaxed);
   }
-  throw NvmcpError("ProtectionManager: unknown handle");
+  if (r->sink) r->sink->epoch.fetch_add(1, std::memory_order_relaxed);
+  r->armed.store(true, std::memory_order_release);
 }
 
 void ProtectionManager::unprotect(int handle) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& r : ranges_) {
-    if (r->handle != handle) continue;
-    if (r->mode != TrackMode::kSoftware) {
-      ::mprotect(r->start, r->len, PROT_READ | PROT_WRITE);
-    }
-    r->armed.store(false, std::memory_order_release);
-    return;
+  Range* r = find_locked(handle);
+  if (uses_mmu(r->mode)) {
+    ::mprotect(r->start, r->len, PROT_READ | PROT_WRITE);
+    mprotect_calls_.fetch_add(1, std::memory_order_relaxed);
   }
-  throw NvmcpError("ProtectionManager: unknown handle");
+  r->armed.store(false, std::memory_order_release);
+}
+
+std::size_t ProtectionManager::protect_ranges_locked(
+    std::vector<Range*>& targets) {
+  // Arm fault-free modes immediately; gather mprotect-mode ranges so
+  // address-adjacent ones share one syscall.
+  std::vector<Range*> mmu;
+  mmu.reserve(targets.size());
+  for (Range* r : targets) {
+    if (uses_mmu(r->mode)) {
+      mmu.push_back(r);
+    } else {
+      if (r->sink) r->sink->epoch.fetch_add(1, std::memory_order_relaxed);
+      r->armed.store(true, std::memory_order_release);
+    }
+  }
+  if (mmu.empty()) return 0;
+  std::sort(mmu.begin(), mmu.end(), [](const Range* a, const Range* b) {
+    return a->start < b->start;
+  });
+  std::size_t calls = 0;
+  std::size_t i = 0;
+  while (i < mmu.size()) {
+    std::byte* run_start = mmu[i]->start;
+    std::byte* run_end = run_start + mmu[i]->len;
+    std::size_t j = i + 1;
+    while (j < mmu.size() && mmu[j]->start == run_end) {
+      run_end = mmu[j]->start + mmu[j]->len;
+      ++j;
+    }
+    if (::mprotect(run_start, static_cast<std::size_t>(run_end - run_start),
+                   PROT_READ) != 0) {
+      throw NvmcpError("ProtectionManager: batched mprotect failed");
+    }
+    ++calls;
+    for (; i < j; ++i) mmu[i]->armed.store(true, std::memory_order_release);
+  }
+  mprotect_calls_.fetch_add(calls, std::memory_order_relaxed);
+  return calls;
+}
+
+std::size_t ProtectionManager::protect_batch(
+    const std::vector<int>& handles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Range*> targets;
+  targets.reserve(handles.size());
+  for (int h : handles) targets.push_back(find_locked(h));
+  return protect_ranges_locked(targets);
+}
+
+std::size_t ProtectionManager::protect_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Range*> targets;
+  targets.reserve(ranges_.size());
+  for (const auto& r : ranges_) targets.push_back(r.get());
+  return protect_ranges_locked(targets);
+}
+
+DirtyLogSink* ProtectionManager::log_sink(int handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_locked(handle)->sink.get();
+}
+
+WriteLogRegistry::Collected ProtectionManager::collect_dirty_ranges(
+    int handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Range* r = find_locked(handle);
+  if (!r->sink) return {};
+  return WriteLogRegistry::instance().collect(r->sink.get());
 }
 
 std::vector<std::size_t> ProtectionManager::collect_dirty_pages(int handle) {
@@ -190,21 +339,48 @@ bool ProtectionManager::is_protected(int handle) const {
 }
 
 void ProtectionManager::notify_write(int handle) {
-  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  ReaderGuard guard(readers_);
+  Snapshot* snap = snapshot_.load(std::memory_order_seq_cst);
   if (!snap) return;
   for (Range* r : *snap) {
     if (r->handle != handle) continue;
+    if (r->mode == TrackMode::kWriteLog) {
+      // Untracked write: logged coverage is no longer complete, so the
+      // next collection must fall back to a whole-chunk copy. Counter
+      // first, then flags -- same contract as the fault handler.
+      r->tracker->writes_logged.fetch_add(1, std::memory_order_acq_rel);
+      if (r->sink) {
+        r->sink->whole_dirty.store(true, std::memory_order_release);
+      }
+      bool expected = true;
+      if (r->armed.compare_exchange_strong(expected, false,
+                                           std::memory_order_acq_rel)) {
+        r->tracker->mark_dirty();
+      }
+      return;
+    }
     bool expected = true;
     if (r->armed.compare_exchange_strong(expected, false,
                                          std::memory_order_acq_rel)) {
-      if (r->mode != TrackMode::kSoftware) {
+      if (uses_mmu(r->mode)) {
         ::mprotect(r->start, r->len, PROT_READ | PROT_WRITE);
+        mprotect_calls_.fetch_add(1, std::memory_order_relaxed);
       }
       if (r->pages) r->pages->set_range(0, r->pages->size());
       r->tracker->mark_dirty();
     }
     return;
   }
+}
+
+std::size_t ProtectionManager::retired_snapshot_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+std::size_t ProtectionManager::retired_range_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_ranges_.size();
 }
 
 void ProtectionManager::arm_lazy_restore(int handle, const std::byte* src,
@@ -225,6 +401,7 @@ void ProtectionManager::arm_lazy_restore(int handle, const std::byte* src,
     r->lazy_src = src;
     r->lazy_len = len;
     r->lazy_crc = crc;
+    mprotect_calls_.fetch_add(1, std::memory_order_relaxed);
     if (::mprotect(r->start, r->len, PROT_NONE) != 0) {
       throw NvmcpError("arm_lazy_restore: mprotect(PROT_NONE) failed");
     }
@@ -254,7 +431,8 @@ void ProtectionManager::set_extra_fault_latency(double seconds) {
 
 bool ProtectionManager::handle_fault(void* addr) {
   const std::uint64_t t0 = monotonic_ns();
-  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  ReaderGuard guard(readers_);
+  Snapshot* snap = snapshot_.load(std::memory_order_seq_cst);
   if (!snap) return false;
   auto* fault = static_cast<std::byte*>(addr);
   // Binary search: first range with start > fault, step back one.
@@ -270,7 +448,7 @@ bool ProtectionManager::handle_fault(void* addr) {
   if (lo == 0) return false;
   Range* r = (*snap)[lo - 1];
   if (fault < r->start || fault >= r->start + r->len) return false;
-  if (r->mode == TrackMode::kSoftware) return false;
+  if (!uses_mmu(r->mode)) return false;  // software / writelog never fault
 
   // Lazy restore: the first toucher copies the committed payload in; any
   // thread racing it spins until the copy lands, then retries its access.
@@ -281,6 +459,7 @@ bool ProtectionManager::handle_fault(void* addr) {
     if (r->lazy_state.compare_exchange_strong(
             expected, static_cast<int>(LazyState::kCopying),
             std::memory_order_acq_rel)) {
+      mprotect_calls_.fetch_add(1, std::memory_order_relaxed);
       if (::mprotect(r->start, r->len, PROT_READ | PROT_WRITE) != 0) {
         r->lazy_state.store(static_cast<int>(LazyState::kFailed),
                             std::memory_order_release);
@@ -301,7 +480,9 @@ bool ProtectionManager::handle_fault(void* addr) {
         // spin: the copier is filling the range
       }
     }
-    fault_ns_.fetch_add(monotonic_ns() - t0, std::memory_order_relaxed);
+    const std::uint64_t lazy_dt = monotonic_ns() - t0;
+    fault_ns_.fetch_add(lazy_dt, std::memory_order_relaxed);
+    r->tracker->fault_ns.fetch_add(lazy_dt, std::memory_order_relaxed);
     return true;
   }
 
@@ -312,6 +493,7 @@ bool ProtectionManager::handle_fault(void* addr) {
     const std::size_t page = host_page_size();
     auto* page_start = reinterpret_cast<std::byte*>(
         reinterpret_cast<std::uintptr_t>(fault) & ~(page - 1));
+    mprotect_calls_.fetch_add(1, std::memory_order_relaxed);
     if (::mprotect(page_start, page, PROT_READ | PROT_WRITE) != 0) {
       return false;
     }
@@ -324,6 +506,7 @@ bool ProtectionManager::handle_fault(void* addr) {
   } else {
     // Chunk-level fault amortization: unprotect the WHOLE chunk and mark
     // the whole chunk dirty, so later stores to any of its pages are free.
+    mprotect_calls_.fetch_add(1, std::memory_order_relaxed);
     if (::mprotect(r->start, r->len, PROT_READ | PROT_WRITE) != 0) {
       return false;
     }
@@ -341,7 +524,9 @@ bool ProtectionManager::handle_fault(void* addr) {
       // faulting store should stay minimal and predictable
     }
   }
-  fault_ns_.fetch_add(monotonic_ns() - t0, std::memory_order_relaxed);
+  const std::uint64_t dt = monotonic_ns() - t0;
+  fault_ns_.fetch_add(dt, std::memory_order_relaxed);
+  r->tracker->fault_ns.fetch_add(dt, std::memory_order_relaxed);
   return true;
 }
 

@@ -8,16 +8,22 @@
 // again"). This gives one fault per chunk per modification interval instead
 // of one per page (6-12us each, ~3s/GB if taken per page).
 //
-// Two tracking modes, selectable per registration:
+// Tracking modes, selectable per registration (and via NVMCP_TRACK_MODE):
 //  * kMprotect  - real mprotect(PROT_READ) + SIGSEGV handler. Application
 //                 stores need no instrumentation.
 //  * kSoftware  - the application (or workload driver / simulator) calls
 //                 notify_write(). Used where signals are unavailable or the
 //                 policy logic is tested in isolation.
+//  * kWriteLog  - per-thread append-only write logs (see write_log.hpp):
+//                 writers call log_write(off, len) after each store; the
+//                 copier drains byte ranges without taking any fault.
 //
 // The SIGSEGV handler is async-signal-safe: it looks up the fault address
 // in an immutable snapshot table (atomic pointer swap on registration
 // change), calls only mprotect/clock_gettime, and touches only atomics.
+// Retired snapshots (and unregistered ranges) are reclaimed once no
+// handler or snapshot reader is in flight, so registration churn costs
+// bounded memory.
 #pragma once
 
 #include <atomic>
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "nvm/bitmap.hpp"
+#include "vmem/write_log.hpp"
 
 namespace nvmcp::vmem {
 
@@ -40,6 +47,15 @@ struct WriteTracker {
   std::atomic<std::uint32_t> mods_in_interval{0};
   /// Lifetime protection-fault count for this chunk.
   std::atomic<std::uint64_t> faults{0};
+  /// Lifetime nanoseconds spent in this chunk's protection faults.
+  std::atomic<std::uint64_t> fault_ns{0};
+  /// kWriteLog: lifetime logged-write count. Bumped before the dirty
+  /// flags, so faults + writes_logged plays the fault counter's role in
+  /// the pre-copy clear-and-recheck dance.
+  std::atomic<std::uint64_t> writes_logged{0};
+  /// kWriteLog: lifetime logged bytes / dropped (overflowed) appends.
+  std::atomic<std::uint64_t> log_bytes{0};
+  std::atomic<std::uint64_t> log_drops{0};
 
   void mark_dirty() {
     dirty_local.store(true, std::memory_order_release);
@@ -56,7 +72,18 @@ struct WriteTracker {
 ///                  take 6-12 usec, and 3 sec for 1 GB of data") -- kept so
 ///                  the ablation bench can reproduce that comparison.
 /// kSoftware      - explicit notify_write() from the application/driver.
-enum class TrackMode { kMprotect, kMprotectPage, kSoftware };
+/// kWriteLog      - per-thread append-only dirty logs: the application
+///                  (or chunk hook) calls log_write(off, len) after each
+///                  store; no mprotect, no fault, and the copier gets
+///                  sub-page byte ranges instead of whole pages.
+enum class TrackMode { kMprotect, kMprotectPage, kSoftware, kWriteLog };
+
+const char* to_string(TrackMode mode);
+
+/// Resolve a tracking mode from the NVMCP_TRACK_MODE environment variable
+/// ("mprotect", "mprotect_page"/"page", "software", "writelog"/
+/// "write_log"/"log"); unset or unrecognized returns `fallback`.
+TrackMode resolve_track_mode(TrackMode fallback);
 
 class ProtectionManager {
  public:
@@ -89,6 +116,23 @@ class ProtectionManager {
   /// avoid a fault when the writer knows it is about to dirty the chunk.
   void notify_write(int handle);
 
+  /// Batched re-arm: protect every range in `handles`, coalescing
+  /// address-adjacent mprotect-mode ranges into contiguous runs so a
+  /// 256-chunk round costs O(runs) syscalls instead of O(chunks).
+  /// Returns the number of mprotect calls issued.
+  std::size_t protect_batch(const std::vector<int>& handles);
+
+  /// protect_batch over every registered range.
+  std::size_t protect_all();
+
+  /// kWriteLog: the sink writers append to (stable for the registration's
+  /// lifetime, suitable for caching in the chunk). nullptr in other modes.
+  DirtyLogSink* log_sink(int handle);
+
+  /// kWriteLog: drain the per-thread logs and hand back this range's
+  /// accumulated dirty byte ranges (+ whole-chunk overflow flag).
+  WriteLogRegistry::Collected collect_dirty_ranges(int handle);
+
   /// Page-level mode: drain the set of pages (indices within the range)
   /// dirtied since they were last collected. Empty for other modes.
   std::vector<std::size_t> collect_dirty_pages(int handle);
@@ -120,6 +164,17 @@ class ProtectionManager {
     return static_cast<double>(fault_ns_.load(std::memory_order_relaxed)) *
            1e-9;
   }
+  /// Lifetime count of ::mprotect syscalls issued (arm, disarm, fault
+  /// handler, lazy restore). Process-global, like total_faults().
+  std::uint64_t total_mprotect_calls() const {
+    return mprotect_calls_.load(std::memory_order_relaxed);
+  }
+
+  // Test hooks: sizes of the retired-snapshot list (the live snapshot
+  // counts as one entry) and the unregistered-range graveyard. Bounded
+  // under churn by quiescent reclamation.
+  std::size_t retired_snapshot_count() const;
+  std::size_t retired_range_count() const;
 
   /// Extra per-fault delay to emulate a slower fault path (busy-waited in
   /// the handler; default 0 = just the real handler cost).
@@ -140,6 +195,8 @@ class ProtectionManager {
     int handle = -1;
     /// Page-level mode only: per-page dirty bits since last protect().
     std::unique_ptr<AtomicBitmap> pages;
+    /// kWriteLog only: destination of logged writes for this range.
+    std::unique_ptr<DirtyLogSink> sink;
 
     // Lazy-restore state (see LazyState; transitions via CAS so exactly
     // one faulting thread performs the copy and others wait).
@@ -153,20 +210,33 @@ class ProtectionManager {
 
   void install_handler_locked();
   void publish_locked();
+  void try_reclaim_locked();
+  Range* find_locked(int handle) const;
+  std::size_t protect_ranges_locked(std::vector<Range*>& targets);
   bool handle_fault(void* addr);
 
   friend struct SigsegvTrampoline;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Range>> ranges_;
-  std::vector<std::unique_ptr<Snapshot>> retired_;  // freed at shutdown
+  /// Every published snapshot, newest last (== snapshot_). Old entries are
+  /// freed by try_reclaim_locked() once no reader is in flight.
+  std::vector<std::unique_ptr<Snapshot>> retired_;
+  /// Unregistered Ranges an in-flight reader may still dereference via an
+  /// old snapshot; reclaimed together with the snapshots.
+  std::vector<std::unique_ptr<Range>> retired_ranges_;
   std::atomic<Snapshot*> snapshot_{nullptr};
+  /// In-flight lock-free snapshot readers (fault handler, notify_write).
+  /// seq_cst increment-before-load pairs with the seq_cst publish so the
+  /// reclaimer's zero read proves quiescence (see try_reclaim_locked).
+  std::atomic<std::uint64_t> readers_{0};
   int next_handle_ = 1;
   bool handler_installed_ = false;
 
   std::atomic<std::uint64_t> total_faults_{0};
   std::atomic<std::uint64_t> fault_ns_{0};
   std::atomic<std::uint64_t> extra_fault_ns_{0};
+  std::atomic<std::uint64_t> mprotect_calls_{0};
 };
 
 }  // namespace nvmcp::vmem

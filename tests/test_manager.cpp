@@ -10,6 +10,7 @@
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "core/manager.hpp"
+#include "vmem/protection.hpp"
 
 namespace nvmcp::core {
 namespace {
@@ -394,6 +395,186 @@ TEST_F(ManagerTest, ParallelCommitRacingPrecopyRestoresCleanly) {
                              golden[i].size()))
         << "chunk " << i;
   }
+}
+
+// --- dirty-tracking modes (sub-page ranges, batched re-arm) ------------
+
+/// Stack whose allocator pins a specific dirty-tracking mode (the fixture
+/// allocator uses the default, env-resolved options).
+struct ModeStack {
+  std::unique_ptr<NvmDevice> dev;
+  std::unique_ptr<vmem::Container> cont;
+  std::unique_ptr<alloc::ChunkAllocator> alloc;
+  std::unique_ptr<CheckpointManager> mgr;
+  std::vector<alloc::Chunk*> chunks;
+};
+
+constexpr const char* kModeNames[] = {"sp_a", "sp_b", "sp_c",
+                                      "sp_d", "sp_e", "sp_f"};
+
+ModeStack make_mode_stack(vmem::TrackMode mode, int batch_rearm,
+                          std::size_t copy_threads) {
+  ModeStack s;
+  NvmConfig ncfg;
+  ncfg.capacity = 64 * MiB;
+  ncfg.throttle = false;
+  s.dev = std::make_unique<NvmDevice>(ncfg);
+  s.cont = std::make_unique<vmem::Container>(*s.dev);
+  alloc::ChunkAllocator::Options aopts;
+  aopts.track_mode = mode;
+  s.alloc = std::make_unique<alloc::ChunkAllocator>(*s.cont, aopts);
+  CheckpointConfig ccfg;
+  ccfg.local_policy = PrecopyPolicy::kNone;
+  ccfg.nvm_bw_per_core = 0;
+  ccfg.copy_threads = copy_threads;
+  ccfg.batch_rearm = batch_rearm;
+  s.mgr = std::make_unique<CheckpointManager>(*s.alloc, ccfg);
+  for (const char* name : kModeNames) {
+    s.chunks.push_back(s.alloc->nvalloc(name, 16 * KiB, true));
+  }
+  return s;
+}
+
+/// A handful of small 8-aligned stores per chunk (64..192 B each, well
+/// under the coverage fallback), logged after the store under kWriteLog
+/// or flagged wholesale under kSoftware.
+void mutate_small(alloc::Chunk& c, std::uint64_t seed, bool writelog) {
+  Rng rng(seed);
+  auto* p = static_cast<std::byte*>(c.data());
+  for (int w = 0; w < 12; ++w) {
+    const std::size_t len = 64 + rng.next_below(3) * 64;
+    const std::size_t off = rng.next_below(c.size() - len) & ~std::size_t{7};
+    for (std::size_t i = 0; i + 8 <= len; i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      std::memcpy(p + off + i, &v, 8);
+    }
+    if (writelog) c.log_write(off, len);
+  }
+  if (!writelog) c.notify_write();
+}
+
+struct ModeObservation {
+  std::uint64_t device_bytes_written = 0;
+  std::vector<std::vector<std::byte>> restored;
+};
+
+/// Full fill + checkpoint, then four rounds of small mutations + checkpoint
+/// (so BOTH version slots take incremental commits), then scribble and
+/// restore. Every mode sees the identical store sequence.
+ModeObservation run_mode(vmem::TrackMode mode) {
+  ModeStack s = make_mode_stack(mode, -1, 4);
+  const bool writelog = mode == vmem::TrackMode::kWriteLog;
+  for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+    fill_chunk(*s.chunks[i], 7000 + i);
+    if (writelog) s.chunks[i]->log_write(0, s.chunks[i]->size());
+  }
+  s.mgr->nvchkptall();
+  for (std::uint64_t round = 1; round <= 4; ++round) {
+    for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+      mutate_small(*s.chunks[i], round * 100 + i, writelog);
+    }
+    s.mgr->nvchkptall();
+  }
+  std::vector<std::vector<std::byte>> golden;
+  for (alloc::Chunk* c : s.chunks) {
+    golden.emplace_back(static_cast<std::byte*>(c->data()),
+                        static_cast<std::byte*>(c->data()) + c->size());
+  }
+  for (alloc::Chunk* c : s.chunks) fill_chunk(*c, 424242);
+  EXPECT_EQ(s.mgr->restore_all(), RestoreStatus::kOk);
+  ModeObservation ob;
+  ob.device_bytes_written = s.dev->stats().bytes_written;
+  for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+    alloc::Chunk* c = s.chunks[i];
+    EXPECT_EQ(0, std::memcmp(c->data(), golden[i].data(), c->size()))
+        << "chunk " << i << " after restore";
+    ob.restored.emplace_back(static_cast<std::byte*>(c->data()),
+                             static_cast<std::byte*>(c->data()) + c->size());
+  }
+  return ob;
+}
+
+// Sub-page range commits (kWriteLog) must be byte-for-byte equivalent to
+// whole-chunk commits (kSoftware) under the same store sequence — while
+// writing fewer bytes to the device, proving the range path (not the
+// whole-chunk fallback) carried the incremental rounds.
+TEST_F(ManagerTest, SubPageCommitMatchesWholeChunkByteForByte) {
+  const ModeObservation ranges = run_mode(vmem::TrackMode::kWriteLog);
+  const ModeObservation whole = run_mode(vmem::TrackMode::kSoftware);
+  ASSERT_EQ(ranges.restored.size(), whole.restored.size());
+  for (std::size_t i = 0; i < ranges.restored.size(); ++i) {
+    ASSERT_EQ(ranges.restored[i].size(), whole.restored[i].size());
+    EXPECT_EQ(0, std::memcmp(ranges.restored[i].data(),
+                             whole.restored[i].data(),
+                             ranges.restored[i].size()))
+        << "chunk " << i;
+  }
+  EXPECT_LT(ranges.device_bytes_written, whole.device_bytes_written);
+}
+
+// Batched re-arm is a syscall-count optimisation only: with the identical
+// fault-driven schedule it must commit identical bytes while issuing no
+// more mprotect calls than the per-chunk path.
+TEST_F(ManagerTest, BatchRearmMatchesPerChunkRearmByteForByte) {
+  auto run = [](int batch_rearm, std::uint64_t* mprotect_calls) {
+    ModeStack s = make_mode_stack(vmem::TrackMode::kMprotect, batch_rearm, 1);
+    const std::uint64_t calls0 =
+        vmem::ProtectionManager::instance().total_mprotect_calls();
+    for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+      fill_chunk(*s.chunks[i], 5000 + i);
+    }
+    s.mgr->nvchkptall();
+    for (std::uint64_t round = 1; round <= 3; ++round) {
+      for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+        mutate_small(*s.chunks[i], round * 17 + i, false);
+      }
+      s.mgr->nvchkptall();
+    }
+    *mprotect_calls =
+        vmem::ProtectionManager::instance().total_mprotect_calls() - calls0;
+    std::vector<std::vector<std::byte>> golden;
+    for (alloc::Chunk* c : s.chunks) {
+      golden.emplace_back(static_cast<std::byte*>(c->data()),
+                          static_cast<std::byte*>(c->data()) + c->size());
+    }
+    for (alloc::Chunk* c : s.chunks) fill_chunk(*c, 171717);
+    EXPECT_EQ(s.mgr->restore_all(), RestoreStatus::kOk);
+    for (std::size_t i = 0; i < s.chunks.size(); ++i) {
+      EXPECT_EQ(0, std::memcmp(s.chunks[i]->data(), golden[i].data(),
+                               golden[i].size()))
+          << "chunk " << i << " batch_rearm=" << batch_rearm;
+    }
+    return golden;
+  };
+  std::uint64_t batched_calls = 0, single_calls = 0;
+  const auto batched = run(1, &batched_calls);
+  const auto single = run(0, &single_calls);
+  ASSERT_EQ(batched.size(), single.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(batched[i].data(), single[i].data(),
+                             batched[i].size()))
+        << "chunk " << i;
+  }
+  EXPECT_LE(batched_calls, single_calls);
+}
+
+TEST_F(ManagerTest, BatchRearmResolvesFromEnvironment) {
+  ::unsetenv("NVMCP_BATCH_REARM");
+  EXPECT_TRUE(resolve_batch_rearm(-1));  // unset: default on
+  ::setenv("NVMCP_BATCH_REARM", "0", 1);
+  EXPECT_FALSE(resolve_batch_rearm(-1));
+  ::setenv("NVMCP_BATCH_REARM", "off", 1);
+  EXPECT_FALSE(resolve_batch_rearm(-1));
+  ::setenv("NVMCP_BATCH_REARM", "false", 1);
+  EXPECT_FALSE(resolve_batch_rearm(-1));
+  ::setenv("NVMCP_BATCH_REARM", "1", 1);
+  EXPECT_TRUE(resolve_batch_rearm(-1));
+  // Explicit configuration wins over the environment in either direction.
+  ::setenv("NVMCP_BATCH_REARM", "1", 1);
+  EXPECT_FALSE(resolve_batch_rearm(0));
+  ::setenv("NVMCP_BATCH_REARM", "0", 1);
+  EXPECT_TRUE(resolve_batch_rearm(1));
+  ::unsetenv("NVMCP_BATCH_REARM");
 }
 
 TEST_F(ManagerTest, CopyThreadsResolvesFromEnvironmentWhenZero) {

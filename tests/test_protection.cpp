@@ -1,15 +1,20 @@
 // Tests for chunk-level write protection: real mprotect+SIGSEGV dirty
-// tracking (one fault marks the whole chunk), software tracking, and
-// fault accounting.
+// tracking (one fault marks the whole chunk), software tracking, write-log
+// tracking (per-thread SPSC dirty logs), batched re-protection, snapshot
+// reclamation, and fault accounting.
 #include <gtest/gtest.h>
 
 #include <sys/mman.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "vmem/protection.hpp"
+#include "vmem/write_log.hpp"
 
 namespace nvmcp::vmem {
 namespace {
@@ -178,6 +183,228 @@ TEST(Protection, FaultTimeIsAccounted) {
   mgr.protect(h);
   buf.data()[0] = std::byte{1};
   EXPECT_GT(mgr.total_fault_seconds(), before);
+  mgr.unregister_range(h);
+}
+
+TEST(Protection, ResolveTrackModeReadsEnvironment) {
+  ::unsetenv("NVMCP_TRACK_MODE");
+  EXPECT_EQ(resolve_track_mode(TrackMode::kMprotect), TrackMode::kMprotect);
+  EXPECT_EQ(resolve_track_mode(TrackMode::kWriteLog), TrackMode::kWriteLog);
+  ::setenv("NVMCP_TRACK_MODE", "writelog", 1);
+  EXPECT_EQ(resolve_track_mode(TrackMode::kMprotect), TrackMode::kWriteLog);
+  ::setenv("NVMCP_TRACK_MODE", "PAGE", 1);  // case-insensitive alias
+  EXPECT_EQ(resolve_track_mode(TrackMode::kMprotect),
+            TrackMode::kMprotectPage);
+  ::setenv("NVMCP_TRACK_MODE", "software", 1);
+  EXPECT_EQ(resolve_track_mode(TrackMode::kMprotect), TrackMode::kSoftware);
+  ::setenv("NVMCP_TRACK_MODE", "chunk", 1);
+  EXPECT_EQ(resolve_track_mode(TrackMode::kSoftware), TrackMode::kMprotect);
+  ::setenv("NVMCP_TRACK_MODE", "no-such-mode", 1);
+  EXPECT_EQ(resolve_track_mode(TrackMode::kSoftware), TrackMode::kSoftware);
+  ::unsetenv("NVMCP_TRACK_MODE");
+}
+
+TEST(Protection, BatchProtectCoalescesAdjacentRanges) {
+  // Four 2-page ranges carved out of ONE mapping: address-adjacent, so the
+  // batch path must coalesce them into a single mprotect run.
+  MappedBuffer buf(8);
+  const std::size_t page = ProtectionManager::host_page_size();
+  auto& mgr = ProtectionManager::instance();
+  WriteTracker trackers[4];
+  std::vector<int> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(mgr.register_range(buf.data() + i * 2 * page, 2 * page,
+                                         &trackers[i], TrackMode::kMprotect));
+  }
+
+  const std::uint64_t calls0 = mgr.total_mprotect_calls();
+  const std::size_t batch_calls = mgr.protect_batch(handles);
+  EXPECT_EQ(batch_calls, 1u);
+  EXPECT_EQ(mgr.total_mprotect_calls(), calls0 + 1);
+  for (int h : handles) EXPECT_TRUE(mgr.is_protected(h));
+
+  // Per-range arming of the same set costs one syscall per range.
+  const std::uint64_t calls1 = mgr.total_mprotect_calls();
+  for (int h : handles) mgr.protect(h);
+  EXPECT_EQ(mgr.total_mprotect_calls(), calls1 + handles.size());
+
+  // A fault disarms exactly the faulted range; its neighbours stay armed.
+  trackers[2].dirty_local.store(false);
+  buf.data()[2 * 2 * page + 5] = std::byte{1};
+  EXPECT_TRUE(trackers[2].dirty_local.load());
+  EXPECT_FALSE(mgr.is_protected(handles[2]));
+  EXPECT_TRUE(mgr.is_protected(handles[1]));
+  EXPECT_TRUE(mgr.is_protected(handles[3]));
+
+  for (int h : handles) mgr.unregister_range(h);
+}
+
+TEST(Protection, WriteLogAppendCollectAndCounters) {
+  std::vector<std::byte> buf(4096);
+  WriteTracker tracker;
+  auto& mgr = ProtectionManager::instance();
+  const int h = mgr.register_range(buf.data(), buf.size(), &tracker,
+                                   TrackMode::kWriteLog);
+  DirtyLogSink* sink = mgr.log_sink(h);
+  ASSERT_NE(sink, nullptr);
+
+  tracker.dirty_local.store(false);
+  mgr.protect(h);
+  auto& reg = WriteLogRegistry::instance();
+  buf[10] = std::byte{1};  // store first...
+  reg.append(sink, 10, 20);  // ...then log (store-then-log contract)
+  buf[100] = std::byte{2};
+  reg.append(sink, 100, 8);
+
+  EXPECT_TRUE(tracker.dirty_local.load());  // append re-marks armed chunks
+  EXPECT_EQ(tracker.writes_logged.load(), 2u);
+  EXPECT_EQ(tracker.log_bytes.load(), 28u);
+
+  auto got = mgr.collect_dirty_ranges(h);
+  EXPECT_FALSE(got.whole);
+  ASSERT_EQ(got.ranges.size(), 2u);
+  merge_dirty_ranges(got.ranges, 0);
+  EXPECT_EQ(got.ranges[0].off, 10u);
+  EXPECT_EQ(got.ranges[1].off, 100u);
+
+  // Collection is destructive: a second collect starts empty.
+  EXPECT_TRUE(mgr.collect_dirty_ranges(h).ranges.empty());
+
+  // notify_write on a write-log registration = untracked write: the next
+  // collection must treat the whole chunk as dirty.
+  mgr.protect(h);
+  mgr.notify_write(h);
+  EXPECT_TRUE(mgr.collect_dirty_ranges(h).whole);
+
+  mgr.unregister_range(h);
+}
+
+TEST(Protection, MergeDirtyRangesSortsAndCoalesces) {
+  std::vector<DirtyRange> r = {{300, 50}, {0, 64}, {70, 10}, {340, 20}};
+  merge_dirty_ranges(r, 8);  // gap 6 between [0,64) and [70,80) merges
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].off, 0u);
+  EXPECT_EQ(r[0].len, 80u);
+  EXPECT_EQ(r[1].off, 300u);
+  EXPECT_EQ(r[1].len, 60u);  // overlapping [300,350)+[340,360) coalesced
+
+  std::vector<DirtyRange> far = {{0, 8}, {1000, 8}};
+  merge_dirty_ranges(far, 512);
+  EXPECT_EQ(far.size(), 2u);  // gap 992 > 512: kept apart
+}
+
+TEST(Protection, WriteLogRingOverflowFallsBackToWholeDirty) {
+  auto& reg = WriteLogRegistry::instance();
+  std::vector<std::byte> buf(4096);
+  WriteTracker tracker;
+  auto& mgr = ProtectionManager::instance();
+  const int h = mgr.register_range(buf.data(), buf.size(), &tracker,
+                                   TrackMode::kWriteLog);
+  DirtyLogSink* sink = mgr.log_sink(h);
+
+  // A dedicated thread gets a fresh (or recycled) shard; appending far
+  // more records than any shard capacity without an intervening drain
+  // must overflow into whole-chunk dirtiness, never lose the write.
+  reg.set_shard_capacity(16);
+  const std::uint64_t appends = 1u << 14;
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < appends; ++i) {
+      buf[i % buf.size()] = std::byte{1};
+      reg.append(sink, i % buf.size(), 1);
+    }
+  });
+  writer.join();
+  reg.set_shard_capacity(8192);
+
+  EXPECT_GT(tracker.log_drops.load(), 0u);
+  EXPECT_EQ(tracker.writes_logged.load(), appends);  // drops still counted
+  EXPECT_TRUE(mgr.collect_dirty_ranges(h).whole);
+  mgr.unregister_range(h);
+}
+
+// Concurrent writers append (store-then-log) while the main thread
+// re-arms via protect_all and drains the logs, mimicking the checkpoint
+// loop. Record conservation is absolute: every append ends up either as a
+// collected range or as a counted drop -- nothing vanishes, TSan-clean.
+TEST(Protection, ConcurrentWritersVsBatchRearmConserveRecords) {
+  std::vector<std::byte> buf(1 << 16);
+  WriteTracker tracker;
+  auto& mgr = ProtectionManager::instance();
+  auto& reg = WriteLogRegistry::instance();
+  const int h = mgr.register_range(buf.data(), buf.size(), &tracker,
+                                   TrackMode::kWriteLog);
+  DirtyLogSink* sink = mgr.log_sink(h);
+
+  const std::uint64_t drops0 = reg.total_drops();
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 5000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t off = ((w * kPerWriter + i) * 8) % buf.size();
+        buf[off] = std::byte{static_cast<unsigned char>(i)};
+        reg.append(sink, off, 8);
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  std::uint64_t collected = 0;
+  for (int round = 0; round < 200; ++round) {
+    mgr.protect_all();  // batched re-arm racing the appends
+    collected += reg.collect(sink).ranges.size();
+  }
+  for (auto& t : writers) t.join();
+  collected += reg.collect(sink).ranges.size();
+
+  const std::uint64_t dropped = reg.total_drops() - drops0;
+  EXPECT_EQ(collected + dropped, kWriters * kPerWriter);
+  EXPECT_EQ(tracker.writes_logged.load(), kWriters * kPerWriter);
+  mgr.unregister_range(h);
+}
+
+// Regression for the retired-snapshot leak: every publish retires the old
+// snapshot table, and quiescent reclamation (no readers in flight) must
+// free them; before the fix a register/unregister churn grew retired_
+// without bound.
+TEST(Protection, RegistrationChurnReclaimsRetiredSnapshots) {
+  auto& mgr = ProtectionManager::instance();
+  std::vector<std::byte> buf(4096);
+  std::size_t max_snapshots = 0;
+  std::size_t max_ranges = 0;
+  for (int i = 0; i < 600; ++i) {
+    WriteTracker tracker;
+    const TrackMode mode =
+        (i % 2) ? TrackMode::kWriteLog : TrackMode::kSoftware;
+    const int h = mgr.register_range(buf.data(), buf.size(), &tracker, mode);
+    if (mode == TrackMode::kWriteLog) {
+      WriteLogRegistry::instance().append(mgr.log_sink(h), 0, 8);
+    }
+    mgr.unregister_range(h);
+    max_snapshots = std::max(max_snapshots, mgr.retired_snapshot_count());
+    max_ranges = std::max(max_ranges, mgr.retired_range_count());
+  }
+  // With no concurrent readers every publish reclaims: the live snapshot
+  // plus at most the one retired during the current call.
+  EXPECT_LE(max_snapshots, 2u);
+  EXPECT_LE(max_ranges, 1u);
+  EXPECT_LE(mgr.retired_snapshot_count(), 1u);
+  EXPECT_EQ(mgr.retired_range_count(), 0u);
+}
+
+TEST(Protection, PerTrackerFaultTimeIsAccounted) {
+  MappedBuffer buf(1);
+  WriteTracker tracker;
+  auto& mgr = ProtectionManager::instance();
+  const int h = mgr.register_range(buf.data(), buf.size(), &tracker,
+                                   TrackMode::kMprotect);
+  mgr.protect(h);
+  buf.data()[0] = std::byte{1};
+  EXPECT_EQ(tracker.faults.load(), 1u);
+  EXPECT_GT(tracker.fault_ns.load(), 0u);
   mgr.unregister_range(h);
 }
 

@@ -82,6 +82,43 @@ TEST(Workload, UniqueChunkNames) {
   }
 }
 
+// The KV workload is the write shape kWriteLog targets: almost all chunks
+// take a handful of small random stores per iteration (half uniform, half
+// skewed onto a hot span), with a couple of wholesale-rewritten index
+// chunks keeping the mix honest.
+TEST(Workload, RedisIsSmallRandomWriteDominated) {
+  const WorkloadSpec s = WorkloadSpec::redis();
+  EXPECT_EQ(s.chunks.size(), 26u);
+  int small_random = 0, uniform = 0, hot = 0, wholesale = 0;
+  std::set<std::string> names;
+  for (const auto& c : s.chunks) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate " << c.name;
+    if (c.pattern == ModPattern::kSmallRandom) {
+      ++small_random;
+      EXPECT_EQ(c.bytes, 4 * MiB) << c.name;
+      EXPECT_EQ(c.writes_per_iter, 32) << c.name;
+      EXPECT_EQ(c.write_bytes, 64u) << c.name;
+      if (c.hot_fraction == 0.0) {
+        ++uniform;
+      } else {
+        EXPECT_NEAR(c.hot_fraction, 0.9, 1e-9) << c.name;
+        ++hot;
+      }
+    } else {
+      EXPECT_EQ(c.pattern, ModPattern::kEveryIteration) << c.name;
+      EXPECT_EQ(c.bytes, 8 * MiB) << c.name;
+      ++wholesale;
+    }
+  }
+  EXPECT_EQ(small_random, 24);
+  EXPECT_EQ(uniform, 12);
+  EXPECT_EQ(hot, 12);
+  EXPECT_EQ(wholesale, 2);
+  // Per iteration, logged stores touch 24 * 32 * 64 B = 48 KiB of a
+  // 112 MiB checkpoint set -- fault tracking would re-copy ~96 MiB.
+  EXPECT_EQ(s.total_ckpt_bytes(), 112 * MiB);
+}
+
 TEST(Workload, SaneIterationParameters) {
   for (const WorkloadSpec& s : {WorkloadSpec::gtc(),
                                 WorkloadSpec::lammps_rhodo(),

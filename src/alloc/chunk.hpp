@@ -16,6 +16,10 @@
 #include "vmem/metadata.hpp"
 #include "vmem/protection.hpp"
 
+namespace nvmcp::epoch {
+class VersionRing;
+}
+
 namespace nvmcp::alloc {
 
 class ChunkAllocator;
@@ -40,7 +44,8 @@ class Chunk {
   RestoreStatus restore_status() const { return restore_status_; }
   bool restored() const {
     return restore_status_ == RestoreStatus::kOk ||
-           restore_status_ == RestoreStatus::kOkFromRemote;
+           restore_status_ == RestoreStatus::kOkFromRemote ||
+           restore_status_ == RestoreStatus::kOkStale;
   }
 
   // --- dirty tracking --------------------------------------------------
@@ -110,12 +115,21 @@ class Chunk {
   // Page-level tracking mode only: per-NVM-slot pending page sets (a page
   // is pending for a slot until its contents have been copied into that
   // slot). One byte per page; guarded by the manager's checkpoint mutex.
-  std::vector<std::uint8_t> slot_pages_pending_[2];
+  // Two slots in the legacy two-slot scheme, kMaxRingSlots with a ring.
+  std::vector<std::vector<std::uint8_t>> slot_pages_pending_;
 
   // kWriteLog only: per-NVM-slot pending dirty byte ranges (a logged range
   // stays pending for a slot until copied into it). Guarded by the
-  // manager's checkpoint mutex.
-  std::vector<vmem::DirtyRange> slot_ranges_pending_[2];
+  // manager's checkpoint mutex. Sized like slot_pages_pending_.
+  std::vector<std::vector<vmem::DirtyRange>> slot_ranges_pending_;
+
+  // Multi-version mode only (allocator ring_depth > 1): this chunk's
+  // version ring, plus the ring slot acquired by the last pre-copy and
+  // not yet committed (kNoRingSlot when none).
+  static constexpr std::uint32_t kNoRingSlot = ~0u;
+  epoch::VersionRing* ring_ = nullptr;
+  std::uint32_t ring_slot_ = kNoRingSlot;
+  std::uint64_t ring_slot_off_ = 0;
 
   /// Fault counter snapshot taken when this chunk was armed via
   /// ChunkAllocator::arm_chunks: a later mismatch means a fault already

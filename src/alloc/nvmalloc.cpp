@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/checksum.hpp"
+#include "common/env.hpp"
 #include "common/log.hpp"
 
 namespace nvmcp::alloc {
@@ -21,24 +22,13 @@ std::byte* map_dram(std::size_t bytes) {
 
 std::uint64_t resolve_merge_gap(long configured) {
   if (configured >= 0) return static_cast<std::uint64_t>(configured);
-  const char* env = std::getenv("NVMCP_DIRTY_LOG_MERGE_GAP");
-  if (!env || !*env) return 512;
-  char* end = nullptr;
-  const unsigned long v = std::strtoul(env, &end, 10);
-  return end == env ? 512 : static_cast<std::uint64_t>(v);
+  return static_cast<std::uint64_t>(
+      env::get_i64("NVMCP_DIRTY_LOG_MERGE_GAP", 512, 0, INT64_MAX));
 }
 
 double resolve_max_coverage(double configured) {
-  double v = configured;
-  if (v < 0) {
-    v = 0.5;
-    if (const char* env = std::getenv("NVMCP_DIRTY_LOG_MAX_COVERAGE")) {
-      char* end = nullptr;
-      const double parsed = std::strtod(env, &end);
-      if (end != env) v = parsed;
-    }
-  }
-  return std::clamp(v, 0.0, 1.0);
+  if (configured >= 0) return std::clamp(configured, 0.0, 1.0);
+  return env::get_double("NVMCP_DIRTY_LOG_MAX_COVERAGE", 0.5, 0.0, 1.0);
 }
 
 }  // namespace
@@ -60,7 +50,15 @@ ChunkAllocator::ChunkAllocator(vmem::Container& container, Options opts)
     : container_(&container),
       opts_(opts),
       log_merge_gap_(resolve_merge_gap(opts.dirty_log_merge_gap)),
-      log_max_coverage_(resolve_max_coverage(opts.dirty_log_max_coverage)) {}
+      log_max_coverage_(resolve_max_coverage(opts.dirty_log_max_coverage)),
+      ring_depth_(epoch::resolve_ring_depth(opts.ring_depth)) {
+  // Depth 1 is the paper's two-slot scheme: no directory, no ring
+  // records, zero extra NVM traffic -- byte-for-byte the legacy layout.
+  if (ring_depth_ > 1) {
+    dir_ = std::make_unique<epoch::EpochDirectory>(
+        container, epoch::EpochDirectory::Options{ring_depth_});
+  }
+}
 
 ChunkAllocator::~ChunkAllocator() {
   std::unique_lock lock(mu_);
@@ -111,18 +109,48 @@ Chunk* ChunkAllocator::alloc_common(std::uint64_t id, std::size_t size,
     rec = meta.insert(id, name);
   } else if (rec->size != size) {
     // Size changed across sessions: old payload cannot be restored; replace
-    // the version slots.
-    container_->free_region(rec->slot_off[0], rec->size);
-    container_->free_region(rec->slot_off[1], rec->size);
+    // the version slots. With a ring the record's slot offsets alias ring
+    // slots, so the drop (which frees every retained region) is the only
+    // free -- freeing slot_off too would double-free.
+    if (dir_ && dir_->ring(id)) {
+      dir_->drop_ring(id);
+    } else {
+      if (rec->slot_off[0]) container_->free_region(rec->slot_off[0],
+                                                    rec->size);
+      if (rec->slot_off[1]) container_->free_region(rec->slot_off[1],
+                                                    rec->size);
+    }
+    rec->slot_off[0] = 0;
+    rec->slot_off[1] = 0;
     rec->committed = vmem::ChunkRecord::kNoneCommitted;
     rec->size = 0;
   }
   if (rec->size == 0) {
     rec->size = size;
-    rec->slot_off[0] = container_->alloc_region(size);
-    rec->slot_off[1] = container_->alloc_region(size);
+    if (dir_) {
+      // Ring mode: version slots live in the ring and are allocated
+      // lazily at first commit; the record's offsets are filled when a
+      // commit publishes, aliasing the ring slot it landed in.
+      rec->slot_off[0] = 0;
+      rec->slot_off[1] = 0;
+    } else {
+      rec->slot_off[0] = container_->alloc_region(size);
+      rec->slot_off[1] = container_->alloc_region(size);
+    }
     rec->committed = vmem::ChunkRecord::kNoneCommitted;
     if (persistent) rec->flags |= vmem::ChunkRecord::kPersistent;
+    meta.persist_record(*rec);
+  } else if (!dir_ && (rec->slot_off[0] == 0 || rec->slot_off[1] == 0)) {
+    // Reopened at depth 1 against ring-mode metadata: ring slots are not
+    // addressable without a directory, so make sure both legacy version
+    // slots exist (a ring-native record aliases at most two regions and
+    // may alias fewer). The committed alias, if any, is kept -- it holds
+    // the newest payload.
+    for (int i = 0; i < 2; ++i) {
+      if (rec->slot_off[i] == 0) {
+        rec->slot_off[i] = container_->alloc_region(size);
+      }
+    }
     meta.persist_record(*rec);
   }
 
@@ -152,20 +180,23 @@ Chunk* ChunkAllocator::alloc_common(std::uint64_t id, std::size_t size,
   const std::size_t track_len = c.owns_dram_ ? c.dram_capacity_ : c.size_;
   c.prot_handle_ = vmem::ProtectionManager::instance().register_range(
       c.dram_, track_len, &c.tracker_, c.mode_);
-  if (c.mode_ == vmem::TrackMode::kMprotectPage) {
-    // Everything is pending for both slots until the first full copies.
-    const std::size_t pages =
-        track_len / vmem::ProtectionManager::host_page_size();
-    c.slot_pages_pending_[0].assign(pages, 1);
-    c.slot_pages_pending_[1].assign(pages, 1);
+  if (dir_) {
+    c.ring_ = dir_->ensure_ring(id, size);
+    if (rec->has_committed()) {
+      // A committed version from a two-slot session is adopted into the
+      // ring so it stays addressable (no-op for ring-native records).
+      c.ring_->adopt_legacy(rec->slot_off[rec->committed],
+                            rec->epoch[rec->committed],
+                            rec->checksum[rec->committed],
+                            rec->slot_off[rec->in_progress_slot()]);
+    }
   }
   if (c.mode_ == vmem::TrackMode::kWriteLog) {
     c.log_sink_ =
         vmem::ProtectionManager::instance().log_sink(c.prot_handle_);
-    // The whole payload is pending for both slots until the first copies.
-    c.slot_ranges_pending_[0] = {{0, c.size_}};
-    c.slot_ranges_pending_[1] = {{0, c.size_}};
   }
+  // Everything is pending for every slot until the first full copies.
+  reset_pending_lists(c);
 
   if (persistent && !fresh_record && rec->has_committed()) {
     c.restore_status_ = restore_chunk(c);
@@ -178,6 +209,33 @@ Chunk* ChunkAllocator::alloc_common(std::uint64_t id, std::size_t size,
             attach_src ? "(attached)" : "",
             to_string(out->restore_status_));
   return out;
+}
+
+std::size_t ChunkAllocator::pending_slot_count() const {
+  return dir_ ? epoch::kMaxRingSlots : 2;
+}
+
+void ChunkAllocator::reset_pending_lists(Chunk& c) {
+  const std::size_t nslots = pending_slot_count();
+  if (c.mode_ == vmem::TrackMode::kMprotectPage) {
+    const std::size_t track_len = c.owns_dram_ ? c.dram_capacity_ : c.size_;
+    const std::size_t pages =
+        track_len / vmem::ProtectionManager::host_page_size();
+    c.slot_pages_pending_.assign(nslots,
+                                 std::vector<std::uint8_t>(pages, 1));
+  } else if (c.mode_ == vmem::TrackMode::kWriteLog) {
+    c.slot_ranges_pending_.assign(
+        nslots, std::vector<vmem::DirtyRange>{{0, c.size_}});
+  }
+}
+
+void ChunkAllocator::reset_pending_slot(Chunk& c, std::uint32_t slot) {
+  if (c.mode_ == vmem::TrackMode::kMprotectPage) {
+    auto& pages = c.slot_pages_pending_[slot];
+    std::fill(pages.begin(), pages.end(), 1);
+  } else if (c.mode_ == vmem::TrackMode::kWriteLog) {
+    c.slot_ranges_pending_[slot] = {{0, c.size_}};
+  }
 }
 
 Chunk* ChunkAllocator::nvrealloc(std::uint64_t id, std::size_t new_size) {
@@ -196,32 +254,68 @@ Chunk* ChunkAllocator::nvrealloc(std::uint64_t id, std::size_t new_size) {
   vmem::ChunkRecord& rec = *c->record_;
   auto& dev = container_->device();
 
-  // New version slots; preserve the committed payload prefix.
-  const std::size_t new_slots[2] = {container_->alloc_region(new_size),
-                                    container_->alloc_region(new_size)};
-  std::uint32_t new_committed = vmem::ChunkRecord::kNoneCommitted;
-  std::uint64_t new_checksum = 0;
-  std::uint64_t new_epoch = 0;
-  if (rec.has_committed()) {
-    const std::size_t keep = std::min<std::size_t>(rec.size, new_size);
-    std::vector<std::byte> tmp(new_size, std::byte{0});
-    dev.read(rec.slot_off[rec.committed], tmp.data(), keep);
-    std::uint64_t sum = crc64_init();
-    dev.write(new_slots[0], tmp.data(), new_size, nullptr, &sum);
-    dev.flush(new_slots[0], new_size);
-    new_committed = 0;
-    new_checksum = crc64_final(sum);
-    new_epoch = rec.epoch[rec.committed];
+  if (dir_) {
+    // Ring mode: older retained epochs have the old size and cannot carry
+    // over; keep only the committed payload prefix, re-ring at the new
+    // size, and republish it as the sole retained epoch.
+    std::vector<std::byte> tmp;
+    std::uint64_t keep_epoch = 0;
+    const bool had_committed = rec.has_committed();
+    if (had_committed) {
+      const std::size_t keep = std::min<std::size_t>(rec.size, new_size);
+      tmp.assign(new_size, std::byte{0});
+      dev.read(rec.slot_off[rec.committed], tmp.data(), keep);
+      keep_epoch = rec.epoch[rec.committed];
+    }
+    dir_->drop_ring(id);
+    rec.slot_off[0] = 0;
+    rec.slot_off[1] = 0;
+    rec.size = new_size;
+    rec.committed = vmem::ChunkRecord::kNoneCommitted;
+    c->ring_ = dir_->ensure_ring(id, new_size);
+    c->ring_slot_ = Chunk::kNoRingSlot;
+    c->ring_slot_off_ = 0;
+    if (had_committed) {
+      const auto acq = c->ring_->acquire_for_commit();
+      std::uint64_t sum = crc64_init();
+      dev.write(acq.off, tmp.data(), new_size, nullptr, &sum);
+      dev.flush(acq.off, new_size);
+      const std::uint64_t crc = crc64_final(sum);
+      c->ring_->publish(acq.index, keep_epoch, crc);
+      rec.slot_off[0] = acq.off;
+      rec.checksum[0] = crc;
+      rec.epoch[0] = keep_epoch;
+      rec.committed = 0;
+    }
+    container_->metadata().persist_record(rec);
+  } else {
+    // New version slots; preserve the committed payload prefix.
+    const std::size_t new_slots[2] = {container_->alloc_region(new_size),
+                                      container_->alloc_region(new_size)};
+    std::uint32_t new_committed = vmem::ChunkRecord::kNoneCommitted;
+    std::uint64_t new_checksum = 0;
+    std::uint64_t new_epoch = 0;
+    if (rec.has_committed()) {
+      const std::size_t keep = std::min<std::size_t>(rec.size, new_size);
+      std::vector<std::byte> tmp(new_size, std::byte{0});
+      dev.read(rec.slot_off[rec.committed], tmp.data(), keep);
+      std::uint64_t sum = crc64_init();
+      dev.write(new_slots[0], tmp.data(), new_size, nullptr, &sum);
+      dev.flush(new_slots[0], new_size);
+      new_committed = 0;
+      new_checksum = crc64_final(sum);
+      new_epoch = rec.epoch[rec.committed];
+    }
+    container_->free_region(rec.slot_off[0], rec.size);
+    container_->free_region(rec.slot_off[1], rec.size);
+    rec.slot_off[0] = new_slots[0];
+    rec.slot_off[1] = new_slots[1];
+    rec.size = new_size;
+    rec.committed = new_committed;
+    rec.checksum[0] = new_checksum;
+    rec.epoch[0] = new_epoch;
+    container_->metadata().persist_record(rec);
   }
-  container_->free_region(rec.slot_off[0], rec.size);
-  container_->free_region(rec.slot_off[1], rec.size);
-  rec.slot_off[0] = new_slots[0];
-  rec.slot_off[1] = new_slots[1];
-  rec.size = new_size;
-  rec.committed = new_committed;
-  rec.checksum[0] = new_checksum;
-  rec.epoch[0] = new_epoch;
-  container_->metadata().persist_record(rec);
 
   // Grow the DRAM working buffer, preserving contents.
   if (c->owns_dram_) {
@@ -235,20 +329,13 @@ Chunk* ChunkAllocator::nvrealloc(std::uint64_t id, std::size_t new_size) {
     c->dram_capacity_ = new_cap;
     c->prot_handle_ = vmem::ProtectionManager::instance().register_range(
         c->dram_, new_cap, &c->tracker_, c->mode_);
-    if (c->mode_ == vmem::TrackMode::kMprotectPage) {
-      const std::size_t pages =
-          new_cap / vmem::ProtectionManager::host_page_size();
-      c->slot_pages_pending_[0].assign(pages, 1);
-      c->slot_pages_pending_[1].assign(pages, 1);
-    }
     if (c->mode_ == vmem::TrackMode::kWriteLog) {
       c->log_sink_ =
           vmem::ProtectionManager::instance().log_sink(c->prot_handle_);
-      c->slot_ranges_pending_[0] = {{0, new_size}};
-      c->slot_ranges_pending_[1] = {{0, new_size}};
     }
   }
   c->size_ = new_size;
+  reset_pending_lists(*c);
   c->precopied_epoch_ = 0;
   c->tracker_.mark_dirty();
   return c;
@@ -272,9 +359,21 @@ void ChunkAllocator::release_chunk_locked(Chunk& c, bool free_regions) {
     c.prot_handle_ = -1;
   }
   if (free_regions) {
-    container_->free_region(c.record_->slot_off[0], c.record_->size);
-    container_->free_region(c.record_->slot_off[1], c.record_->size);
+    if (dir_ && dir_->ring(c.id_)) {
+      // The record's slot offsets alias ring slots; dropping the ring is
+      // the only free (anything else would double-free those regions).
+      dir_->drop_ring(c.id_);
+    } else {
+      if (c.record_->slot_off[0]) {
+        container_->free_region(c.record_->slot_off[0], c.record_->size);
+      }
+      if (c.record_->slot_off[1]) {
+        container_->free_region(c.record_->slot_off[1], c.record_->size);
+      }
+    }
   }
+  c.ring_ = nullptr;
+  c.ring_slot_ = Chunk::kNoRingSlot;
   if (c.owns_dram_ && c.dram_) {
     ::munmap(c.dram_, c.dram_capacity_);
     c.dram_ = nullptr;
@@ -303,7 +402,14 @@ AllocStats ChunkAllocator::stats() const {
   s.chunk_count = chunks_.size();
   for (const auto& c : chunks_) {
     s.total_payload_bytes += c->size();
-    s.nvm_bytes_reserved += 2 * round_up(c->size(), kNvmPageSize);
+    if (c->ring_) {
+      // Ring slots allocate lazily and the GC trims them back, so count
+      // the regions actually held rather than a fixed two per chunk.
+      s.nvm_bytes_reserved +=
+          c->ring_->allocated_slots() * round_up(c->size(), kNvmPageSize);
+    } else {
+      s.nvm_bytes_reserved += 2 * round_up(c->size(), kNvmPageSize);
+    }
   }
   return s;
 }
@@ -368,36 +474,66 @@ double ChunkAllocator::precopy_chunk(Chunk& c, std::uint64_t epoch,
   // CRC-then-copy order had a tear window between the two passes.)
   auto& dev = container_->device();
   const vmem::ChunkRecord& rec = *c.record_;
-  const std::uint32_t slot = rec.in_progress_slot();
+  std::uint32_t slot;
+  std::uint64_t dst_off;
+  if (c.ring_) {
+    if (c.ring_slot_ == Chunk::kNoRingSlot) {
+      const auto acq = c.ring_->acquire_for_commit();
+      c.ring_slot_ = acq.index;
+      c.ring_slot_off_ = acq.off;
+      if (acq.fresh) {
+        reset_pending_slot(c, acq.index);
+      } else if (acq.had_committed &&
+                 (c.mode_ == vmem::TrackMode::kMprotectPage ||
+                  c.mode_ == vmem::TrackMode::kWriteLog)) {
+        // Reusing a slot that still holds an older committed epoch: the
+        // incremental paths below fold the slot's clean bytes into the
+        // new checksum, which would launder any in-place corruption of
+        // those bytes into a committed-consistent state. Verify the slot
+        // against the checksum it was committed with and downgrade to a
+        // whole-chunk copy if it no longer matches.
+        std::uint64_t vsum = crc64_init();
+        vsum = crc64_update(vsum, dev.data() + acq.off, c.size_);
+        if (crc64_final(vsum) != acq.prev_checksum) {
+          dir_->note_slot_corruption();
+          reset_pending_slot(c, acq.index);
+        }
+      }
+    }
+    slot = c.ring_slot_;
+    dst_off = c.ring_slot_off_;
+  } else {
+    slot = rec.in_progress_slot();
+    dst_off = rec.slot_off[slot];
+  }
   std::uint64_t sum = crc64_init();
   double secs;
   if (c.mode_ == vmem::TrackMode::kMprotectPage) {
-    secs = copy_dirty_pages_locked(c, slot, stream, &sum);
+    secs = copy_dirty_pages_locked(c, slot, dst_off, stream, &sum);
   } else if (c.mode_ == vmem::TrackMode::kWriteLog) {
-    secs = copy_dirty_ranges_locked(c, slot, stream, &sum);
+    secs = copy_dirty_ranges_locked(c, slot, dst_off, stream, &sum);
   } else {
-    secs = dev.write(rec.slot_off[slot], c.dram_, c.size_, stream, &sum);
+    secs = dev.write(dst_off, c.dram_, c.size_, stream, &sum);
   }
-  dev.flush(rec.slot_off[slot], c.size_);
+  dev.flush(dst_off, c.size_);
   c.pending_checksum_ = crc64_final(sum);
   c.precopied_epoch_ = epoch;
   return secs;
 }
 
 double ChunkAllocator::copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
+                                               std::uint64_t dst_off,
                                                BandwidthLimiter* stream,
                                                std::uint64_t* crc_state) {
   auto& prot = vmem::ProtectionManager::instance();
   auto& dev = container_->device();
-  const vmem::ChunkRecord& rec = *c.record_;
   const std::size_t page = vmem::ProtectionManager::host_page_size();
 
-  // Pages dirtied since the last collection become pending for BOTH
-  // slots: each slot independently needs the new contents before the next
+  // Pages dirtied since the last collection become pending for EVERY
+  // slot: each slot independently needs the new contents before the next
   // commit into it is complete.
   for (const std::size_t p : prot.collect_dirty_pages(c.prot_handle_)) {
-    c.slot_pages_pending_[0][p] = 1;
-    c.slot_pages_pending_[1][p] = 1;
+    for (auto& pages : c.slot_pages_pending_) pages[p] = 1;
   }
 
   // Walk the payload in offset order, alternating runs of pending and
@@ -415,15 +551,15 @@ double ChunkAllocator::copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
     if (off < c.size_) {
       const std::size_t len = std::min(q * page, c.size_) - off;
       if (run_pending) {
-        secs += dev.write(rec.slot_off[slot] + off, c.dram_ + off, len,
-                          stream, crc_state);
+        secs += dev.write(dst_off + off, c.dram_ + off, len, stream,
+                          crc_state);
       } else if (crc_state) {
         // Clean runs feed the CRC from the slot's own bytes, not from
         // DRAM: a store racing this walk could change DRAM after the run
         // was classified clean, and the checksum must describe the slot
         // content the commit will publish.
-        *crc_state = crc64_update(
-            *crc_state, dev.data() + rec.slot_off[slot] + off, len);
+        *crc_state =
+            crc64_update(*crc_state, dev.data() + dst_off + off, len);
       }
     }
     if (run_pending) {
@@ -435,26 +571,26 @@ double ChunkAllocator::copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
 }
 
 double ChunkAllocator::copy_dirty_ranges_locked(Chunk& c, std::uint32_t slot,
+                                                std::uint64_t dst_off,
                                                 BandwidthLimiter* stream,
                                                 std::uint64_t* crc_state) {
   auto& prot = vmem::ProtectionManager::instance();
   auto& dev = container_->device();
-  const vmem::ChunkRecord& rec = *c.record_;
 
-  // Ranges logged since the last collection become pending for BOTH
-  // slots: each slot independently needs the new contents before the next
+  // Ranges logged since the last collection become pending for EVERY
+  // slot: each slot independently needs the new contents before the next
   // commit into it is complete (same invariant as the page-level path).
   auto collected = prot.collect_dirty_ranges(c.prot_handle_);
   if (collected.whole) {
-    c.slot_ranges_pending_[0] = {{0, c.size_}};
-    c.slot_ranges_pending_[1] = {{0, c.size_}};
+    for (auto& ranges : c.slot_ranges_pending_) ranges = {{0, c.size_}};
   } else {
     for (const vmem::DirtyRange& r : collected.ranges) {
       if (r.off >= c.size_ || r.len == 0) continue;
       const std::uint64_t len = std::min<std::uint64_t>(r.len,
                                                         c.size_ - r.off);
-      c.slot_ranges_pending_[0].push_back({r.off, len});
-      c.slot_ranges_pending_[1].push_back({r.off, len});
+      for (auto& ranges : c.slot_ranges_pending_) {
+        ranges.push_back({r.off, len});
+      }
     }
   }
 
@@ -469,8 +605,7 @@ double ChunkAllocator::copy_dirty_ranges_locked(Chunk& c, std::uint32_t slot,
     // Dense enough that one sequential whole-chunk write beats many small
     // ones (and the CRC pass is paid either way).
     pending.clear();
-    return dev.write(rec.slot_off[slot], c.dram_, c.size_, stream,
-                     crc_state);
+    return dev.write(dst_off, c.dram_, c.size_, stream, crc_state);
   }
 
   // Walk the payload in offset order, alternating logged dirty ranges
@@ -480,16 +615,16 @@ double ChunkAllocator::copy_dirty_ranges_locked(Chunk& c, std::uint32_t slot,
   std::uint64_t pos = 0;
   for (const vmem::DirtyRange& r : pending) {
     if (crc_state && r.off > pos) {
-      *crc_state = crc64_update(
-          *crc_state, dev.data() + rec.slot_off[slot] + pos, r.off - pos);
+      *crc_state = crc64_update(*crc_state, dev.data() + dst_off + pos,
+                                r.off - pos);
     }
-    secs += dev.write(rec.slot_off[slot] + r.off, c.dram_ + r.off, r.len,
-                      stream, crc_state);
+    secs += dev.write(dst_off + r.off, c.dram_ + r.off, r.len, stream,
+                      crc_state);
     pos = r.end();
   }
   if (crc_state && pos < c.size_) {
-    *crc_state = crc64_update(
-        *crc_state, dev.data() + rec.slot_off[slot] + pos, c.size_ - pos);
+    *crc_state = crc64_update(*crc_state, dev.data() + dst_off + pos,
+                              c.size_ - pos);
   }
   pending.clear();
   return secs;
@@ -502,6 +637,19 @@ void ChunkAllocator::commit_chunk(Chunk& c, std::uint64_t epoch) {
   }
   vmem::ChunkRecord& rec = *c.record_;
   const std::uint32_t slot = rec.in_progress_slot();
+  if (c.ring_) {
+    if (c.ring_slot_ == Chunk::kNoRingSlot) {
+      throw NvmcpError("commit_chunk: no acquired ring slot");
+    }
+    // Publish in the ring first (older epochs stay addressable either
+    // way), then alias the record's in-progress slot to the ring slot and
+    // flip: the record remains the authority on the newest version, with
+    // the same persist-then-flip crash ordering as the two-slot scheme.
+    c.ring_->publish(c.ring_slot_, epoch, c.pending_checksum_);
+    rec.slot_off[slot] = c.ring_slot_off_;
+    c.ring_slot_ = Chunk::kNoRingSlot;
+    c.ring_slot_off_ = 0;
+  }
   rec.checksum[slot] = c.pending_checksum_;
   rec.epoch[slot] = epoch;
   // Persist payload metadata before the commit flip (crash ordering).
@@ -565,6 +713,61 @@ bool ChunkAllocator::read_committed(const Chunk& c, void* dst) const {
     return false;
   }
   return true;
+}
+
+RestoreStatus ChunkAllocator::restore_chunk_epoch(Chunk& c,
+                                                  std::uint64_t epoch) {
+  const vmem::ChunkRecord& rec = *c.record_;
+  if (epoch == 0 ||
+      (rec.has_committed() && rec.epoch[rec.committed] == epoch)) {
+    return restore_chunk(c);
+  }
+  if (!c.ring_) return RestoreStatus::kNoData;
+  // Pin before the lookup: a slot found and then read without a pin could
+  // be reclaimed by the GC or reused by a racing commit mid-read.
+  c.ring_->pin_epoch(epoch);
+  epoch::RingSlot s;
+  if (!c.ring_->find_epoch(epoch, &s)) {
+    c.ring_->unpin_epoch(epoch);
+    return RestoreStatus::kNoData;
+  }
+  auto& dev = container_->device();
+  std::uint64_t sum = crc64_init();
+  dev.read(s.off, c.dram_, c.size_, nullptr,
+           opts_.verify_checksums ? &sum : nullptr);
+  c.ring_->unpin_epoch(epoch);
+  if (opts_.verify_checksums && crc64_final(sum) != s.checksum) {
+    return RestoreStatus::kChecksumMismatch;
+  }
+  c.tracker_.mark_dirty();  // restored data is not yet re-checkpointed
+  return RestoreStatus::kOkStale;
+}
+
+std::vector<std::uint64_t> ChunkAllocator::retained_epochs(
+    const Chunk& c) const {
+  std::vector<std::uint64_t> out;
+  const vmem::ChunkRecord& rec = *c.record_;
+  const std::uint64_t newest =
+      rec.has_committed() ? rec.epoch[rec.committed] : 0;
+  if (newest) out.push_back(newest);
+  if (c.ring_) {
+    // Ring epochs arrive newest-first; anything >= the record's committed
+    // epoch is either the aliased newest slot or a commit that crashed
+    // between ring publish and record flip, which the record (the newest-
+    // version authority) never acknowledged.
+    for (const std::uint64_t e : c.ring_->retained_epochs()) {
+      if (e < newest) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+void ChunkAllocator::pin_epoch(Chunk& c, std::uint64_t epoch) {
+  if (c.ring_ && epoch) c.ring_->pin_epoch(epoch);
+}
+
+void ChunkAllocator::unpin_epoch(Chunk& c, std::uint64_t epoch) {
+  if (c.ring_ && epoch) c.ring_->unpin_epoch(epoch);
 }
 
 }  // namespace nvmcp::alloc

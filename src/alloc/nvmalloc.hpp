@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "alloc/chunk.hpp"
+#include "epoch/directory.hpp"
 #include "nvm/throttle.hpp"
 #include "vmem/container.hpp"
 
@@ -60,6 +61,11 @@ class ChunkAllocator {
     /// coverage exceeds this fraction of the chunk (-1:
     /// NVMCP_DIRTY_LOG_MAX_COVERAGE, default 0.5).
     double dirty_log_max_coverage = -1;
+    /// Committed epochs retained per chunk (0: NVMCP_EPOCH_RING_DEPTH,
+    /// default 1). Depth 1 is the paper's two-slot scheme, byte-for-byte;
+    /// depth N > 1 keeps the last N epochs in a per-chunk version ring
+    /// addressable through the epoch directory.
+    int ring_depth = 0;
   };
 
   explicit ChunkAllocator(vmem::Container& container);
@@ -157,14 +163,41 @@ class ChunkAllocator {
   /// restore-from-remote). Returns false on checksum mismatch.
   bool read_committed(const Chunk& c, void* dst) const;
 
+  // --- version ring (ring_depth > 1) -----------------------------------
+  /// The epoch directory, or nullptr when ring_depth == 1 (legacy
+  /// two-slot mode runs with zero ring overhead).
+  epoch::EpochDirectory* epoch_directory() { return dir_.get(); }
+  std::uint32_t ring_depth() const { return ring_depth_; }
+
+  /// Restore a specific retained epoch into DRAM (0 = newest committed).
+  /// The source slot is pinned against GC/reuse for the duration of the
+  /// read. kNoData if the epoch is not retained for this chunk.
+  RestoreStatus restore_chunk_epoch(Chunk& c, std::uint64_t epoch);
+
+  /// Addressable epochs for this chunk, newest first: the record's
+  /// committed epoch followed by the older epochs retained in its ring.
+  std::vector<std::uint64_t> retained_epochs(const Chunk& c) const;
+
+  /// Pin/unpin a retained epoch against reclamation (streaming-restore
+  /// sources). No-ops without a ring or for epoch 0.
+  void pin_epoch(Chunk& c, std::uint64_t epoch);
+  void unpin_epoch(Chunk& c, std::uint64_t epoch);
+
  private:
   Chunk* alloc_common(std::uint64_t id, std::size_t size, bool persistent,
                       std::string_view name, void* attach_src);
   void release_chunk_locked(Chunk& c, bool free_regions);
-  /// Page-level tracking mode: copy only the pages pending for `slot`,
-  /// folding every payload byte (copied or clean) into `crc_state` so the
-  /// whole-chunk checksum comes out of the same pass.
+  /// Number of per-chunk pending-list slots (2 legacy, ring capacity with
+  /// a directory) and (re)initialization to whole-chunk-pending.
+  std::size_t pending_slot_count() const;
+  void reset_pending_lists(Chunk& c);
+  void reset_pending_slot(Chunk& c, std::uint32_t slot);
+  /// Page-level tracking mode: copy only the pages pending for pending
+  /// list `slot` into the device region at `dst_off`, folding every
+  /// payload byte (copied or clean) into `crc_state` so the whole-chunk
+  /// checksum comes out of the same pass.
   double copy_dirty_pages_locked(Chunk& c, std::uint32_t slot,
+                                 std::uint64_t dst_off,
                                  BandwidthLimiter* stream,
                                  std::uint64_t* crc_state);
   /// kWriteLog: copy only the logged dirty byte ranges pending for `slot`
@@ -172,6 +205,7 @@ class ChunkAllocator {
   /// threshold), folding every payload byte into `crc_state` like the
   /// page-level path.
   double copy_dirty_ranges_locked(Chunk& c, std::uint32_t slot,
+                                  std::uint64_t dst_off,
                                   BandwidthLimiter* stream,
                                   std::uint64_t* crc_state);
 
@@ -179,6 +213,8 @@ class ChunkAllocator {
   Options opts_;
   std::uint64_t log_merge_gap_ = 512;
   double log_max_coverage_ = 0.5;
+  std::uint32_t ring_depth_ = 1;
+  std::unique_ptr<epoch::EpochDirectory> dir_;
 
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Chunk>> chunks_;

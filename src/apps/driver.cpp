@@ -71,6 +71,32 @@ std::size_t touch_small_random(alloc::Chunk& c, const ChunkSpec& spec,
   return off;
 }
 
+/// Frontier-burst write (Graph500 BFS shape): dirty a contiguous span
+/// covering frontier_fraction(iter) of the chunk, rotated by level so
+/// successive levels touch different regions (newly discovered vertices).
+/// Strided stores keep the cost low while dirtying every page of the span.
+std::size_t touch_frontier(alloc::Chunk& c, const ChunkSpec& spec, int iter,
+                           Rng& rng, std::size_t* out_len) {
+  const std::size_t n = c.size();
+  const double frac = frontier_fraction(iter, spec.burst_levels);
+  std::size_t span = static_cast<std::size_t>(
+      static_cast<double>(n) * frac);
+  span = std::min(n, std::max<std::size_t>(64, round_up(span, 64)));
+  const int level = iter % std::max(2, spec.burst_levels);
+  std::size_t off = 0;
+  if (n > span) {
+    off = (static_cast<std::size_t>(level) * span) % (n - span);
+    off &= ~static_cast<std::size_t>(7);
+  }
+  auto* p = static_cast<std::byte*>(c.data()) + off;
+  for (std::size_t i = 0; i + 8 <= span; i += 256) {
+    const std::uint64_t v = rng.next_u64();
+    std::memcpy(p + i, &v, 8);
+  }
+  *out_len = span;
+  return off;
+}
+
 bool chunk_active(const ChunkSpec& spec, int iter) {
   switch (spec.pattern) {
     case ModPattern::kInitOnly:
@@ -78,6 +104,7 @@ bool chunk_active(const ChunkSpec& spec, int iter) {
     case ModPattern::kEveryIteration:
     case ModPattern::kHotUntilEnd:
     case ModPattern::kSmallRandom:
+    case ModPattern::kFrontierBurst:
       return true;
     case ModPattern::kPeriodic:
       return iter % std::max(1, spec.period) == 0;
@@ -104,6 +131,11 @@ void append_touches(std::vector<Touch>& out, const ChunkSpec& spec,
       // KV stores arrive all through the phase, no structure to exploit.
       frac = 0.9 * (static_cast<double>(m) + 1.0) /
              static_cast<double>(mods);
+    } else if (spec.pattern == ModPattern::kFrontierBurst) {
+      // BFS levels cluster mid-phase: the frontier expansion is one burst
+      // of stores, not writes spread across the whole iteration.
+      frac = 0.3 + 0.3 * (static_cast<double>(m) + 1.0) /
+                       static_cast<double>(mods);
     } else {
       // Early in the phase, leaving the tail for pre-copy to exploit.
       frac = 0.05 + 0.45 * (static_cast<double>(m) + 1.0) /
@@ -243,6 +275,18 @@ DriverResult run_workload(const DriverConfig& cfg) {
             // Store-then-log: the range is logged only after the store
             // above landed (write-log mode); software mode reports the
             // whole chunk, mprotect modes already faulted.
+            if (tmode == vmem::TrackMode::kWriteLog) {
+              t.chunk->log_write(off, len);
+            } else if (tmode == vmem::TrackMode::kSoftware) {
+              t.chunk->notify_write();
+            }
+          } else if (t.spec->pattern == ModPattern::kFrontierBurst) {
+            std::size_t len = 0;
+            const std::size_t off =
+                touch_frontier(*t.chunk, *t.spec, iter, ctx.rng, &len);
+            // Same store-then-log discipline as the KV shape: the frontier
+            // span is one logged range, so sub-page commits track exactly
+            // the dirtied fraction instead of the whole array.
             if (tmode == vmem::TrackMode::kWriteLog) {
               t.chunk->log_write(off, len);
             } else if (tmode == vmem::TrackMode::kSoftware) {

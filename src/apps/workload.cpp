@@ -1,5 +1,8 @@
 #include "apps/workload.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/units.hpp"
 
 namespace nvmcp::apps {
@@ -31,7 +34,30 @@ void add_small_random_chunks(WorkloadSpec& spec, int count,
   }
 }
 
+void add_frontier_chunks(WorkloadSpec& spec, int count,
+                         const std::string& stem, std::size_t bytes,
+                         int burst_levels, int mods) {
+  for (int i = 0; i < count; ++i) {
+    ChunkSpec c;
+    c.name = stem + "_" + std::to_string(i);
+    c.bytes = bytes;
+    c.pattern = ModPattern::kFrontierBurst;
+    c.mods_per_iter = mods;
+    c.burst_levels = burst_levels;
+    spec.chunks.push_back(std::move(c));
+  }
+}
+
 }  // namespace
+
+double frontier_fraction(int iter, int burst_levels) {
+  const int levels = std::max(2, burst_levels);
+  const double level = iter % levels;
+  const double mid = (levels - 1) / 2.0;
+  // Doubling toward the mid-level peak, halving past it: the textbook
+  // Kronecker-graph BFS frontier profile on a log scale.
+  return std::pow(2.0, -std::abs(level - mid));
+}
 
 WorkloadSpec WorkloadSpec::gtc() {
   // ~445 MB/core over 24 chunks. The checkpoint set is dominated by large
@@ -108,6 +134,30 @@ WorkloadSpec WorkloadSpec::redis() {
   // The keyspace index: rewritten wholesale each iteration, like an HPC
   // field array -- keeps the workload honest about mixed write shapes.
   add_chunks(s, 2, "kv_index", 8 * MiB, ModPattern::kEveryIteration);
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::graph500() {
+  // Graph500 BFS over a synthetic Kronecker graph. The CSR adjacency
+  // structure is built once at initialization and never changes (the
+  // pre-copy engine's best case); the per-search state is dirtied in
+  // frontier-shaped bursts -- a few parent entries at the root level,
+  // doubling every level to a mid-search peak that touches most of the
+  // parent array, then collapsing again. Between adjacent levels the
+  // dirty set swings by orders of magnitude, so checkpoint commit sizes
+  // are violently bimodal: exactly the shape that drives a version ring
+  // across its saturation watermark right after the cheap levels let
+  // retained epochs pile up.
+  WorkloadSpec s;
+  s.name = "Graph500-BFS";
+  s.compute_per_iter = 8.0;
+  s.comm_bytes_per_iter = 160 * MiB;  // all-to-all frontier exchange
+  s.iters_per_checkpoint = 4;
+  add_chunks(s, 2, "g500_csr", 120 * MiB, ModPattern::kInitOnly);
+  add_frontier_chunks(s, 2, "g500_parent", 64 * MiB, 8, 2);
+  add_frontier_chunks(s, 1, "g500_visited", 16 * MiB, 8, 1);
+  add_chunks(s, 2, "g500_frontq", 12 * MiB, ModPattern::kEveryIteration);
+  add_chunks(s, 4, "g500_diag", 600 * KiB, ModPattern::kEveryIteration);
   return s;
 }
 

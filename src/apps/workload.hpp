@@ -41,7 +41,17 @@ enum class ModPattern : std::uint8_t {
                     // offsets each iteration (uniform, or skewed onto a
                     // hot span via hot_fraction) -- the write shape the
                     // write-log tracking mode targets
+  kFrontierBurst,   // BFS-frontier regime (Graph500): the dirtied span
+                    // doubles level by level to a mid-search peak covering
+                    // most of the chunk, then collapses -- commit sizes
+                    // swing by orders of magnitude between iterations
 };
+
+/// Fraction of a kFrontierBurst chunk dirtied at iteration `iter`:
+/// 2^-|level - mid| over a `burst_levels`-long BFS cycle (a couple of
+/// vertices at the root, doubling to the mid-level peak, halving after;
+/// a new search root restarts the cycle).
+double frontier_fraction(int iter, int burst_levels);
 
 struct ChunkSpec {
   std::string name;
@@ -57,6 +67,9 @@ struct ChunkSpec {
   /// Fraction of writes landing in the chunk's hot span (first ~10% of
   /// the payload). 0 = uniform over the whole chunk.
   double hot_fraction = 0;
+  /// kFrontierBurst only: BFS levels per search cycle (frontier peaks at
+  /// the middle level; see frontier_fraction).
+  int burst_levels = 8;
 };
 
 struct WorkloadSpec {
@@ -77,6 +90,13 @@ struct WorkloadSpec {
   /// skewed onto hot keys (Zipf-ish 90/10). The regime where per-chunk
   /// fault tracking pays one whole-chunk copy per 64-byte store.
   static WorkloadSpec redis();
+  /// Graph500 BFS on a synthetic Kronecker graph: a static CSR graph
+  /// (init-only) plus per-search state (parent array, visited bitmap,
+  /// frontier queues) dirtied in frontier-shaped bursts -- the dirty set
+  /// swings by orders of magnitude between adjacent levels, so commit
+  /// sizes spike exactly when a version ring holds the most retained
+  /// epochs (the saturation-GC stress shape).
+  static WorkloadSpec graph500();
 
   std::size_t total_ckpt_bytes() const;
   std::size_t chunk_count() const { return chunks.size(); }

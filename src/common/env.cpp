@@ -1,0 +1,63 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace nvmcp::env {
+namespace {
+
+const char* raw(const char* name) { return std::getenv(name); }
+
+}  // namespace
+
+bool is_set(const char* name) { return raw(name) != nullptr; }
+
+std::string get_string(const char* name, const std::string& def) {
+  const char* v = raw(name);
+  if (!v) return def;
+  log_debug("env: %s=%s", name, v);
+  return std::string(v);
+}
+
+std::int64_t get_i64(const char* name, std::int64_t def, std::int64_t lo,
+                     std::int64_t hi) {
+  const char* v = raw(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;  // unparsable -> default, like every caller did
+  std::int64_t out = static_cast<std::int64_t>(parsed);
+  const std::int64_t before = out;
+  if (out < lo) out = lo;
+  if (out > hi) out = hi;
+  log_debug("env: %s=%lld -> %lld%s", name, static_cast<long long>(before),
+            static_cast<long long>(out), before == out ? "" : " (clamped)");
+  return out;
+}
+
+double get_double(const char* name, double def, double lo, double hi) {
+  const char* v = raw(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  double out = parsed;
+  if (out < lo) out = lo;
+  if (out > hi) out = hi;
+  log_debug("env: %s=%g -> %g%s", name, parsed, out,
+            parsed == out ? "" : " (clamped)");
+  return out;
+}
+
+bool get_bool(const char* name, bool def) {
+  const char* v = raw(name);
+  if (!v) return def;
+  const bool out = !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+                     std::strcmp(v, "false") == 0);
+  log_debug("env: %s=%s -> %s", name, v, out ? "true" : "false");
+  return out;
+}
+
+}  // namespace nvmcp::env

@@ -1,0 +1,34 @@
+// Centralized NVMCP_* environment-knob resolution.
+//
+// Every knob follows the same contract, previously copy-pasted across
+// config/remote/dirty-tracking call sites:
+//   - unset or unparsable  -> default value, no log line
+//   - parsable             -> clamped into [lo, hi], one debug log line
+//     showing the resolved value (and whether it was clamped)
+// Call sites that need bespoke semantics (e.g. "0 means default") apply
+// them on top of the raw typed getters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nvmcp::env {
+
+// True when `name` is set in the environment (even if empty/unparsable).
+bool is_set(const char* name);
+
+// Raw string value, or `def` when unset.
+std::string get_string(const char* name, const std::string& def);
+
+// Integer knob: unset/unparsable -> def; otherwise clamp to [lo, hi].
+std::int64_t get_i64(const char* name, std::int64_t def,
+                     std::int64_t lo = INT64_MIN, std::int64_t hi = INT64_MAX);
+
+// Floating-point knob: unset/unparsable -> def; otherwise clamp to [lo, hi].
+double get_double(const char* name, double def, double lo, double hi);
+
+// Boolean knob: unset -> def; "0"/"off"/"false" -> false; anything else
+// that is set -> true (matches the historical NVMCP_BATCH_REARM contract).
+bool get_bool(const char* name, bool def);
+
+}  // namespace nvmcp::env

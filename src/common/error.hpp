@@ -17,9 +17,11 @@ class NvmcpError : public std::runtime_error {
 };
 
 /// Outcome of attempting to restore one chunk or a whole checkpoint.
+/// Ordered by severity (restore paths fold per-chunk statuses with max).
 enum class RestoreStatus {
-  kOk,                 // restored from local NVM
+  kOk,                 // restored from local NVM at the newest epoch
   kOkFromRemote,       // local copy bad/missing, restored from remote NVM
+  kOkStale,            // restored, but from an older retained epoch
   kNoData,             // no committed version anywhere
   kChecksumMismatch,   // data found but failed verification everywhere
 };
@@ -28,6 +30,7 @@ inline const char* to_string(RestoreStatus s) {
   switch (s) {
     case RestoreStatus::kOk: return "ok";
     case RestoreStatus::kOkFromRemote: return "ok-from-remote";
+    case RestoreStatus::kOkStale: return "ok-stale";
     case RestoreStatus::kNoData: return "no-data";
     case RestoreStatus::kChecksumMismatch: return "checksum-mismatch";
   }

@@ -73,6 +73,20 @@ struct CheckpointConfig {
   /// -1 = resolve from NVMCP_BATCH_REARM (default on); 0/1 pin it.
   int batch_rearm = -1;
 
+  /// Background epoch-ring GC (only active when the allocator runs with
+  /// ring depth > 1): device-occupancy watermark above which old retained
+  /// epochs are reclaimed oldest-first (-1 = NVMCP_EPOCH_GC_WATERMARK,
+  /// default 0.85) and the per-chunk retention floor the GC never digs
+  /// below (-1 = NVMCP_EPOCH_GC_FLOOR, default 2, clamped to the depth).
+  double epoch_gc_watermark = -1;
+  int epoch_gc_floor = -1;
+  /// Seconds between GC occupancy checks.
+  double epoch_gc_period = 2e-3;
+  /// Run the GC on a background thread between start()/stop(). Harnesses
+  /// that need deterministic reclamation disable this and drive
+  /// EpochGc::run_pass directly.
+  bool epoch_gc_background = true;
+
   /// Rank of this process within its node (used for remote put keys).
   std::uint32_t rank = 0;
 };

@@ -6,6 +6,7 @@
 #include <future>
 
 #include "common/clock.hpp"
+#include "common/env.hpp"
 #include "common/log.hpp"
 #include "telemetry/trace.hpp"
 
@@ -38,21 +39,14 @@ std::vector<std::vector<alloc::Chunk*>> shard_by_size(
 
 std::size_t resolve_copy_threads(std::size_t configured) {
   if (configured != 0) return configured;
-  const char* env = std::getenv("NVMCP_COPY_THREADS");
-  if (!env || !*env) return 1;
-  char* end = nullptr;
-  const unsigned long v = std::strtoul(env, &end, 10);
-  if (end == env || v == 0) return 1;
-  return std::min<std::size_t>(v, 64);
+  const std::int64_t v = env::get_i64("NVMCP_COPY_THREADS", 0, 0, 64);
+  return v <= 0 ? 1 : static_cast<std::size_t>(v);
 }
 
 bool resolve_batch_rearm(int configured) {
   if (configured == 0) return false;
   if (configured > 0) return true;
-  const char* env = std::getenv("NVMCP_BATCH_REARM");
-  if (!env || !*env) return true;
-  const std::string v(env);
-  return !(v == "0" || v == "off" || v == "false");
+  return env::get_bool("NVMCP_BATCH_REARM", true);
 }
 
 CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
@@ -69,6 +63,13 @@ CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
           std::make_unique<BandwidthLimiter>(cfg.nvm_bw_per_core));
     }
   }
+  if (epoch::EpochDirectory* dir = alloc_->epoch_directory()) {
+    epoch::EpochGc::Options gopts;
+    gopts.watermark = cfg_.epoch_gc_watermark;
+    gopts.floor = cfg_.epoch_gc_floor;
+    gopts.period = cfg_.epoch_gc_period;
+    gc_ = std::make_unique<epoch::EpochGc>(*dir, gopts, &metrics_);
+  }
   interval_start_ = now_seconds();
   m_.local_checkpoints = &metrics_.counter("ckpt.local_checkpoints");
   m_.bytes_coordinated = &metrics_.counter("ckpt.bytes_coordinated");
@@ -78,6 +79,8 @@ CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
       &metrics_.counter("ckpt.chunks_committed_from_precopy");
   m_.recopied_dirty = &metrics_.counter("ckpt.chunks_recopied_dirty");
   m_.skipped_unmodified = &metrics_.counter("ckpt.chunks_skipped_unmodified");
+  m_.deferred_restoring =
+      &metrics_.counter("ckpt.chunks_deferred_restoring");
   m_.blocking_seconds = &metrics_.gauge("ckpt.blocking_seconds");
   m_.precopy_seconds = &metrics_.gauge("ckpt.precopy_seconds");
   m_.protection_faults = &metrics_.gauge("ckpt.protection_faults");
@@ -95,6 +98,9 @@ CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
 CheckpointManager::~CheckpointManager() { stop(); }
 
 void CheckpointManager::start() {
+  // The ring GC runs even under kNone: saturation is a property of the
+  // device, not of the pre-copy policy.
+  if (gc_ && cfg_.epoch_gc_background) gc_->start();
   if (cfg_.local_policy == PrecopyPolicy::kNone) return;
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
@@ -102,6 +108,7 @@ void CheckpointManager::start() {
 }
 
 void CheckpointManager::stop() {
+  if (gc_) gc_->stop();
   if (!running_.exchange(false)) {
     if (engine_.joinable()) engine_.join();
     return;
@@ -179,6 +186,10 @@ void CheckpointManager::precopy_loop() {
     for (alloc::Chunk* c : alloc_->chunks()) {
       if (!running_.load(std::memory_order_acquire)) return;
       if (!c->persistent() || !c->dirty_local()) continue;
+      if (restoring_.load(std::memory_order_acquire) &&
+          restore_deferred(c->id())) {
+        continue;  // still streaming in: nothing meaningful to pre-copy
+      }
       if (cfg_.local_policy == PrecopyPolicy::kDcpcp &&
           !prediction_.ready_for_precopy(
               c->id(),
@@ -269,6 +280,15 @@ double CheckpointManager::nvchkptall() {
   // paper's D/BW blocking cost — are collected and sharded below.
   for (alloc::Chunk* c : alloc_->chunks()) {
     if (!c->persistent()) continue;
+    if (restoring_.load(std::memory_order_acquire) &&
+        restore_deferred(c->id())) {
+      // Streaming-restore admission rule: this chunk's payload is still
+      // in flight from NVM, so there is nothing consistent to commit yet;
+      // it becomes commit-eligible the moment its own restore completes.
+      commits_deferred_.fetch_add(1, std::memory_order_relaxed);
+      m_.deferred_restoring->add(1);
+      continue;
+    }
     const bool dirty =
         c->dirty_local() ||
         (!cfg_.skip_unmodified && c->precopied_epoch() != epoch);
@@ -390,6 +410,112 @@ RestoreStatus CheckpointManager::restore_all() {
     if (static_cast<int>(st) > static_cast<int>(worst)) worst = st;
   }
   return worst;
+}
+
+bool CheckpointManager::restore_deferred(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(restore_mu_);
+  return restore_pending_.count(id) != 0;
+}
+
+CheckpointManager::StreamingRestoreReport CheckpointManager::restore_streaming(
+    std::uint64_t epoch) {
+  StreamingRestoreReport rep;
+  const Stopwatch sw;
+  std::vector<alloc::Chunk*> work;
+  {
+    // Setup under the commit mutex so no checkpoint round is mid-flight
+    // while the admission set fills; the restore itself then runs WITHOUT
+    // the mutex -- that concurrency is the whole point.
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    for (alloc::Chunk* c : alloc_->chunks()) {
+      if (c->persistent()) work.push_back(c);
+    }
+    {
+      std::lock_guard<std::mutex> rlock(restore_mu_);
+      restore_pending_.clear();
+      for (alloc::Chunk* c : work) restore_pending_.insert(c->id());
+    }
+    commits_deferred_.store(0, std::memory_order_relaxed);
+    restoring_.store(true, std::memory_order_release);
+    if (epoch != 0) {
+      // An explicitly requested older epoch is reclaimable (the newest
+      // committed version never is): pin every source slot up front so
+      // neither the GC nor a commit recycling ring slots can reclaim a
+      // source before its chunk's turn comes.
+      for (alloc::Chunk* c : work) alloc_->pin_epoch(*c, epoch);
+    }
+  }
+  rep.chunks = static_cast<int>(work.size());
+
+  std::atomic<int> worst{static_cast<int>(RestoreStatus::kOk)};
+  std::atomic<int> rolled_back{0};
+  auto restore_one = [&](alloc::Chunk& c) {
+    RestoreStatus st = alloc_->restore_chunk_epoch(c, epoch);
+    if (st == RestoreStatus::kChecksumMismatch ||
+        st == RestoreStatus::kNoData) {
+      // Target epoch bad or gone: walk back to the newest older retained
+      // epoch that still verifies.
+      for (const std::uint64_t e : alloc_->retained_epochs(c)) {
+        if (epoch != 0 && e >= epoch) continue;
+        const RestoreStatus alt = alloc_->restore_chunk_epoch(c, e);
+        if (alt == RestoreStatus::kOk || alt == RestoreStatus::kOkStale) {
+          st = RestoreStatus::kOkStale;
+          rolled_back.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    int cur = worst.load(std::memory_order_relaxed);
+    const int sti = static_cast<int>(st);
+    while (sti > cur && !worst.compare_exchange_weak(
+                            cur, sti, std::memory_order_relaxed)) {
+    }
+    // Admit commits for this chunk from the next round on -- even when
+    // its restore failed: leaving it deferred forever would silently
+    // exclude it from every future checkpoint.
+    std::lock_guard<std::mutex> rlock(restore_mu_);
+    restore_pending_.erase(c.id());
+  };
+
+  // Dedicated worker threads rather than the shared copier pool: commit
+  // rounds shard over that pool, and restore shards queued ahead of them
+  // would serialize the very commits this path exists to admit.
+  const std::size_t nworkers =
+      std::max<std::size_t>(1, std::min(copy_threads_, work.size()));
+  if (nworkers > 1) {
+    const auto shards = shard_by_size(work, nworkers);
+    std::vector<std::thread> workers;
+    workers.reserve(shards.size());
+    for (const auto& shard : shards) {
+      if (shard.empty()) continue;
+      workers.emplace_back([&restore_one, &shard] {
+        for (alloc::Chunk* c : shard) restore_one(*c);
+      });
+    }
+    for (auto& w : workers) w.join();
+  } else {
+    for (alloc::Chunk* c : work) restore_one(*c);
+  }
+
+  if (epoch != 0) {
+    for (alloc::Chunk* c : work) alloc_->unpin_epoch(*c, epoch);
+  }
+  restoring_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> rlock(restore_mu_);
+    restore_pending_.clear();
+  }
+  rep.status = static_cast<RestoreStatus>(worst.load());
+  rep.chunks_rolled_back = rolled_back.load();
+  rep.commits_deferred = commits_deferred_.load(std::memory_order_relaxed);
+  rep.seconds = sw.elapsed();
+  log_debug("restore_streaming: epoch=%llu chunks=%d rolled_back=%d "
+            "deferred_commits=%llu status=%s",
+            static_cast<unsigned long long>(epoch), rep.chunks,
+            rep.chunks_rolled_back,
+            static_cast<unsigned long long>(rep.commits_deferred),
+            to_string(rep.status));
+  return rep;
 }
 
 void CheckpointManager::refresh_vmem_metrics() const {

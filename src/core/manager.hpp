@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "alloc/nvmalloc.hpp"
@@ -27,6 +28,7 @@
 #include "core/config.hpp"
 #include "core/prediction.hpp"
 #include "core/stats.hpp"
+#include "epoch/gc.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace nvmcp::core {
@@ -55,6 +57,34 @@ class CheckpointManager {
   /// Restore every persistent chunk from its committed local version.
   /// Returns the worst status encountered.
   RestoreStatus restore_all();
+
+  /// Outcome of one streaming restore (see restore_streaming).
+  struct StreamingRestoreReport {
+    RestoreStatus status = RestoreStatus::kOk;  // worst per-chunk status
+    double seconds = 0;
+    int chunks = 0;
+    /// Chunks whose target epoch failed verification and were restored
+    /// from an older retained epoch instead (ring mode only).
+    int chunks_rolled_back = 0;
+    /// Commits nvchkptall deferred because their chunk was still waiting
+    /// to be restored (the admission rule at work).
+    std::uint64_t commits_deferred = 0;
+  };
+
+  /// Streaming restart: restore persistent chunks one by one on dedicated
+  /// worker threads (copy_threads() of them, size-balanced shards) while
+  /// the application keeps computing and committing. nvchkptall admits
+  /// commits for chunks already restored and defers the rest, so the
+  /// restart stops being a barrier: a chunk becomes commit-eligible the
+  /// moment its own payload is back. `epoch` 0 restores each chunk's
+  /// newest committed version; a nonzero epoch restores that retained
+  /// epoch (ring mode), pinning every source slot up front so neither the
+  /// GC nor a concurrent commit can reclaim it mid-restore. If a chunk's
+  /// target fails verification the restore walks back to the newest older
+  /// retained epoch that still verifies. The application must not touch a
+  /// chunk until it has been restored (the admission rule covers commits,
+  /// not application loads).
+  StreamingRestoreReport restore_streaming(std::uint64_t epoch = 0);
 
   alloc::ChunkAllocator& allocator() { return *alloc_; }
   const CheckpointConfig& config() const { return cfg_; }
@@ -92,6 +122,12 @@ class CheckpointManager {
   /// across an internal pool, one NVMBW_core stream per worker.
   std::size_t copy_threads() const { return copy_threads_; }
 
+  /// Background version-ring GC, or nullptr when the allocator runs at
+  /// ring depth 1 (no ring, nothing to reclaim). Started/stopped with the
+  /// pre-copy engine when config().epoch_gc_background is set; harnesses
+  /// can call epoch_gc()->run_pass() for deterministic reclamation.
+  epoch::EpochGc* epoch_gc() { return gc_.get(); }
+
  private:
   void precopy_loop();
   bool threshold_reached() const;
@@ -126,6 +162,18 @@ class CheckpointManager {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<BandwidthLimiter>> worker_streams_;
 
+  /// Ring-mode only: the saturation-driven GC over the allocator's epoch
+  /// directory.
+  std::unique_ptr<epoch::EpochGc> gc_;
+
+  // Streaming-restore admission state: while restoring_ is set,
+  // nvchkptall defers (skips) any chunk still in restore_pending_.
+  std::atomic<bool> restoring_{false};
+  mutable std::mutex restore_mu_;  // guards restore_pending_
+  std::unordered_set<std::uint64_t> restore_pending_;
+  std::atomic<std::uint64_t> commits_deferred_{0};
+  bool restore_deferred(std::uint64_t id) const;
+
   /// Batched re-arm resolved from config/env (see CheckpointConfig).
   bool batch_rearm_ = true;
 
@@ -158,6 +206,7 @@ class CheckpointManager {
     telemetry::Counter* committed_from_precopy;
     telemetry::Counter* recopied_dirty;
     telemetry::Counter* skipped_unmodified;
+    telemetry::Counter* deferred_restoring;
     telemetry::Gauge* blocking_seconds;
     telemetry::Gauge* precopy_seconds;
     telemetry::Gauge* protection_faults;

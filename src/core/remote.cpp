@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/clock.hpp"
+#include "common/env.hpp"
 #include "common/log.hpp"
 #include "fault/injector.hpp"
 #include "telemetry/trace.hpp"
@@ -14,21 +15,11 @@ namespace nvmcp::core {
 namespace {
 
 double env_double(const char* name, double fallback) {
-  const char* s = std::getenv(name);
-  if (!s || !*s) return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s) return fallback;
-  return v;
+  return env::get_double(name, fallback, -1e300, 1e300);
 }
 
 int env_int(const char* name, int fallback) {
-  const char* s = std::getenv(name);
-  if (!s || !*s) return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s) return fallback;
-  return static_cast<int>(v);
+  return static_cast<int>(env::get_i64(name, fallback, INT32_MIN, INT32_MAX));
 }
 
 template <typename T>

@@ -24,6 +24,20 @@ bool RestartCoordinator::fetch_remote(alloc::Chunk& c) {
   return true;
 }
 
+std::uint64_t RestartCoordinator::rollback_chunk(alloc::Chunk& c) {
+  auto& allocator = mgr_->allocator();
+  const auto epochs = allocator.retained_epochs(c);
+  // epochs[0] is the newest committed version -- the one that just failed
+  // verification -- so the walk starts at the next-older retained epoch.
+  for (std::size_t i = 1; i < epochs.size(); ++i) {
+    const RestoreStatus st = allocator.restore_chunk_epoch(c, epochs[i]);
+    if (st == RestoreStatus::kOk || st == RestoreStatus::kOkStale) {
+      return epochs[i];
+    }
+  }
+  return 0;
+}
+
 bool RestartCoordinator::try_parity_rebuild(
     RestartReport& rep, std::vector<alloc::Chunk*>& failed,
     RestoreStatus& worst) {
@@ -74,6 +88,16 @@ RestartReport RestartCoordinator::restart_soft() {
       st = RestoreStatus::kOkFromRemote;
       ++rep.chunks_remote;
       rep.bytes_remote += c->size();
+    } else if (const std::uint64_t rb = rollback_chunk(*c)) {
+      // Newest epoch corrupt and no remote copy: an older retained epoch
+      // beats losing the chunk. The cut may now mix epochs across chunks;
+      // rollback_epoch flags that for the caller to judge.
+      st = RestoreStatus::kOkStale;
+      ++rep.chunks_rolled_back;
+      rep.bytes_rolled_back += c->size();
+      if (rep.rollback_epoch == 0 || rb < rep.rollback_epoch) {
+        rep.rollback_epoch = rb;
+      }
     } else {
       failed.push_back(c);
       continue;  // folded into worst only if the parity rebuild also fails
@@ -158,13 +182,15 @@ RestartReport RestartCoordinator::restart_after(FailureKind kind) {
       .add(static_cast<std::uint64_t>(rep.chunks_lazy_armed));
   metrics.counter("restart.chunks_failed")
       .add(static_cast<std::uint64_t>(rep.chunks_failed));
+  metrics.counter("restart.chunks_rolled_back")
+      .add(static_cast<std::uint64_t>(rep.chunks_rolled_back));
   metrics.gauge("restart.last_seconds").set(rep.seconds);
   log_info("restart(%s): status=%s local=%d remote=%d parity=%d lazy=%d "
-           "failed=%d in %s",
+           "rolled_back=%d failed=%d in %s",
            kind == FailureKind::kSoft ? "soft" : "hard",
            to_string(rep.status), rep.chunks_local, rep.chunks_remote,
-           rep.chunks_parity, rep.chunks_lazy_armed, rep.chunks_failed,
-           format_seconds(rep.seconds).c_str());
+           rep.chunks_parity, rep.chunks_lazy_armed, rep.chunks_rolled_back,
+           rep.chunks_failed, format_seconds(rep.seconds).c_str());
   return rep;
 }
 

@@ -43,6 +43,14 @@ struct RestartReport {
   int chunks_parity = 0;
   int chunks_lazy_armed = 0;
   int chunks_failed = 0;
+  /// Ring mode: chunks whose newest epoch failed verification (and the
+  /// remote fetch failed too) but which recovered from an older retained
+  /// epoch in their version ring.
+  int chunks_rolled_back = 0;
+  std::uint64_t bytes_rolled_back = 0;
+  /// Oldest epoch any chunk rolled back to (0 = no rollback happened).
+  /// A value below the newest committed epoch flags a mixed-epoch cut.
+  std::uint64_t rollback_epoch = 0;
 };
 
 class RestartCoordinator {
@@ -79,6 +87,12 @@ class RestartCoordinator {
   RestartReport restart_soft();
   RestartReport restart_hard();
   bool fetch_remote(alloc::Chunk& c);
+  /// Ring-mode fallback when the newest epoch is corrupt and the remote
+  /// path failed: walk the chunk's retained epochs newest-first and
+  /// restore the first older one that verifies. Returns the epoch
+  /// restored, or 0 if none verified (depth-1 chunks have no older
+  /// epochs and always return 0).
+  std::uint64_t rollback_chunk(alloc::Chunk& c);
   /// Fire the parity_rebuild hook for `failed` chunks; on success they
   /// are re-counted as parity-recovered and the list is cleared.
   bool try_parity_rebuild(RestartReport& rep,

@@ -1,0 +1,78 @@
+#include "epoch/gc.hpp"
+
+#include <chrono>
+
+#include "common/log.hpp"
+
+namespace nvmcp::epoch {
+
+EpochGc::EpochGc(EpochDirectory& dir, Options opts,
+                 telemetry::MetricRegistry* metrics)
+    : dir_(&dir),
+      watermark_(resolve_gc_watermark(opts.watermark)),
+      floor_(resolve_gc_floor(opts.floor)),
+      period_(opts.period > 0 ? opts.period : 2e-3) {
+  // The floor can never exceed the retention depth itself.
+  if (floor_ > dir.ring_depth()) floor_ = dir.ring_depth();
+  if (metrics) {
+    passes_ = &metrics->counter("epoch.gc.passes");
+    slots_reclaimed_ = &metrics->counter("epoch.gc.slots_reclaimed");
+    bytes_reclaimed_ = &metrics->counter("epoch.gc.bytes_reclaimed");
+    occupancy_ = &metrics->gauge("epoch.gc.occupancy");
+    saturated_ = &metrics->gauge("epoch.gc.saturated");
+    retained_ = &metrics->gauge("epoch.gc.retained_slots");
+  }
+}
+
+EpochGc::~EpochGc() { stop(); }
+
+void EpochGc::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void EpochGc::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+GcPassStats EpochGc::run_pass() {
+  const GcPassStats stats = dir_->gc_pass(watermark_, floor_);
+  if (passes_) {
+    passes_->add(1);
+    slots_reclaimed_->add(stats.slots_reclaimed);
+    bytes_reclaimed_->add(stats.bytes_reclaimed);
+    occupancy_->set(stats.occupancy_after);
+    saturated_->set(stats.saturated ? 1 : 0);
+    retained_->set(static_cast<double>(dir_->retained_slots()));
+  }
+  if (stats.slots_reclaimed > 0) {
+    log_debug("epoch-gc: reclaimed %llu slots (%llu bytes), occupancy "
+              "%.3f -> %.3f",
+              static_cast<unsigned long long>(stats.slots_reclaimed),
+              static_cast<unsigned long long>(stats.bytes_reclaimed),
+              stats.occupancy_before, stats.occupancy_after);
+  }
+  return stats;
+}
+
+void EpochGc::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    lock.unlock();
+    run_pass();
+    lock.lock();
+    cv_.wait_for(lock,
+                 std::chrono::duration<double>(period_),
+                 [this] { return !running_; });
+  }
+}
+
+}  // namespace nvmcp::epoch

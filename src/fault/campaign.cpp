@@ -13,6 +13,8 @@
 #include "core/remote.hpp"
 #include "core/restart.hpp"
 #include "ecc/parity_group.hpp"
+#include "epoch/directory.hpp"
+#include "epoch/version_ring.hpp"
 #include "model/model.hpp"
 #include "net/interconnect.hpp"
 #include "net/remote_memory.hpp"
@@ -44,10 +46,12 @@ void fill_pattern(std::byte* p, std::size_t n, std::uint64_t seed) {
   }
 }
 
-std::size_t device_capacity_for(std::size_t payload_bytes) {
-  // Two version slots per chunk plus metadata region; round to MiB so the
+std::size_t device_capacity_for(std::size_t payload_bytes,
+                                std::size_t slots_per_chunk = 2) {
+  // `slots_per_chunk` version slots per chunk (two for the legacy scheme,
+  // ring depth + 1 in ring mode) plus metadata region; round to MiB so the
   // arena is page-aligned whatever the chunk geometry.
-  const std::size_t raw = payload_bytes * 2 + 8 * MiB;
+  const std::size_t raw = payload_bytes * slots_per_chunk + 8 * MiB;
   return (raw + MiB - 1) / MiB * MiB;
 }
 
@@ -96,6 +100,9 @@ Json CampaignSpec::to_json() const {
   j["parity_shards"] = parity_shards;
   j["nvm_bw_core"] = nvm_bw_core;
   j["link_bw"] = link_bw;
+  j["ring_depth"] = ring_depth;
+  j["local_only"] = local_only;
+  j["corrupt_newest_epochs"] = corrupt_newest_epochs;
   Json f = Json::object();
   f["mtbf_soft"] = faults.mtbf_soft;
   f["mtbf_hard"] = faults.mtbf_hard;
@@ -128,6 +135,8 @@ Json TrialResult::to_json() const {
   j["bytes_local"] = bytes_local;
   j["bytes_remote"] = bytes_remote;
   j["bytes_parity"] = bytes_parity;
+  j["chunks_rolled_back"] = chunks_rolled_back;
+  j["rollback_epoch"] = rollback_epoch;
   j["pages_scrambled"] = static_cast<std::uint64_t>(pages_scrambled);
   j["remote_degraded"] = remote_degraded;
   j["degraded_coordinations"] = degraded_coordinations;
@@ -188,8 +197,12 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
 
   // --- build the emulated node ----------------------------------------
   const std::size_t per_rank_payload = s.chunks_per_rank * s.chunk_bytes;
+  // Ring mode holds up to depth committed epochs plus one in-progress slot
+  // per chunk, so the arena must be sized for depth+1 payload regions.
+  const std::size_t slots_per_chunk =
+      static_cast<std::size_t>(std::max(2, s.ring_depth + 1));
   NvmConfig dcfg;
-  dcfg.capacity = device_capacity_for(per_rank_payload);
+  dcfg.capacity = device_capacity_for(per_rank_payload, slots_per_chunk);
   dcfg.throttle = false;   // trials run on the logical clock, not wall time
   dcfg.track_wear = false;
 
@@ -202,6 +215,9 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
     rn.cont = std::make_unique<vmem::Container>(*rn.dev);
     alloc::ChunkAllocator::Options aopts;
     aopts.track_mode = s.track_mode;
+    // Pin the depth explicitly (spec default 1 = legacy two-slot) so env
+    // knobs never leak into trials and replays agree.
+    aopts.ring_depth = std::max(1, s.ring_depth);
     rn.alloc = std::make_unique<alloc::ChunkAllocator>(*rn.cont, aopts);
     core::CheckpointConfig ccfg;
     ccfg.local_policy = core::PrecopyPolicy::kNone;
@@ -230,7 +246,10 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
 
   std::unique_ptr<core::RemoteCheckpointer> repl;
   std::unique_ptr<ecc::ParityCheckpointGroup> parity;
-  if (s.use_parity) {
+  if (s.local_only) {
+    // No remote protection of any kind: recovery has exactly the local
+    // NVM, so ring rollback is the only fallback past the newest epoch.
+  } else if (s.use_parity) {
     parity = std::make_unique<ecc::ParityCheckpointGroup>(mgrs, rmem,
                                                           s.parity_shards);
   } else {
@@ -420,13 +439,13 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
         inj.set_torn_write_rate(0.0);
         torn_pending = false;
       }
-      if (s.use_parity) {
+      if (parity) {
         // protect_epoch plays the helper role here, so it honors the same
         // stall/kill semantics as the replicating helper's send path.
         if (!inj.helper_killed() && !inj.helper_send_blocked()) {
           parity->protect_epoch();
         }
-      } else {
+      } else if (repl) {
         note_coordination(repl->coordinate_now());
       }
       last_commit_t = t1;
@@ -480,19 +499,59 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
   RankNode& vs = node[victim];
   tr.committed_epoch = vs.mgr->committed_epoch();
   Rng crash_rng(crash_seed);
+  auto corrupt_region = [&](std::uint64_t off, std::size_t size) {
+    if (off == 0) return;  // unallocated slot, not device offset 0
+    std::byte* p = vs.dev->data() + off;
+    const std::size_t n = std::min<std::size_t>(size, 256);
+    for (std::size_t i = 0; i < n; ++i) p[i] ^= std::byte{0xA5};
+  };
   if (crash_type == FaultType::kSoftCrash) {
     tr.pages_scrambled = vs.dev->simulate_crash(crash_rng);
+    if (s.corrupt_newest_epochs > 0) {
+      // Directed scenario: the N newest retained epochs are corrupt in
+      // place, so a correct recovery must surface at epoch k-N (ring) or
+      // fall through to remote/failure (depth 1).
+      for (alloc::Chunk* c : vs.chunks) {
+        const auto epochs = vs.alloc->retained_epochs(*c);
+        epoch::VersionRing* ring = nullptr;
+        if (auto* dir = vs.alloc->epoch_directory()) ring = dir->ring(c->id());
+        const std::size_t n =
+            std::min<std::size_t>(epochs.size(),
+                                  static_cast<std::size_t>(
+                                      s.corrupt_newest_epochs));
+        for (std::size_t i = 0; i < n; ++i) {
+          const vmem::ChunkRecord& rec = c->record();
+          if (rec.has_committed() && rec.epoch[rec.committed] == epochs[i]) {
+            corrupt_region(rec.slot_off[rec.committed], c->size());
+          } else if (ring) {
+            epoch::RingSlot slot;
+            if (ring->find_epoch(epochs[i], &slot)) {
+              corrupt_region(slot.off, c->size());
+            }
+          }
+        }
+      }
+    }
   } else {
-    // Node loss: the local NVM contents are gone. Corrupt both version
-    // slots of every chunk (wiping the arena would also destroy the vmem
+    // Node loss: the local NVM contents are gone. Corrupt every version
+    // slot of every chunk -- both legacy slots plus, in ring mode, every
+    // allocated ring slot (wiping the arena would also destroy the vmem
     // metadata that the still-live allocator points into).
     for (alloc::Chunk* c : vs.chunks) {
       const vmem::ChunkRecord& rec = c->record();
-      for (int slot = 0; slot < 2; ++slot) {
-        std::byte* p = vs.dev->data() + rec.slot_off[slot];
-        const std::size_t n = std::min<std::size_t>(c->size(), 256);
-        for (std::size_t i = 0; i < n; ++i) p[i] ^= std::byte{0xA5};
+      // rec.slot_off[committed] aliases the newest ring slot, so collect
+      // offsets first: XOR-ing the same region twice would restore it.
+      std::vector<std::uint64_t> offs = {rec.slot_off[0], rec.slot_off[1]};
+      if (auto* dir = vs.alloc->epoch_directory()) {
+        if (epoch::VersionRing* ring = dir->ring(c->id())) {
+          for (const epoch::RingSlot& slot : ring->snapshot_slots()) {
+            offs.push_back(slot.off);
+          }
+        }
       }
+      std::sort(offs.begin(), offs.end());
+      offs.erase(std::unique(offs.begin(), offs.end()), offs.end());
+      for (const std::uint64_t off : offs) corrupt_region(off, c->size());
     }
   }
   // Either way the process restarts: DRAM working buffers are lost.
@@ -502,7 +561,7 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
 
   // --- recover ----------------------------------------------------------
   core::RestartCoordinator::Options ropts;
-  if (s.use_parity) {
+  if (parity) {
     ropts.parity_rebuild = [&]() {
       return parity->recover_ranks({static_cast<std::size_t>(victim)});
     };
@@ -512,7 +571,8 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
     // an isolated buddy is suspect, parity (when present) goes first.
     ropts.buddy_health = repl->health(static_cast<std::size_t>(victim));
   }
-  core::RestartCoordinator rc(*vs.mgr, &rmem, ropts);
+  core::RestartCoordinator rc(*vs.mgr, s.local_only ? nullptr : &rmem,
+                              ropts);
   const core::RestartReport rep = rc.restart_after(
       crash_type == FaultType::kSoftCrash ? core::FailureKind::kSoft
                                           : core::FailureKind::kHard);
@@ -520,6 +580,8 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
   tr.bytes_local = rep.bytes_local;
   tr.bytes_remote = rep.bytes_remote;
   tr.bytes_parity = rep.bytes_parity;
+  tr.chunks_rolled_back = rep.chunks_rolled_back;
+  tr.rollback_epoch = rep.rollback_epoch;
 
   // --- verify + classify ------------------------------------------------
   bool any_unmatched = false;
@@ -571,7 +633,11 @@ TrialResult CampaignRunner::run_trial(std::uint64_t seed) const {
       }
     } else {
       tr.outcome = TrialOutcome::kStaleEpoch;
-      tr.detail = "consistent but older epoch (progress lost, detectable)";
+      tr.detail = rep.chunks_rolled_back > 0
+                      ? "older retained epoch via version-ring rollback "
+                        "(progress lost, detectable)"
+                      : "consistent but older epoch (progress lost, "
+                        "detectable)";
     }
   }
   if (!tr.remote_cut_verified) {

@@ -98,6 +98,24 @@ struct CampaignSpec {
   /// invariants (no undetected loss) must hold regardless.
   std::size_t copy_threads = 0;
 
+  /// Version-ring depth for every trial allocator (1 = the legacy
+  /// two-slot scheme). Depth N > 1 retains the last N committed epochs,
+  /// so a corrupted newest epoch can roll back locally instead of relying
+  /// on the buddy store.
+  int ring_depth = 1;
+
+  /// Run trials without any remote protection (no replication, no
+  /// parity): recovery has exactly the local NVM -- newest epoch first,
+  /// then the version ring. Isolates ring-rollback behavior from the
+  /// remote fallback that would otherwise mask it.
+  bool local_only = false;
+
+  /// Soft-crash trials only: corrupt (bit-flip) the victim's N newest
+  /// retained epochs per chunk at crash time, newest-first. With a ring
+  /// of depth >= N+1 a correct recovery must come back at epoch k-N --
+  /// the directed recover-to-epoch-k-2 scenario uses N=2.
+  int corrupt_newest_epochs = 0;
+
   /// Fault rates. horizon and ranks are overwritten by the runner to
   /// match the workload; everything else is caller-controlled.
   FaultPlan::GenSpec faults;
@@ -132,6 +150,10 @@ struct TrialResult {
   std::uint64_t bytes_local = 0;
   std::uint64_t bytes_remote = 0;
   std::uint64_t bytes_parity = 0;
+  /// Ring mode: chunks that recovered from an older retained epoch after
+  /// the newest failed verification (RestartReport::chunks_rolled_back).
+  int chunks_rolled_back = 0;
+  std::uint64_t rollback_epoch = 0;   // oldest epoch rolled back to (0=none)
   std::size_t pages_scrambled = 0;    // soft-crash unflushed scramble
   InjectorStats injector;
 

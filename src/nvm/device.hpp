@@ -141,6 +141,24 @@ class NvmDevice {
   NvmDeviceStats stats() const;
   BandwidthLimiter& write_limiter() { return write_limiter_; }
 
+  /// Layout-occupancy accounting, kept in sync by the allocation layer
+  /// (vmem::Container). `reserved_bytes` counts arena bytes claimed by
+  /// metadata + data regions; `occupancy` is the saturation signal the
+  /// epoch GC watermarks against (cpf's `is_saturated` shape).
+  void note_reserved(std::int64_t delta) {
+    reserved_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t reserved_bytes() const {
+    const std::int64_t v = reserved_bytes_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  }
+  double occupancy() const {
+    return cfg_.capacity == 0
+               ? 0.0
+               : static_cast<double>(reserved_bytes()) /
+                     static_cast<double>(cfg_.capacity);
+  }
+
  private:
   void check_range(std::size_t off, std::size_t n) const;
   void touch_pages(std::size_t off, std::size_t n);
@@ -165,6 +183,7 @@ class NvmDevice {
   std::atomic<std::uint64_t> write_calls_{0};
   mutable std::atomic<std::uint64_t> read_calls_{0};
   std::atomic<std::uint64_t> write_ns_{0};
+  std::atomic<std::int64_t> reserved_bytes_{0};
 };
 
 }  // namespace nvmcp

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/env.hpp"
 #include "common/log.hpp"
 
 namespace nvmcp::telemetry {
@@ -16,15 +17,10 @@ std::string& trace_path_ref() {
 
 void init_from_env() {
   init_log_from_env();
-  if (const char* cap = std::getenv("NVMCP_TRACE_CAPACITY")) {
-    const long n = std::strtol(cap, nullptr, 10);
-    if (n > 0) {
-      Tracer::instance().set_capacity(static_cast<std::size_t>(n));
-    }
-  }
-  if (const char* path = std::getenv("NVMCP_TRACE")) {
-    if (*path) set_trace_path(path);
-  }
+  const std::int64_t cap = env::get_i64("NVMCP_TRACE_CAPACITY", 0, 0, INT64_MAX);
+  if (cap > 0) Tracer::instance().set_capacity(static_cast<std::size_t>(cap));
+  const std::string path = env::get_string("NVMCP_TRACE", std::string{});
+  if (!path.empty()) set_trace_path(path);
 }
 
 const std::string& trace_path() { return trace_path_ref(); }

@@ -26,6 +26,12 @@ Container::Container(NvmDevice& dev) : Container(dev, Options{}) {}
 Container::Container(NvmDevice& dev, Options opts)
     : dev_(&dev),
       meta_(open_or_create(dev, opts.chunk_table_capacity, &attached_)) {
+  // Re-baseline the device's occupancy accounting from the persisted
+  // cursor: at construction the free list is empty, so the cursor is
+  // exactly the reserved span (header page + metadata + data regions).
+  // Done as a delta so a re-attached container doesn't double-count.
+  dev.note_reserved(static_cast<std::int64_t>(meta_.header().alloc_cursor) -
+                    static_cast<std::int64_t>(dev.reserved_bytes()));
   log_info("Container: %s, cursor=%zu",
            attached_ ? "attached to existing metadata" : "created fresh",
            static_cast<std::size_t>(meta_.header().alloc_cursor));
@@ -43,6 +49,7 @@ std::size_t Container::alloc_region(std::size_t bytes) {
       } else {
         free_list_.erase(it);
       }
+      dev_->note_reserved(static_cast<std::int64_t>(need));
       return off;
     }
   }
@@ -55,12 +62,15 @@ std::size_t Container::alloc_region(std::size_t bytes) {
   }
   hdr.alloc_cursor = off + need;
   meta_.persist_header();
+  dev_->note_reserved(static_cast<std::int64_t>(need));
   return off;
 }
 
 void Container::free_region(std::size_t off, std::size_t bytes) {
+  const std::size_t need = round_up(bytes, kNvmPageSize);
   std::lock_guard<std::mutex> lock(mu_);
-  free_list_.push_back({off, round_up(bytes, kNvmPageSize)});
+  free_list_.push_back({off, need});
+  dev_->note_reserved(-static_cast<std::int64_t>(need));
 }
 
 std::size_t Container::bytes_allocated() const {

@@ -50,6 +50,7 @@ struct MetadataHeader {
   std::uint64_t capacity = 0;     // record slots
   std::uint64_t alloc_cursor = 0; // bump pointer for region allocation
   std::uint64_t checkpoint_epoch = 0;
+  std::uint64_t epoch_region_off = 0;  // version-ring directory, 0 = none
 };
 
 /// View over the metadata region of one device. The region's device offset

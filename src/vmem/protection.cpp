@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/checksum.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 
 namespace nvmcp::vmem {
@@ -62,9 +63,8 @@ const char* to_string(TrackMode mode) {
 }
 
 TrackMode resolve_track_mode(TrackMode fallback) {
-  const char* env = std::getenv("NVMCP_TRACK_MODE");
-  if (!env || !*env) return fallback;
-  std::string v(env);
+  std::string v = env::get_string("NVMCP_TRACK_MODE", std::string{});
+  if (v.empty()) return fallback;
   for (char& c : v) c = static_cast<char>(std::tolower(c));
   if (v == "mprotect" || v == "chunk") return TrackMode::kMprotect;
   if (v == "mprotect_page" || v == "page") return TrackMode::kMprotectPage;

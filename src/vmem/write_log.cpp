@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/env.hpp"
 #include "vmem/protection.hpp"
 
 namespace nvmcp::vmem {
@@ -13,12 +14,9 @@ namespace {
 constexpr std::size_t kMaxPendingRanges = 1u << 16;
 
 std::size_t capacity_from_env() {
-  const char* env = std::getenv("NVMCP_DIRTY_LOG_CAPACITY");
-  if (!env || !*env) return 8192;
-  char* end = nullptr;
-  const unsigned long v = std::strtoul(env, &end, 10);
-  if (end == env || v == 0) return 8192;
-  return std::min<std::size_t>(std::max<std::size_t>(v, 16), 1u << 22);
+  const std::int64_t v = env::get_i64("NVMCP_DIRTY_LOG_CAPACITY", 0, 0, 1 << 22);
+  if (v == 0) return 8192;  // unset, unparsable, or explicit 0 -> default
+  return std::max<std::size_t>(static_cast<std::size_t>(v), 16);
 }
 
 }  // namespace

@@ -324,22 +324,28 @@ TEST(CampaignRunner, ParallelCopyPathHasNoUndetectedLoss) {
 // small logged stores (store-then-log), so every commit is reconstructed
 // from sub-page dirty ranges instead of whole-chunk copies. A range the
 // log dropped or the copier mis-applied leaves restored bytes matching no
-// golden epoch -- classified kUndetectedLoss, always a library bug. Bit
-// flips stay out of the mix: incremental commits inherit clean-gap bytes
-// from the slot's previous content, so in-place NVM corruption between
-// commits is laundered into the next checksum (a documented limitation
-// shared with page-granularity tracking, see DESIGN.md).
+// golden epoch -- classified kUndetectedLoss, always a library bug.
+//
+// Bit flips are BACK in the mix (they were excluded before the version
+// ring existed): at ring depth >= 3 an incremental commit verifies the
+// reused slot's bytes against its published checksum before folding any
+// clean-gap bytes, so in-place NVM corruption between commits is detected
+// and recopied wholesale instead of being laundered into the next
+// checksum; a flipped *newest* slot fails restore verification and rolls
+// back to an older retained epoch. Either way: detected, never silent.
 TEST(CampaignRunner, WriteLogTrackingHasNoUndetectedLoss) {
   CampaignSpec s = small_spec();
   s.trials = 32;
   s.seed = 0x10663bad;
   s.track_mode = vmem::TrackMode::kWriteLog;
+  s.ring_depth = 3;
   s.chunks_per_rank = 3;
   s.iterations = 10;
   s.faults = {};
   s.faults.mtbf_soft = 30.0;
   s.faults.mtbf_hard = 120.0;
   s.faults.torn_write_rate = 0.05;
+  s.faults.bit_flip_rate = 0.05;
   s.faults.outage_rate = 0.02;
   CampaignRunner runner(s);
   const CampaignResult res = runner.run();
@@ -362,6 +368,85 @@ TEST(CampaignRunner, WriteLogTrackingHasNoUndetectedLoss) {
     EXPECT_EQ(replay.outcome, t.outcome) << "trial " << t.index;
     EXPECT_EQ(replay.restored_epoch, t.restored_epoch);
   }
+}
+
+// Directed version-ring scenario: depth-4 ring, NO remote protection, and
+// every soft crash also corrupts the two newest retained epochs in place.
+// A correct recovery must therefore surface at epoch k-2 -- byte-verified
+// against the golden snapshot of that epoch -- via the restart
+// coordinator's ring-rollback walk. Loss of progress is expected and
+// detectable (kStaleEpoch); silent wrong bytes never are.
+TEST(CampaignRunner, RingRollsBackToEpochKMinus2) {
+  CampaignSpec s = small_spec();
+  s.trials = 24;
+  s.seed = 0x41965;
+  s.ring_depth = 4;
+  s.local_only = true;
+  s.corrupt_newest_epochs = 2;
+  s.iterations = 10;
+  s.faults = {};  // soft crashes only; no environmental noise
+  s.faults.mtbf_soft = 25.0;
+  s.faults.mtbf_hard = 0;
+  CampaignRunner runner(s);
+  const CampaignResult res = runner.run();
+  ASSERT_EQ(res.trials.size(), 24u);
+  EXPECT_EQ(res.count(TrialOutcome::kUndetectedLoss), 0)
+      << "ring rollback surfaced bytes matching no committed epoch";
+  // Local-only + newest-two-corrupt: nothing can come back at the latest
+  // epoch, and no buddy store exists to fetch it from.
+  EXPECT_EQ(res.count(TrialOutcome::kRecoveredLocal), 0);
+  EXPECT_EQ(res.count(TrialOutcome::kRecoveredRemote), 0);
+  int rolled_to_k2 = 0;
+  for (const TrialResult& t : res.trials) {
+    if (t.crash_seconds < 0) continue;
+    if (t.chunks_rolled_back > 0 && t.restored_epoch >= 0) {
+      EXPECT_EQ(t.outcome, TrialOutcome::kStaleEpoch) << "trial " << t.index;
+      EXPECT_EQ(t.restored_epoch,
+                static_cast<std::int64_t>(t.committed_epoch) - 2)
+          << "trial " << t.index;
+      ++rolled_to_k2;
+    }
+  }
+  EXPECT_GT(rolled_to_k2, 0)
+      << "no trial exercised the rollback walk; the campaign is vacuous";
+  // Directed corruption is deterministic: trials replay exactly.
+  for (const TrialResult& t : res.trials) {
+    const TrialResult replay = runner.run_trial(t.seed);
+    EXPECT_EQ(replay.outcome, t.outcome) << "trial " << t.index;
+    EXPECT_EQ(replay.restored_epoch, t.restored_epoch);
+    EXPECT_EQ(replay.chunks_rolled_back, t.chunks_rolled_back);
+    EXPECT_EQ(replay.rollback_epoch, t.rollback_epoch);
+  }
+}
+
+// Depth-1 control for the same directed scenario: no ring, no remote --
+// corrupting the newest epoch must be *detected* loss, never a silent
+// success and never a magic rollback (there is nothing to roll back to).
+TEST(CampaignRunner, DepthOneHasNothingToRollBackTo) {
+  CampaignSpec s = small_spec();
+  s.trials = 12;
+  s.seed = 0x41966;
+  s.ring_depth = 1;
+  s.local_only = true;
+  s.corrupt_newest_epochs = 1;
+  s.iterations = 10;
+  s.faults = {};
+  s.faults.mtbf_soft = 25.0;
+  s.faults.mtbf_hard = 0;
+  CampaignRunner runner(s);
+  const CampaignResult res = runner.run();
+  EXPECT_EQ(res.count(TrialOutcome::kUndetectedLoss), 0);
+  EXPECT_EQ(res.count(TrialOutcome::kRecoveredLocal), 0);
+  EXPECT_EQ(res.count(TrialOutcome::kStaleEpoch), 0)
+      << "depth-1 rollback is impossible; a stale success means the "
+         "two-slot scheme leaked an uncommitted version";
+  int detected = 0;
+  for (const TrialResult& t : res.trials) {
+    if (t.crash_seconds < 0) continue;
+    EXPECT_EQ(t.chunks_rolled_back, 0) << "trial " << t.index;
+    if (t.outcome == TrialOutcome::kDetectedCorruption) ++detected;
+  }
+  EXPECT_GT(detected, 0) << "no crash landed after a commit; vacuous";
 }
 
 // Acceptance: 200 mixed soft/hard trials, no undetected loss, every trial

@@ -3,9 +3,13 @@
 // interval/data estimates, and restore.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
@@ -587,6 +591,178 @@ TEST_F(ManagerTest, CopyThreadsResolvesFromEnvironmentWhenZero) {
   EXPECT_EQ(resolve_copy_threads(0), 64u);  // clamped
   ::unsetenv("NVMCP_COPY_THREADS");
   EXPECT_EQ(resolve_copy_threads(0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming restore over the version ring: restore-to-epoch, rollback on a
+// bad target, and the commit admission rule while chunks stream back in.
+
+/// A self-contained device/allocator/manager stack with a version ring.
+/// bw_scale > 0 turns the device throttle on at scaled PCM bandwidths so a
+/// restore takes a controlled, nonzero wall-clock window.
+struct RingStack {
+  std::unique_ptr<NvmDevice> dev;
+  std::unique_ptr<vmem::Container> cont;
+  std::unique_ptr<alloc::ChunkAllocator> alloc;
+  std::unique_ptr<CheckpointManager> mgr;
+
+  explicit RingStack(int ring_depth, double bw_scale = 0) {
+    NvmConfig ncfg;
+    ncfg.capacity = 64 * MiB;
+    ncfg.throttle = bw_scale > 0;
+    if (bw_scale > 0) ncfg.spec = NvmSpec::pcm().scaled(bw_scale);
+    dev = std::make_unique<NvmDevice>(ncfg);
+    cont = std::make_unique<vmem::Container>(*dev);
+    alloc::ChunkAllocator::Options aopts;
+    aopts.ring_depth = ring_depth;
+    alloc = std::make_unique<alloc::ChunkAllocator>(*cont, aopts);
+    CheckpointConfig ccfg;
+    ccfg.local_policy = PrecopyPolicy::kNone;
+    ccfg.epoch_gc_background = false;
+    mgr = std::make_unique<CheckpointManager>(*alloc, ccfg);
+  }
+};
+
+void fill_seeded(alloc::Chunk& c, std::uint64_t seed) {
+  Rng rng(seed);
+  auto* p = static_cast<std::byte*>(c.data());
+  for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    std::memcpy(p + i, &v, 8);
+  }
+}
+
+bool matches_seed(const alloc::Chunk& c, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto* p = static_cast<const std::byte*>(c.data());
+  for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    if (std::memcmp(p + i, &v, 8) != 0) return false;
+  }
+  return true;
+}
+
+TEST(StreamingRestore, RestoresAnExplicitRetainedEpochByteExact) {
+  RingStack s(4);
+  std::vector<alloc::Chunk*> chunks;
+  for (int i = 0; i < 3; ++i) {
+    chunks.push_back(
+        s.alloc->nvalloc("sr" + std::to_string(i), 256 * KiB, true));
+  }
+  for (std::uint64_t e = 1; e <= 4; ++e) {
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      fill_seeded(*chunks[i], 100 * i + e);
+    }
+    s.mgr->nvchkptall();
+  }
+  for (auto* c : chunks) fill_seeded(*c, 999);  // scribble DRAM
+
+  auto rep = s.mgr->restore_streaming(2);
+  EXPECT_EQ(rep.status, RestoreStatus::kOkStale);
+  EXPECT_EQ(rep.chunks, 3);
+  EXPECT_EQ(rep.chunks_rolled_back, 0);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_TRUE(matches_seed(*chunks[i], 100 * i + 2)) << "chunk " << i;
+  }
+
+  // Epoch 0 = newest committed version; the ring detour above must not
+  // have disturbed it.
+  rep = s.mgr->restore_streaming();
+  EXPECT_EQ(rep.status, RestoreStatus::kOk);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_TRUE(matches_seed(*chunks[i], 100 * i + 4)) << "chunk " << i;
+  }
+}
+
+TEST(StreamingRestore, WalksBackWhenTheTargetEpochFailsVerification) {
+  RingStack s(4);
+  alloc::Chunk* a = s.alloc->nvalloc("wa", 256 * KiB, true);
+  alloc::Chunk* b = s.alloc->nvalloc("wb", 256 * KiB, true);
+  for (std::uint64_t e = 1; e <= 3; ++e) {
+    fill_seeded(*a, 10 + e);
+    fill_seeded(*b, 20 + e);
+    s.mgr->nvchkptall();
+  }
+  // Flip a byte inside a's newest committed payload on the device.
+  const auto& rec = a->record();
+  s.dev->data()[rec.slot_off[rec.committed] + 100] ^= std::byte{0x40};
+
+  fill_seeded(*a, 999);
+  fill_seeded(*b, 999);
+  const auto rep = s.mgr->restore_streaming();
+  EXPECT_EQ(rep.status, RestoreStatus::kOkStale);
+  EXPECT_EQ(rep.chunks_rolled_back, 1);
+  // a fell back to its newest older epoch that still verifies; b is intact
+  // at the newest.
+  EXPECT_TRUE(matches_seed(*a, 10 + 2));
+  EXPECT_TRUE(matches_seed(*b, 20 + 3));
+}
+
+TEST(StreamingRestore, DepthOneReportsMismatchWithNothingToWalkBackTo) {
+  RingStack s(1);
+  alloc::Chunk* a = s.alloc->nvalloc("d1", 256 * KiB, true);
+  fill_seeded(*a, 1);
+  s.mgr->nvchkptall();
+  fill_seeded(*a, 2);
+  s.mgr->nvchkptall();
+  const auto& rec = a->record();
+  s.dev->data()[rec.slot_off[rec.committed] + 100] ^= std::byte{0x40};
+  const auto rep = s.mgr->restore_streaming();
+  EXPECT_EQ(rep.status, RestoreStatus::kChecksumMismatch);
+  EXPECT_EQ(rep.chunks_rolled_back, 0);
+}
+
+// The admission rule: while a streaming restore is in flight, nvchkptall
+// defers chunks whose payload has not arrived yet instead of committing
+// garbage, and counts every deferral. The throttled device pins the
+// restore window open long enough for concurrent checkpoint rounds to
+// observe pending chunks deterministically.
+TEST(StreamingRestore, CommitsAreDeferredWhileChunksStillStreamIn) {
+  RingStack s(2, /*bw_scale=*/0.005);  // read ~40 MB/s: 2 MiB ~= 50 ms
+  std::vector<alloc::Chunk*> chunks;
+  for (int i = 0; i < 8; ++i) {
+    chunks.push_back(
+        s.alloc->nvalloc("cd" + std::to_string(i), 256 * KiB, true));
+  }
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    fill_seeded(*chunks[i], 300 + i);
+  }
+  s.mgr->nvchkptall();
+  for (auto* c : chunks) fill_seeded(*c, 999);
+
+  CheckpointManager::StreamingRestoreReport rep;
+  std::atomic<bool> done{false};
+  std::thread restorer([&] {
+    rep = s.mgr->restore_streaming();
+    done.store(true, std::memory_order_release);
+  });
+  // The application keeps taking coordinated checkpoints throughout the
+  // restore; rounds that meet a still-pending chunk must defer it.
+  while (!done.load(std::memory_order_acquire)) {
+    s.mgr->nvchkptall();
+  }
+  restorer.join();
+
+  EXPECT_EQ(rep.status, RestoreStatus::kOk);
+  EXPECT_EQ(rep.chunks, 8);
+  EXPECT_GT(rep.commits_deferred, 0u);
+  EXPECT_EQ(s.mgr->metrics().counter("ckpt.chunks_deferred_restoring")
+                .value(),
+            rep.commits_deferred);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_TRUE(matches_seed(*chunks[i], 300 + i)) << "chunk " << i;
+  }
+
+  // Once the restore drains, every chunk is admitted again: a fresh write
+  // + checkpoint + restore round-trips through the normal path.
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    fill_seeded(*chunks[i], 400 + i);
+  }
+  s.mgr->nvchkptall();
+  EXPECT_EQ(s.mgr->restore_all(), RestoreStatus::kOk);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_TRUE(matches_seed(*chunks[i], 400 + i)) << "chunk " << i;
+  }
 }
 
 }  // namespace

@@ -4,10 +4,12 @@
 // fault-counter dance and the two-version commit protocol exist for.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
@@ -224,6 +226,109 @@ TEST(Stress, LongEpochChainFileBacked) {
     }
   }
   fs::remove(path);
+}
+
+/// Version-ring GC racing continuous commit churn: a dedicated thread runs
+/// saturated GC passes (watermark near zero, so every pass reclaims down
+/// to the floor) while the main thread commits round after round.
+/// Invariants under the race: the retention floor is never violated, the
+/// newest committed version always verifies byte-exact, and a pinned
+/// restore source survives any amount of saturation until unpinned.
+TEST(Stress, RingGcVsCommitChurn) {
+  NvmConfig cfg;
+  // Sized so steady-state ring occupancy (~3 MiB of slots) stays above
+  // the minimum watermark: every GC pass runs saturated.
+  cfg.capacity = 32 * MiB;
+  cfg.throttle = false;
+  NvmDevice dev(cfg);
+  vmem::Container container(dev);
+  alloc::ChunkAllocator::Options aopts;
+  aopts.ring_depth = 6;
+  alloc::ChunkAllocator allocator(container, aopts);
+
+  core::CheckpointConfig ccfg;
+  ccfg.local_policy = core::PrecopyPolicy::kNone;
+  ccfg.epoch_gc_background = false;  // we drive (and race) the GC ourselves
+  ccfg.epoch_gc_watermark = 0.05;    // the clamp floor: always saturated
+  ccfg.epoch_gc_floor = 2;
+  core::CheckpointManager mgr(allocator, ccfg);
+  ASSERT_NE(mgr.epoch_gc(), nullptr);
+
+  constexpr int kChunks = 6;
+  constexpr std::size_t kBytes = 192 * KiB;
+  std::vector<alloc::Chunk*> chunks;
+  for (int i = 0; i < kChunks; ++i) {
+    chunks.push_back(allocator.nvalloc("gc_churn_" + std::to_string(i),
+                                       kBytes, true));
+  }
+  const auto seed = [](int chunk, std::uint64_t round) {
+    return 0x9e3779b9ull * (round * kChunks + chunk + 1);
+  };
+  const auto refill = [&](alloc::Chunk& c, std::uint64_t s) {
+    Rng rng(s);
+    auto* p = static_cast<std::uint64_t*>(c.data());
+    for (std::size_t w = 0; w < c.size() / 8; ++w) p[w] = rng.next_u64();
+  };
+  const auto matches = [&](const void* data, std::uint64_t s) {
+    Rng rng(s);
+    const auto* p = static_cast<const std::uint64_t*>(data);
+    for (std::size_t w = 0; w < kBytes / 8; ++w) {
+      if (p[w] != rng.next_u64()) return false;
+    }
+    return true;
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread gc([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      mgr.epoch_gc()->run_pass();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::byte> scratch(kBytes);
+  constexpr std::uint64_t kPinEpoch = 12;
+  constexpr std::uint64_t kRounds = 36;
+  for (std::uint64_t round = 1; round <= kRounds; ++round) {
+    for (int i = 0; i < kChunks; ++i) refill(*chunks[i], seed(i, round));
+    mgr.nvchkptall();
+    if (round == kPinEpoch) allocator.pin_epoch(*chunks[0], kPinEpoch);
+    for (int i = 0; i < kChunks; ++i) {
+      // Newest committed version stays byte-exact under reclamation (the
+      // GC must never touch the newest slot).
+      ASSERT_TRUE(allocator.read_committed(*chunks[i], scratch.data()))
+          << "chunk " << i << " round " << round;
+      ASSERT_TRUE(matches(scratch.data(), seed(i, round)))
+          << "chunk " << i << " round " << round;
+      // Retention floor: even fully saturated, each chunk keeps at least
+      // the floor's worth of committed epochs, newest first.
+      const auto epochs = allocator.retained_epochs(*chunks[i]);
+      ASSERT_FALSE(epochs.empty());
+      EXPECT_EQ(epochs.front(), round);
+      EXPECT_GE(epochs.size(), std::min<std::size_t>(round, 2));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  gc.join();
+
+  // The pinned epoch outlived 24 saturated rounds past its commit and
+  // still restores byte-exact.
+  EXPECT_EQ(allocator.restore_chunk_epoch(*chunks[0], kPinEpoch),
+            RestoreStatus::kOkStale);
+  EXPECT_TRUE(matches(chunks[0]->data(), seed(0, kPinEpoch)));
+  allocator.unpin_epoch(*chunks[0], kPinEpoch);
+
+  // Unpinned, epoch 12 is still within the count-based floor (the churn
+  // trimmed chunk 0 to exactly {newest, 12}); one more commit pushes the
+  // chunk above the floor and the next saturated pass reclaims it as the
+  // globally-oldest slot.
+  for (int i = 0; i < kChunks; ++i) refill(*chunks[i], seed(i, kRounds + 1));
+  mgr.nvchkptall();
+  mgr.epoch_gc()->run_pass();
+  const auto epochs = allocator.retained_epochs(*chunks[0]);
+  EXPECT_TRUE(std::find(epochs.begin(), epochs.end(), kPinEpoch) ==
+              epochs.end());
+  EXPECT_GT(mgr.metrics().counter("epoch.gc.slots_reclaimed").value(), 0u);
 }
 
 }  // namespace

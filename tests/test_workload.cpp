@@ -119,10 +119,64 @@ TEST(Workload, RedisIsSmallRandomWriteDominated) {
   EXPECT_EQ(s.total_ckpt_bytes(), 112 * MiB);
 }
 
+// Graph500 BFS: static CSR graph plus frontier-burst search state whose
+// per-iteration dirty fraction swings by orders of magnitude -- the
+// bimodal commit-size shape the version-ring GC is stressed with.
+TEST(Workload, Graph500IsFrontierBurstShaped) {
+  const WorkloadSpec s = WorkloadSpec::graph500();
+  EXPECT_EQ(s.name, "Graph500-BFS");
+  EXPECT_EQ(s.chunks.size(), 11u);
+  std::size_t init_only_bytes = 0, frontier_bytes = 0;
+  int frontier = 0;
+  std::set<std::string> names;
+  for (const auto& c : s.chunks) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate " << c.name;
+    if (c.pattern == ModPattern::kInitOnly) init_only_bytes += c.bytes;
+    if (c.pattern == ModPattern::kFrontierBurst) {
+      ++frontier;
+      frontier_bytes += c.bytes;
+      EXPECT_GE(c.burst_levels, 4) << c.name;
+    }
+  }
+  // The static graph dominates the volume (pre-copy's best case) and the
+  // search state is a substantial frontier-driven remainder.
+  EXPECT_EQ(frontier, 3);
+  EXPECT_GT(init_only_bytes, 200 * MiB);
+  EXPECT_GT(frontier_bytes, 100 * MiB);
+}
+
+// The frontier profile itself: tiny at the root, peaking mid-search at
+// the full array, collapsing after, and periodic across search cycles.
+TEST(Workload, FrontierFractionProfile) {
+  const int levels = 8;
+  double peak = 0, root = 1;
+  int peak_level = -1;
+  for (int l = 0; l < levels; ++l) {
+    const double f = frontier_fraction(l, levels);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    if (f > peak) {
+      peak = f;
+      peak_level = l;
+    }
+    if (l == 0) root = f;
+  }
+  // Mid-search peak at least 8x the root level's fraction.
+  EXPECT_GE(peak_level, levels / 2 - 1);
+  EXPECT_LE(peak_level, levels / 2 + 1);
+  EXPECT_GE(peak / root, 8.0);
+  // A new search root restarts the cycle.
+  for (int l = 0; l < levels; ++l) {
+    EXPECT_DOUBLE_EQ(frontier_fraction(l, levels),
+                     frontier_fraction(l + levels, levels));
+  }
+}
+
 TEST(Workload, SaneIterationParameters) {
   for (const WorkloadSpec& s : {WorkloadSpec::gtc(),
                                 WorkloadSpec::lammps_rhodo(),
-                                WorkloadSpec::cm1()}) {
+                                WorkloadSpec::cm1(),
+                                WorkloadSpec::graph500()}) {
     EXPECT_GT(s.compute_per_iter, 0.0);
     EXPECT_GT(s.iters_per_checkpoint, 0);
     EXPECT_GT(s.comm_bytes_per_iter, 0u);

@@ -1,0 +1,329 @@
+// Multi-tenant checkpoint arena: QoS isolation, quota enforcement and
+// cross-tenant crash containment on one shared NVM device.
+//
+// The tenant arena partitions a device-global bandwidth cap by priority +
+// weighted fair share (work-conserving), meters every tenant's version-
+// slot footprint against its capacity quota, and bounds concurrently
+// running coordinated rounds with an admission controller. This bench
+// measures what those mechanisms buy: a latency-sensitive tenant's commit
+// throughput with and without a saturating bulk neighbour, quota
+// adherence under ring pressure, and the A-crashes/B-commits/C-restores
+// chaos trial.
+//
+// Output: console table + bench_multitenant.csv + a RunReport JSON.
+//
+// --smoke: CI gates.
+//   1. qos:    with a saturating low-priority bulk tenant co-resident,
+//              the high-priority tenant keeps >= 70% of its solo commit
+//              throughput (the scheduler's 16:1 share should land ~94%).
+//   2. quota:  no tenant's charged footprint ever exceeds its limit, and
+//              a depth-1 allocation pushing past the quota throws.
+//   3. chaos:  tenant A hard-crashes mid-commit while B commits and C
+//              streams a restore; B and C byte-verify, A recovers via the
+//              restart walk with no undetected loss.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/fleet.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "fault/campaign.hpp"
+#include "local_experiment.hpp"
+#include "telemetry/telemetry.hpp"
+#include "tenant/arena.hpp"
+
+namespace nvmcp::bench {
+namespace {
+
+constexpr int kChunks = 8;
+constexpr std::size_t kChunkBytes = 2 * MiB;
+constexpr double kSchedBw = 600.0 * MiB;
+constexpr int kRingDepth = 2;
+
+void refill(alloc::Chunk& c, std::uint64_t seed) {
+  Rng rng(seed);
+  auto* p = static_cast<std::byte*>(c.data());
+  for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    std::memcpy(p + i, &v, 8);
+  }
+  c.notify_write();
+}
+
+struct TenantCtx {
+  tenant::TenantHandle* h = nullptr;
+  std::vector<alloc::Chunk*> chunks;
+};
+
+TenantCtx make_tenant(tenant::TenantArena& arena, const std::string& name,
+                      int priority, std::size_t quota_bytes) {
+  tenant::TenantSpec ts;
+  ts.name = name;
+  ts.priority = priority;
+  ts.quota_bytes = quota_bytes;
+  ts.track_mode = vmem::TrackMode::kSoftware;
+  ts.ckpt.local_policy = core::PrecopyPolicy::kNone;
+  TenantCtx ctx;
+  ctx.h = &arena.create_tenant(ts);
+  for (int i = 0; i < kChunks; ++i) {
+    ctx.chunks.push_back(ctx.h->nvalloc("buf" + std::to_string(i),
+                                        kChunkBytes, /*persistent=*/true));
+  }
+  return ctx;
+}
+
+/// `rounds` rounds of (refill, QoS-managed checkpoint); returns committed
+/// bytes per second of blocking time. Rejected rounds count as failures
+/// via *admitted_out.
+double run_rounds(TenantCtx& t, int rounds, std::uint64_t salt,
+                  int* admitted_out) {
+  double blocking = 0;
+  int admitted = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < kChunks; ++i) {
+      refill(*t.chunks[static_cast<std::size_t>(i)],
+             salt + static_cast<std::uint64_t>(r) * kChunks +
+                 static_cast<std::uint64_t>(i));
+    }
+    const tenant::TenantHandle::CommitResult res = t.h->checkpoint();
+    if (res.admitted) {
+      ++admitted;
+      blocking += res.blocking;
+    }
+  }
+  *admitted_out = admitted;
+  if (blocking <= 0) return 0;
+  return static_cast<double>(admitted) * kChunks * kChunkBytes / blocking;
+}
+
+/// Gate 2b (depth-1 arena): the upfront two-slot charge must throw when
+/// an allocation pushes a tenant past its quota -- and leave the
+/// neighbour tenant untouched.
+bool check_quota_throw(std::string* detail) {
+  tenant::TenantArena::Options aopts;
+  aopts.device.capacity = 64 * MiB;
+  aopts.device.throttle = false;
+  aopts.ring_depth = 1;
+  aopts.scheduler_bw = 0;
+  tenant::TenantArena arena(aopts);
+
+  tenant::TenantSpec ts;
+  ts.name = "capped";
+  ts.quota_bytes = 3 * 2 * (1 * MiB);  // room for exactly three 1 MiB chunks
+  ts.track_mode = vmem::TrackMode::kSoftware;
+  ts.ckpt.local_policy = core::PrecopyPolicy::kNone;
+  tenant::TenantHandle& capped = arena.create_tenant(ts);
+
+  tenant::TenantSpec tn = ts;
+  tn.name = "neighbour";
+  tn.quota_bytes = 0;
+  tenant::TenantHandle& neighbour = arena.create_tenant(tn);
+
+  for (int i = 0; i < 3; ++i) {
+    capped.nvalloc("ok" + std::to_string(i), 1 * MiB, true);
+  }
+  bool threw = false;
+  try {
+    capped.nvalloc("overflow", 1 * MiB, true);
+  } catch (const NvmcpError&) {
+    threw = true;
+  }
+  if (!threw) {
+    *detail = "over-quota nvalloc did not throw";
+    return false;
+  }
+  // The neighbour's unmetered allocation must be unaffected by the
+  // capped tenant's exhaustion.
+  alloc::Chunk* c = neighbour.nvalloc("big", 4 * MiB, true);
+  if (c == nullptr || capped.quota().used() > capped.quota().limit()) {
+    *detail = "neighbour allocation failed or quota overshot";
+    return false;
+  }
+  return true;
+}
+
+int run(bool smoke) {
+  telemetry::init_from_env();
+  telemetry::RunReport report("bench_multitenant");
+  report.config()["smoke"] = smoke;
+
+  const std::string csv = smoke ? std::string{} : "bench_multitenant.csv";
+  TableWriter table(
+      "Multi-tenant arena: high-priority commit throughput vs bulk "
+      "co-residency\n   (QoS scheduler share 16:1, admission budget 2)",
+      {"phase", "throughput", "granted bw", "quota peak/limit"}, csv);
+
+  // One arena for the QoS + quota-adherence phases: ring mode, both
+  // tenants metered. Quota sized for the ring footprint (depth+1 slots)
+  // with headroom so steady-state commits self-evict instead of throwing.
+  const std::size_t payload = kChunks * kChunkBytes;
+  const std::size_t quota = payload * (kRingDepth + 2);
+  tenant::TenantArena::Options aopts;
+  aopts.device.capacity =
+      round_up(2 * quota + 32 * MiB, kNvmPageSize);
+  aopts.device.throttle = false;
+  aopts.ring_depth = kRingDepth;
+  aopts.max_inflight = 2;
+  aopts.scheduler_bw = kSchedBw;
+  tenant::TenantArena arena(aopts);
+
+  TenantCtx high = make_tenant(arena, "latency", /*priority=*/2, quota);
+
+  const int rounds = smoke ? 10 : 24;
+  int solo_admitted = 0;
+  const double solo = run_rounds(high, rounds, 1, &solo_admitted);
+  table.row({"latency solo", TableWriter::num(solo / MiB) + " MiB/s",
+             TableWriter::num(high.h->granted_bw() / MiB) + " MiB/s",
+             TableWriter::num(static_cast<double>(high.h->quota().peak()) /
+                              MiB) +
+                 "/" + TableWriter::num(static_cast<double>(quota) / MiB) +
+                 " MiB"});
+
+  // Saturating bulk neighbour: refill+commit as fast as admission lets it.
+  TenantCtx bulk = make_tenant(arena, "bulk", /*priority=*/0, quota);
+  std::atomic<bool> stop{false};
+  std::atomic<int> bulk_commits{0};
+  std::thread bulk_thr([&] {
+    std::uint64_t salt = 0x8000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (auto* c : bulk.chunks) refill(*c, salt++);
+      if (bulk.h->checkpoint().admitted) {
+        bulk_commits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Let the bulk tenant actually saturate before measuring.
+  while (bulk_commits.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  int co_admitted = 0;
+  const double co = run_rounds(high, rounds, 50'000, &co_admitted);
+  stop.store(true);
+  bulk_thr.join();
+  arena.refresh_metrics();
+
+  table.row({"latency + bulk", TableWriter::num(co / MiB) + " MiB/s",
+             TableWriter::num(high.h->granted_bw() / MiB) + " MiB/s",
+             TableWriter::num(static_cast<double>(high.h->quota().peak()) /
+                              MiB) +
+                 "/" + TableWriter::num(static_cast<double>(quota) / MiB) +
+                 " MiB"});
+  table.row({"bulk (background)",
+             std::to_string(bulk_commits.load()) + " commits",
+             TableWriter::num(bulk.h->granted_bw() / MiB) + " MiB/s",
+             TableWriter::num(static_cast<double>(bulk.h->quota().peak()) /
+                              MiB) +
+                 "/" + TableWriter::num(static_cast<double>(quota) / MiB) +
+                 " MiB"});
+  table.print();
+
+  const double ratio = solo > 0 ? co / solo : 0;
+  const bool qos_ok =
+      ratio >= 0.7 && solo_admitted == rounds && co_admitted == rounds;
+  std::printf(
+      "  qos gate: co-resident throughput %.2fx of solo (need >= 0.70) "
+      "%s\n",
+      ratio, qos_ok ? "OK" : "FAIL");
+  Json& qos = report.section("qos_gate");
+  qos["solo_bytes_per_sec"] = solo;
+  qos["coresident_bytes_per_sec"] = co;
+  qos["ratio"] = ratio;
+  qos["bulk_commits"] = static_cast<std::uint64_t>(bulk_commits.load());
+
+  // Gate 2: quota adherence. peak <= limit must hold for every tenant
+  // (ring pressure resolves by self-eviction, never overshoot), and the
+  // directed depth-1 over-quota allocation must throw.
+  const bool adhered =
+      high.h->quota().peak() <= high.h->quota().limit() &&
+      bulk.h->quota().peak() <= bulk.h->quota().limit() &&
+      high.h->quota().used() > 0;
+  std::string qdetail;
+  const bool quota_throw_ok = check_quota_throw(&qdetail);
+  const bool quota_ok = adhered && quota_throw_ok;
+  std::printf("  quota gate: peak<=limit %s, over-quota throw %s%s\n",
+              adhered ? "OK" : "FAIL", quota_throw_ok ? "OK" : "FAIL",
+              quota_throw_ok ? "" : (" (" + qdetail + ")").c_str());
+  Json& qg = report.section("quota_gate");
+  qg["adhered"] = adhered;
+  qg["throw_ok"] = quota_throw_ok;
+  qg["high_peak"] = static_cast<std::uint64_t>(high.h->quota().peak());
+  qg["bulk_peak"] = static_cast<std::uint64_t>(bulk.h->quota().peak());
+
+  // Gate 3: cross-tenant chaos (A crashes mid-commit, B commits, C
+  // streams a restore -- all on one shared arena).
+  fault::CrossTenantSpec cspec;
+  cspec.seed = 0xfee1;
+  cspec.ring_depth = 4;
+  const fault::CrossTenantResult chaos =
+      fault::CampaignRunner::run_cross_tenant(cspec);
+  std::printf(
+      "  chaos gate: B=%d mism, C=%d mism, A latest/stale/lost=%d/%d/%d "
+      "%s%s\n",
+      chaos.b_mismatches, chaos.c_mismatches, chaos.a_restored_latest,
+      chaos.a_restored_stale, chaos.a_failed, chaos.ok ? "OK" : "FAIL: ",
+      chaos.ok ? "" : chaos.detail.c_str());
+  Json& cg = report.section("chaos_gate");
+  cg["ok"] = chaos.ok;
+  cg["detail"] = chaos.detail;
+  cg["a_restored_latest"] = chaos.a_restored_latest;
+  cg["a_restored_stale"] = chaos.a_restored_stale;
+
+  // Non-smoke: the consolidated-node reference fleet (redis + graph500 +
+  // GTC), each on its own checkpoint cadence through the shared arena.
+  if (!smoke) {
+    apps::FleetConfig fcfg = apps::FleetConfig::standard_fleet();
+    fcfg.size_scale = 1.0 / 64;
+    fcfg.time_scale = 1.0 / 256;
+    for (auto& t : fcfg.tenants) t.iterations = 8;
+    const apps::FleetResult fr = apps::run_fleet(fcfg);
+    std::printf("\n== standard fleet (redis + graph500 + gtc, one arena) "
+                "==\n");
+    Json& fleet = report.section("fleet");
+    for (const apps::FleetTenantResult& t : fr.tenants) {
+      std::printf(
+          "  %-10s commits %3llu (rej %llu)  blocking %7.2f ms  wait "
+          "%6.2f ms  grant %6.1f MiB/s\n",
+          t.name.c_str(), static_cast<unsigned long long>(t.commits),
+          static_cast<unsigned long long>(t.rejected),
+          t.blocking_sum * 1e3, t.admission_wait_sum * 1e3,
+          t.granted_bw_last / MiB);
+      Json row;
+      row["name"] = t.name;
+      row["commits"] = t.commits;
+      row["rejected"] = t.rejected;
+      row["blocking_seconds"] = t.blocking_sum;
+      row["admission_wait_seconds"] = t.admission_wait_sum;
+      row["granted_bw"] = t.granted_bw_last;
+      fleet.push_back(std::move(row));
+    }
+    report.add_metrics(*fr.metrics);
+  }
+
+  if (!csv.empty()) {
+    const std::string path = report_path_for(csv);
+    if (report.write(path)) {
+      std::printf("  run report: %s\n", path.c_str());
+    }
+  }
+  telemetry::flush_trace();
+  const bool ok = qos_ok && quota_ok && chaos.ok;
+  std::printf("bench_multitenant: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nvmcp::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return nvmcp::bench::run(smoke);
+}

@@ -52,17 +52,31 @@ ChunkAllocator::ChunkAllocator(vmem::Container& container, Options opts)
       log_merge_gap_(resolve_merge_gap(opts.dirty_log_merge_gap)),
       log_max_coverage_(resolve_max_coverage(opts.dirty_log_max_coverage)),
       ring_depth_(epoch::resolve_ring_depth(opts.ring_depth)) {
-  // Depth 1 is the paper's two-slot scheme: no directory, no ring
-  // records, zero extra NVM traffic -- byte-for-byte the legacy layout.
-  if (ring_depth_ > 1) {
-    dir_ = std::make_unique<epoch::EpochDirectory>(
+  if (opts_.shared_dir) {
+    // Arena mode: the directory (and its depth) belongs to the arena; all
+    // tenants share the container's single epoch region.
+    dir_ = opts_.shared_dir;
+    ring_depth_ = dir_->ring_depth();
+  } else if (ring_depth_ > 1) {
+    // Depth 1 is the paper's two-slot scheme: no directory, no ring
+    // records, zero extra NVM traffic -- byte-for-byte the legacy layout.
+    owned_dir_ = std::make_unique<epoch::EpochDirectory>(
         container, epoch::EpochDirectory::Options{ring_depth_});
+    dir_ = owned_dir_.get();
   }
 }
 
 ChunkAllocator::~ChunkAllocator() {
   std::unique_lock lock(mu_);
   for (auto& c : chunks_) {
+    // Legacy two-slot regions are claimed per allocator lifetime: credit
+    // the quota so a reattached tenant handle re-charges them cleanly.
+    // Ring footprints stay charged — the ring (and its quota pointer)
+    // outlives this handle inside the shared directory.
+    if (opts_.quota && !c->ring_ && c->record_) {
+      if (c->record_->slot_off[0]) opts_.quota->credit(c->record_->size);
+      if (c->record_->slot_off[1]) opts_.quota->credit(c->record_->size);
+    }
     release_chunk_locked(*c, /*free_regions=*/false);
   }
   chunks_.clear();
@@ -125,6 +139,11 @@ Chunk* ChunkAllocator::alloc_common(std::uint64_t id, std::size_t size,
     rec->committed = vmem::ChunkRecord::kNoneCommitted;
     rec->size = 0;
   }
+  // Depth-1 chunks claim both version slots for the life of this handle;
+  // the quota is charged up front (enforcement at acquisition), whether
+  // the regions are carved fresh below or re-claimed from a reattach.
+  // Ring-mode footprints are charged by the ring itself as slots allocate.
+  if (!dir_ && opts_.quota) opts_.quota->charge(2 * size);
   if (rec->size == 0) {
     rec->size = size;
     if (dir_) {
@@ -181,7 +200,7 @@ Chunk* ChunkAllocator::alloc_common(std::uint64_t id, std::size_t size,
   c.prot_handle_ = vmem::ProtectionManager::instance().register_range(
       c.dram_, track_len, &c.tracker_, c.mode_);
   if (dir_) {
-    c.ring_ = dir_->ensure_ring(id, size);
+    c.ring_ = dir_->ensure_ring(id, size, opts_.quota);
     if (rec->has_committed()) {
       // A committed version from a two-slot session is adopted into the
       // ring so it stays addressable (no-op for ring-native records).
@@ -272,7 +291,7 @@ Chunk* ChunkAllocator::nvrealloc(std::uint64_t id, std::size_t new_size) {
     rec.slot_off[1] = 0;
     rec.size = new_size;
     rec.committed = vmem::ChunkRecord::kNoneCommitted;
-    c->ring_ = dir_->ensure_ring(id, new_size);
+    c->ring_ = dir_->ensure_ring(id, new_size, opts_.quota);
     c->ring_slot_ = Chunk::kNoRingSlot;
     c->ring_slot_off_ = 0;
     if (had_committed) {
@@ -289,7 +308,10 @@ Chunk* ChunkAllocator::nvrealloc(std::uint64_t id, std::size_t new_size) {
     }
     container_->metadata().persist_record(rec);
   } else {
-    // New version slots; preserve the committed payload prefix.
+    // New version slots; preserve the committed payload prefix. The quota
+    // is charged for the new pair before the old pair is credited, so the
+    // transient double-hold is enforced too (it is real device usage).
+    if (opts_.quota) opts_.quota->charge(2 * new_size);
     const std::size_t new_slots[2] = {container_->alloc_region(new_size),
                                       container_->alloc_region(new_size)};
     std::uint32_t new_committed = vmem::ChunkRecord::kNoneCommitted;
@@ -308,6 +330,7 @@ Chunk* ChunkAllocator::nvrealloc(std::uint64_t id, std::size_t new_size) {
     }
     container_->free_region(rec.slot_off[0], rec.size);
     container_->free_region(rec.slot_off[1], rec.size);
+    if (opts_.quota) opts_.quota->credit(2 * rec.size);
     rec.slot_off[0] = new_slots[0];
     rec.slot_off[1] = new_slots[1];
     rec.size = new_size;
@@ -366,9 +389,11 @@ void ChunkAllocator::release_chunk_locked(Chunk& c, bool free_regions) {
     } else {
       if (c.record_->slot_off[0]) {
         container_->free_region(c.record_->slot_off[0], c.record_->size);
+        if (opts_.quota) opts_.quota->credit(c.record_->size);
       }
       if (c.record_->slot_off[1]) {
         container_->free_region(c.record_->slot_off[1], c.record_->size);
+        if (opts_.quota) opts_.quota->credit(c.record_->size);
       }
     }
   }

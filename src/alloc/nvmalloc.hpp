@@ -66,6 +66,15 @@ class ChunkAllocator {
     /// depth N > 1 keeps the last N epochs in a per-chunk version ring
     /// addressable through the epoch directory.
     int ring_depth = 0;
+    /// Multi-tenant arena mode: use this epoch directory (owned by the
+    /// arena, shared by every tenant — a container has exactly one epoch
+    /// region) instead of creating one. Overrides ring_depth with the
+    /// directory's depth.
+    epoch::EpochDirectory* shared_dir = nullptr;
+    /// Per-tenant NVM capacity quota charged for every version-slot
+    /// region this allocator (and its rings) holds; enforced at
+    /// acquisition. nullptr = unmetered (single-tenant default).
+    vmem::CapacityQuota* quota = nullptr;
   };
 
   explicit ChunkAllocator(vmem::Container& container);
@@ -166,8 +175,13 @@ class ChunkAllocator {
   // --- version ring (ring_depth > 1) -----------------------------------
   /// The epoch directory, or nullptr when ring_depth == 1 (legacy
   /// two-slot mode runs with zero ring overhead).
-  epoch::EpochDirectory* epoch_directory() { return dir_.get(); }
+  epoch::EpochDirectory* epoch_directory() { return dir_; }
+  /// False when the directory is arena-owned (Options::shared_dir): the
+  /// arena then owns GC policy too, so per-tenant managers must not spin
+  /// up their own device-wide GC threads.
+  bool owns_directory() const { return owned_dir_ != nullptr; }
   std::uint32_t ring_depth() const { return ring_depth_; }
+  vmem::CapacityQuota* quota() const { return opts_.quota; }
 
   /// Restore a specific retained epoch into DRAM (0 = newest committed).
   /// The source slot is pinned against GC/reuse for the duration of the
@@ -214,7 +228,8 @@ class ChunkAllocator {
   std::uint64_t log_merge_gap_ = 512;
   double log_max_coverage_ = 0.5;
   std::uint32_t ring_depth_ = 1;
-  std::unique_ptr<epoch::EpochDirectory> dir_;
+  std::unique_ptr<epoch::EpochDirectory> owned_dir_;
+  epoch::EpochDirectory* dir_ = nullptr;  // owned_dir_ or Options::shared_dir
 
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Chunk>> chunks_;

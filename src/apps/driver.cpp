@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "apps/workload_exec.hpp"
 #include "common/clock.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -15,135 +16,12 @@
 namespace nvmcp::apps {
 namespace {
 
-/// One modification event inside a compute phase.
-struct Touch {
-  double frac;  // position within the phase, (0, 1]
-  alloc::Chunk* chunk;
-  const ChunkSpec* spec;
-};
-
-/// Scaled chunk size (>= 1 page so protection still works).
-std::size_t scaled_bytes(std::size_t nominal, double scale) {
-  return std::max<std::size_t>(
-      kNvmPageSize,
-      round_up(static_cast<std::size_t>(
-                   static_cast<double>(nominal) * scale),
-               64));
-}
-
-/// Touch a chunk: write rng values at a 256-byte stride across the whole
-/// buffer (every page modified, contents actually change, cost stays low).
-void touch_chunk(alloc::Chunk& c, Rng& rng) {
-  auto* p = static_cast<std::byte*>(c.data());
-  const std::size_t n = c.size();
-  for (std::size_t off = 0; off + 8 <= n; off += 256) {
-    const std::uint64_t v = rng.next_u64();
-    std::memcpy(p + off, &v, 8);
-  }
-  if (n >= 8) {
-    const std::uint64_t v = rng.next_u64();
-    std::memcpy(p + n - 8, &v, 8);
-  }
-}
-
-/// One small random store (KV write shape): pick an 8-aligned offset --
-/// uniform, or inside the hot span (first ~10% of the payload) with
-/// probability hot_fraction -- and overwrite write_bytes there. In
-/// write-log mode the caller logs the range AFTER this store returns.
-std::size_t touch_small_random(alloc::Chunk& c, const ChunkSpec& spec,
-                               Rng& rng, std::size_t* out_len) {
-  const std::size_t n = c.size();
-  const std::size_t wb =
-      std::min<std::size_t>(std::max<std::size_t>(spec.write_bytes, 8), n);
-  std::size_t span = n;
-  if (spec.hot_fraction > 0 &&
-      rng.next_double() < spec.hot_fraction) {
-    span = std::max<std::size_t>(wb, n / 10);
-  }
-  const std::size_t off =
-      span > wb ? rng.next_below(span - wb) & ~static_cast<std::size_t>(7) : 0;
-  auto* p = static_cast<std::byte*>(c.data()) + off;
-  for (std::size_t i = 0; i + 8 <= wb; i += 8) {
-    const std::uint64_t v = rng.next_u64();
-    std::memcpy(p + i, &v, 8);
-  }
-  *out_len = wb;
-  return off;
-}
-
-/// Frontier-burst write (Graph500 BFS shape): dirty a contiguous span
-/// covering frontier_fraction(iter) of the chunk, rotated by level so
-/// successive levels touch different regions (newly discovered vertices).
-/// Strided stores keep the cost low while dirtying every page of the span.
-std::size_t touch_frontier(alloc::Chunk& c, const ChunkSpec& spec, int iter,
-                           Rng& rng, std::size_t* out_len) {
-  const std::size_t n = c.size();
-  const double frac = frontier_fraction(iter, spec.burst_levels);
-  std::size_t span = static_cast<std::size_t>(
-      static_cast<double>(n) * frac);
-  span = std::min(n, std::max<std::size_t>(64, round_up(span, 64)));
-  const int level = iter % std::max(2, spec.burst_levels);
-  std::size_t off = 0;
-  if (n > span) {
-    off = (static_cast<std::size_t>(level) * span) % (n - span);
-    off &= ~static_cast<std::size_t>(7);
-  }
-  auto* p = static_cast<std::byte*>(c.data()) + off;
-  for (std::size_t i = 0; i + 8 <= span; i += 256) {
-    const std::uint64_t v = rng.next_u64();
-    std::memcpy(p + i, &v, 8);
-  }
-  *out_len = span;
-  return off;
-}
-
-bool chunk_active(const ChunkSpec& spec, int iter) {
-  switch (spec.pattern) {
-    case ModPattern::kInitOnly:
-      return iter == 0;
-    case ModPattern::kEveryIteration:
-    case ModPattern::kHotUntilEnd:
-    case ModPattern::kSmallRandom:
-    case ModPattern::kFrontierBurst:
-      return true;
-    case ModPattern::kPeriodic:
-      return iter % std::max(1, spec.period) == 0;
-  }
-  return false;
-}
-
-/// Modification points within the phase for one chunk this iteration.
-void append_touches(std::vector<Touch>& out, const ChunkSpec& spec,
-                    alloc::Chunk* chunk, int iter) {
-  if (!chunk_active(spec, iter)) return;
-  const int mods = std::max(1, spec.pattern == ModPattern::kSmallRandom
-                                   ? spec.writes_per_iter
-                                   : spec.mods_per_iter);
-  for (int m = 0; m < mods; ++m) {
-    double frac;
-    if (spec.pattern == ModPattern::kHotUntilEnd) {
-      // Spread through the whole phase, last touch near the very end --
-      // this is what defeats plain pre-copy (the chunk re-dirties after
-      // every background copy).
-      frac = 0.2 + 0.78 * (static_cast<double>(m) + 1.0) /
-                       static_cast<double>(mods);
-    } else if (spec.pattern == ModPattern::kSmallRandom) {
-      // KV stores arrive all through the phase, no structure to exploit.
-      frac = 0.9 * (static_cast<double>(m) + 1.0) /
-             static_cast<double>(mods);
-    } else if (spec.pattern == ModPattern::kFrontierBurst) {
-      // BFS levels cluster mid-phase: the frontier expansion is one burst
-      // of stores, not writes spread across the whole iteration.
-      frac = 0.3 + 0.3 * (static_cast<double>(m) + 1.0) /
-                       static_cast<double>(mods);
-    } else {
-      // Early in the phase, leaving the tail for pre-copy to exploit.
-      frac = 0.05 + 0.45 * (static_cast<double>(m) + 1.0) /
-                        static_cast<double>(mods);
-    }
-    out.push_back(Touch{std::min(frac, 0.99), chunk, &spec});
-  }
-}
+// The touch machinery (scaled sizes, per-pattern stores, phase schedules)
+// lives in workload_exec.{hpp,cpp}, shared with the fleet driver.
+using detail::Touch;
+using detail::append_touches;
+using detail::apply_touch;
+using detail::scaled_bytes;
 
 struct RankContext {
   std::unique_ptr<NvmDevice> device;
@@ -268,41 +146,7 @@ DriverResult run_workload(const DriverConfig& cfg) {
           const double target = t.frac * phase;
           const double now = phase_sw.elapsed();
           if (target > now) precise_sleep(target - now);
-          if (t.spec->pattern == ModPattern::kSmallRandom) {
-            std::size_t len = 0;
-            const std::size_t off =
-                touch_small_random(*t.chunk, *t.spec, ctx.rng, &len);
-            // Store-then-log: the range is logged only after the store
-            // above landed (write-log mode); software mode reports the
-            // whole chunk, mprotect modes already faulted.
-            if (tmode == vmem::TrackMode::kWriteLog) {
-              t.chunk->log_write(off, len);
-            } else if (tmode == vmem::TrackMode::kSoftware) {
-              t.chunk->notify_write();
-            }
-          } else if (t.spec->pattern == ModPattern::kFrontierBurst) {
-            std::size_t len = 0;
-            const std::size_t off =
-                touch_frontier(*t.chunk, *t.spec, iter, ctx.rng, &len);
-            // Same store-then-log discipline as the KV shape: the frontier
-            // span is one logged range, so sub-page commits track exactly
-            // the dirtied fraction instead of the whole array.
-            if (tmode == vmem::TrackMode::kWriteLog) {
-              t.chunk->log_write(off, len);
-            } else if (tmode == vmem::TrackMode::kSoftware) {
-              t.chunk->notify_write();
-            }
-          } else {
-            touch_chunk(*t.chunk, ctx.rng);
-            // In software tracking mode the application reports its own
-            // writes; in mprotect mode the store above already faulted.
-            // A whole-buffer rewrite under write-log tracking notifies
-            // once (whole-chunk dirty) instead of logging every stride.
-            if (tmode == vmem::TrackMode::kSoftware ||
-                tmode == vmem::TrackMode::kWriteLog) {
-              t.chunk->notify_write();
-            }
-          }
+          apply_touch(t, iter, ctx.rng, tmode);
         }
         const double left = phase - phase_sw.elapsed();
         if (left > 0) precise_sleep(left);

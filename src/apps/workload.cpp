@@ -48,6 +48,20 @@ void add_frontier_chunks(WorkloadSpec& spec, int count,
   }
 }
 
+void add_grow_freeze_chunks(WorkloadSpec& spec, int count,
+                            const std::string& stem, std::size_t bytes,
+                            int period, int grow_iters) {
+  for (int i = 0; i < count; ++i) {
+    ChunkSpec c;
+    c.name = stem + "_" + std::to_string(i);
+    c.bytes = bytes;
+    c.pattern = ModPattern::kGrowThenFreeze;
+    c.period = period;
+    c.grow_iters = grow_iters;
+    spec.chunks.push_back(std::move(c));
+  }
+}
+
 }  // namespace
 
 double frontier_fraction(int iter, int burst_levels) {
@@ -158,6 +172,28 @@ WorkloadSpec WorkloadSpec::graph500() {
   add_frontier_chunks(s, 1, "g500_visited", 16 * MiB, 8, 1);
   add_chunks(s, 2, "g500_frontq", 12 * MiB, ModPattern::kEveryIteration);
   add_chunks(s, 4, "g500_diag", 600 * KiB, ModPattern::kEveryIteration);
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::metis() {
+  // Metis-style single-node MapReduce. One job cycle spans a checkpoint
+  // interval (period 8): mappers append into big intermediate buffers for
+  // the first 6 iterations -- each growth step dirties only the next
+  // segment, never rewriting what earlier steps emitted -- then the
+  // buffers freeze while reducers consume them. Inputs are immutable
+  // after load; the reduce output is rewritten once per cycle. Most of
+  // the checkpoint volume is therefore cold at any given coordinated
+  // step, which is the strongest pre-copy case of all the workloads here.
+  WorkloadSpec s;
+  s.name = "Metis-MR";
+  s.compute_per_iter = 6.0;
+  s.comm_bytes_per_iter = 0;  // single node: no rank-to-rank exchange
+  s.iters_per_checkpoint = 4;
+  add_grow_freeze_chunks(s, 8, "mr_interm", 24 * MiB, /*period=*/8,
+                         /*grow_iters=*/6);
+  add_chunks(s, 2, "mr_input", 64 * MiB, ModPattern::kInitOnly);
+  add_chunks(s, 4, "mr_result", 16 * MiB, ModPattern::kPeriodic, 1, 8);
+  add_chunks(s, 6, "mr_stats", 700 * KiB, ModPattern::kEveryIteration);
   return s;
 }
 

@@ -45,6 +45,12 @@ enum class ModPattern : std::uint8_t {
                     // doubles level by level to a mid-search peak covering
                     // most of the chunk, then collapses -- commit sizes
                     // swing by orders of magnitude between iterations
+  kGrowThenFreeze,  // MapReduce-intermediate regime (Metis): the buffer
+                    // fills segment by segment for grow_iters iterations
+                    // of each period-long job cycle (map output append),
+                    // then freezes untouched while reducers drain it --
+                    // pre-copy's best case once the freeze starts, dead
+                    // weight before it
 };
 
 /// Fraction of a kFrontierBurst chunk dirtied at iteration `iter`:
@@ -70,6 +76,11 @@ struct ChunkSpec {
   /// kFrontierBurst only: BFS levels per search cycle (frontier peaks at
   /// the middle level; see frontier_fraction).
   int burst_levels = 8;
+  /// kGrowThenFreeze only: growth iterations per `period`-long cycle. The
+  /// chunk is written during iterations [0, grow_iters) of each cycle --
+  /// segment g of grow_iters equal segments at growth step g -- and
+  /// untouched for the rest.
+  int grow_iters = 0;
 };
 
 struct WorkloadSpec {
@@ -97,6 +108,13 @@ struct WorkloadSpec {
   /// sizes spike exactly when a version ring holds the most retained
   /// epochs (the saturation-GC stress shape).
   static WorkloadSpec graph500();
+  /// Metis-like single-node MapReduce: big intermediate buffers that fill
+  /// segment by segment during the map phase of each job cycle and then
+  /// freeze while reducers drain them, static inputs, and periodically
+  /// rewritten result arrays. The grow-then-freeze shape is pre-copy's
+  /// sweet spot: a frozen intermediate costs one background copy and
+  /// nothing at the coordinated step.
+  static WorkloadSpec metis();
 
   std::size_t total_ckpt_bytes() const;
   std::size_t chunk_count() const { return chunks.size(); }

@@ -1,0 +1,59 @@
+// Workload execution machinery shared by the single-app multi-rank driver
+// (driver.cpp) and the multi-tenant fleet driver (fleet.cpp): how a
+// ChunkSpec's modification pattern turns into actual stores against a
+// chunk's DRAM buffer, and when within a compute phase those stores land.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "alloc/chunk.hpp"
+#include "apps/workload.hpp"
+#include "common/rng.hpp"
+#include "vmem/protection.hpp"
+
+namespace nvmcp::apps::detail {
+
+/// One modification event inside a compute phase.
+struct Touch {
+  double frac;  // position within the phase, (0, 1]
+  alloc::Chunk* chunk;
+  const ChunkSpec* spec;
+};
+
+/// Scaled chunk size (>= 1 page so protection still works).
+std::size_t scaled_bytes(std::size_t nominal, double scale);
+
+/// Touch a chunk: write rng values at a 256-byte stride across the whole
+/// buffer (every page modified, contents actually change, cost stays low).
+void touch_chunk(alloc::Chunk& c, Rng& rng);
+
+/// One small random store (KV write shape); returns the offset and sets
+/// *out_len. In write-log mode the caller logs the range AFTER the store.
+std::size_t touch_small_random(alloc::Chunk& c, const ChunkSpec& spec,
+                               Rng& rng, std::size_t* out_len);
+
+/// Frontier-burst write (Graph500 BFS shape): dirty a contiguous span
+/// covering frontier_fraction(iter) of the chunk, rotated by level.
+std::size_t touch_frontier(alloc::Chunk& c, const ChunkSpec& spec, int iter,
+                           Rng& rng, std::size_t* out_len);
+
+/// Grow-then-freeze write (MapReduce-intermediate shape): dirty segment
+/// g of grow_iters equal segments, where g is this iteration's position
+/// in the growth window. Freeze iterations never call this (the chunk is
+/// inactive; see chunk_active).
+std::size_t touch_grow_freeze(alloc::Chunk& c, const ChunkSpec& spec,
+                              int iter, Rng& rng, std::size_t* out_len);
+
+/// Does `spec` get modified at all during iteration `iter`?
+bool chunk_active(const ChunkSpec& spec, int iter);
+
+/// Modification points within the phase for one chunk this iteration.
+void append_touches(std::vector<Touch>& out, const ChunkSpec& spec,
+                    alloc::Chunk* chunk, int iter);
+
+/// Apply one touch: dispatch on the spec's pattern, then run the
+/// store-then-log / notify discipline the tracking mode requires.
+void apply_touch(const Touch& t, int iter, Rng& rng, vmem::TrackMode tmode);
+
+}  // namespace nvmcp::apps::detail

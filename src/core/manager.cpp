@@ -63,7 +63,10 @@ CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
           std::make_unique<BandwidthLimiter>(cfg.nvm_bw_per_core));
     }
   }
-  if (epoch::EpochDirectory* dir = alloc_->epoch_directory()) {
+  // An arena-owned (shared) directory means the arena owns GC policy too:
+  // a per-tenant manager must not run a device-wide reclamation thread.
+  if (epoch::EpochDirectory* dir =
+          alloc_->owns_directory() ? alloc_->epoch_directory() : nullptr) {
     epoch::EpochGc::Options gopts;
     gopts.watermark = cfg_.epoch_gc_watermark;
     gopts.floor = cfg_.epoch_gc_floor;
@@ -125,7 +128,8 @@ void CheckpointManager::run_sharded(
   futs.reserve(shards.size());
   for (std::size_t w = 0; w < shards.size(); ++w) {
     if (shards[w].empty()) continue;
-    BandwidthLimiter* stream = worker_streams_[w].get();
+    BandwidthLimiter* stream =
+        shared_stream_ ? shared_stream_ : worker_streams_[w].get();
     const std::vector<alloc::Chunk*>& shard = shards[w];
     futs.push_back(pool_->submit([&op, &shard, stream] {
       for (alloc::Chunk* c : shard) op(*c, stream);
@@ -157,7 +161,9 @@ double CheckpointManager::learned_data_size() const {
 bool CheckpointManager::threshold_reached() const {
   std::lock_guard<std::mutex> lock(learn_mu_);
   if (learned_interval_ <= 0) return false;  // still in the learning phase
-  double rate = stream_.rate();
+  // Under a tenant trunk the DCPC threshold adapts to the *granted* rate:
+  // less bandwidth means copies take longer, so pre-copy starts earlier.
+  double rate = shared_stream_ ? shared_stream_->rate() : stream_.rate();
   if (rate <= 0) {
     rate = alloc_->container().device().config().spec.write_bandwidth;
   }
@@ -223,7 +229,7 @@ void CheckpointManager::precopy_loop() {
         std::lock_guard<std::mutex> lock(ckpt_mu_);
         if (!c->dirty_local()) continue;  // raced with the coordinated step
         telemetry::Span span("precopy_chunk", "ckpt.local");
-        secs = alloc_->precopy_chunk(*c, epoch, &stream_);
+        secs = alloc_->precopy_chunk(*c, epoch, serial_stream());
       }
       m_.bytes_precopied->add(c->size());
       m_.precopy_seconds->add(secs);
@@ -333,7 +339,7 @@ double CheckpointManager::nvchkptall() {
     });
   } else {
     for (alloc::Chunk* c : residual) {
-      alloc_->checkpoint_chunk(*c, epoch, &stream_, batched);
+      alloc_->checkpoint_chunk(*c, epoch, serial_stream(), batched);
     }
   }
 
@@ -376,7 +382,7 @@ double CheckpointManager::nvchkptid(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(ckpt_mu_);
   telemetry::Span span("nvchkptid", "ckpt.local");
   const std::uint64_t epoch = next_epoch();
-  const double secs = alloc_->checkpoint_chunk(*c, epoch, &stream_);
+  const double secs = alloc_->checkpoint_chunk(*c, epoch, serial_stream());
   m_.bytes_coordinated->add(c->size());
   return secs;
 }

@@ -117,6 +117,18 @@ class CheckpointManager {
   /// pre-copy engine and the coordinated step of this rank.
   BandwidthLimiter& stream_limiter() { return stream_; }
 
+  /// Multi-tenant arena mode: route every copy stream of this manager
+  /// (the serial path, every sharded worker, and the pre-copy engine)
+  /// through one shared trunk limiter owned by the tenant's stream group
+  /// instead of the private per-worker NVMBW_core streams. Concurrent
+  /// workers acquiring one limiter share it fairly, so the tenant's
+  /// aggregate copy rate never exceeds the trunk's grant — and when the
+  /// QoS scheduler retunes the trunk mid-round, the rebased backlog makes
+  /// the new grant effective immediately. Call before start(); nullptr
+  /// restores the private streams.
+  void set_shared_stream(BandwidthLimiter* trunk) { shared_stream_ = trunk; }
+  BandwidthLimiter* shared_stream() const { return shared_stream_; }
+
   /// Resolved copier-thread count (config knob or NVMCP_COPY_THREADS).
   /// 1 = the serial legacy data path; >1 = sharded commit/restore/pre-copy
   /// across an internal pool, one NVMBW_core stream per worker.
@@ -149,9 +161,15 @@ class CheckpointManager {
   void precopy_batch(const std::vector<alloc::Chunk*>& batch,
                      std::uint64_t epoch);
 
+  /// stream_ unless a tenant trunk is installed.
+  BandwidthLimiter* serial_stream() {
+    return shared_stream_ ? shared_stream_ : &stream_;
+  }
+
   alloc::ChunkAllocator* alloc_;
   CheckpointConfig cfg_;
   BandwidthLimiter stream_;
+  BandwidthLimiter* shared_stream_ = nullptr;  // non-owning tenant trunk
   PredictionTable prediction_;
 
   // Parallel data path: resolved worker count, lazily absent pool (only

@@ -129,11 +129,13 @@ RingRecord* EpochDirectory::insert_record_locked(std::uint64_t chunk_id,
 }
 
 VersionRing* EpochDirectory::ensure_ring(std::uint64_t chunk_id,
-                                         std::uint64_t payload_bytes) {
+                                         std::uint64_t payload_bytes,
+                                         vmem::CapacityQuota* quota) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = rings_.find(chunk_id);
   if (it != rings_.end()) {
     if (it->second->rec_->payload_bytes == payload_bytes) {
+      it->second->set_quota_locked(quota);
       return it->second.get();
     }
     drop_ring_locked(chunk_id);
@@ -150,6 +152,7 @@ VersionRing* EpochDirectory::ensure_ring(std::uint64_t chunk_id,
   if (!rec) rec = insert_record_locked(chunk_id, payload_bytes);
   auto ring = std::unique_ptr<VersionRing>(new VersionRing(this, rec));
   VersionRing* out = ring.get();
+  out->set_quota_locked(quota);
   rings_[chunk_id] = std::move(ring);
   return out;
 }
@@ -169,8 +172,12 @@ void EpochDirectory::drop_ring_locked(std::uint64_t chunk_id) {
   auto it = rings_.find(chunk_id);
   if (it == rings_.end()) return;
   RingRecord* rec = it->second->rec_;
+  vmem::CapacityQuota* quota = it->second->quota_;
   for (RingSlot& s : rec->slots) {
-    if (s.off != 0) container_->free_region(s.off, rec->payload_bytes);
+    if (s.off != 0) {
+      container_->free_region(s.off, rec->payload_bytes);
+      if (quota) quota->credit(rec->payload_bytes);
+    }
     s = RingSlot{};
   }
   rec->flags = 0;
@@ -211,6 +218,42 @@ GcPassStats EpochDirectory::gc_pass(double watermark, std::uint32_t floor) {
     ++stats.slots_reclaimed;
   }
   stats.occupancy_after = occupancy();
+  return stats;
+}
+
+GcPassStats EpochDirectory::gc_pass_quota(const vmem::CapacityQuota* quota,
+                                          double watermark,
+                                          std::uint32_t floor) {
+  GcPassStats stats;
+  if (!quota) return stats;
+  stats.occupancy_before = quota->occupancy();
+  stats.occupancy_after = stats.occupancy_before;
+  if (stats.occupancy_before <= watermark) return stats;
+  stats.saturated = true;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Same oldest-first shape as gc_pass, restricted to this tenant's own
+  // rings and driven by its quota occupancy instead of the device's.
+  while (quota->occupancy() > watermark) {
+    VersionRing* victim_ring = nullptr;
+    std::uint32_t victim_slot = kInvalidSlot;
+    std::uint64_t victim_epoch = 0;
+    for (auto& [id, ring] : rings_) {
+      if (ring->quota_ != quota) continue;
+      const std::uint32_t idx = ring->oldest_reclaimable_locked(floor);
+      if (idx == kInvalidSlot) continue;
+      const std::uint64_t e = ring->rec_->slots[idx].epoch;
+      if (!victim_ring || e < victim_epoch) {
+        victim_ring = ring.get();
+        victim_slot = idx;
+        victim_epoch = e;
+      }
+    }
+    if (!victim_ring) break;
+    stats.bytes_reclaimed += victim_ring->reclaim_slot_locked(victim_slot);
+    ++stats.slots_reclaimed;
+  }
+  stats.occupancy_after = quota->occupancy();
   return stats;
 }
 

@@ -64,9 +64,13 @@ class EpochDirectory {
 
   /// Ring for `chunk_id`, creating its record (payload regions allocate
   /// lazily at first commit). An existing ring with a different payload
-  /// size is dropped and re-created.
+  /// size is dropped and re-created. With `quota` the ring's device
+  /// footprint is charged to that tenant quota (see
+  /// VersionRing::set_quota); a directory shared by several tenants holds
+  /// rings charged to different quotas side by side.
   VersionRing* ensure_ring(std::uint64_t chunk_id,
-                           std::uint64_t payload_bytes);
+                           std::uint64_t payload_bytes,
+                           vmem::CapacityQuota* quota = nullptr);
 
   /// Ring for `chunk_id`, or nullptr.
   VersionRing* ring(std::uint64_t chunk_id);
@@ -82,6 +86,13 @@ class EpochDirectory {
   /// the globally-oldest unpinned committed slot whose ring retains more
   /// than `floor` epochs (the newest epoch is never reclaimed).
   GcPassStats gc_pass(double watermark, std::uint32_t floor);
+
+  /// Per-tenant reclamation pass: like gc_pass, but the saturation signal
+  /// is the tenant quota's occupancy and only rings charged to `quota`
+  /// are eligible victims — quota pressure from one tenant's deep ring
+  /// can never evict another tenant's epochs.
+  GcPassStats gc_pass_quota(const vmem::CapacityQuota* quota,
+                            double watermark, std::uint32_t floor);
 
   /// Committed ring slots across all chunks (telemetry).
   std::uint64_t retained_slots() const;

@@ -30,11 +30,17 @@ VersionRing::Acquired VersionRing::acquire_locked() {
       return out;
     }
   }
-  // 2) A free slot within budget; allocate its payload region lazily.
+  // 2) A free slot within budget; allocate its payload region lazily. A
+  //    lazy allocation is the one place a ring grows its device footprint,
+  //    so it is where the tenant quota is enforced: if the charge would
+  //    exceed the budget, skip the slot and fall through to victim reuse
+  //    below — quota pressure resolves by recycling this tenant's own
+  //    oldest epoch (self-eviction), never by growing past the budget.
   for (std::uint32_t i = 0; i < budget; ++i) {
     RingSlot& s = rec_->slots[i];
     if (s.state != RingSlot::kFree) continue;
     if (s.off == 0) {
+      if (quota_ && !quota_->try_charge(rec_->payload_bytes)) continue;
       s.off = dir_->container_->alloc_region(rec_->payload_bytes);
     }
     s.state = RingSlot::kInProgress;
@@ -64,6 +70,7 @@ VersionRing::Acquired VersionRing::acquire_locked() {
       RingSlot& s = rec_->slots[i];
       if (s.state != RingSlot::kFree) continue;
       if (s.off == 0) {
+        if (quota_ && !quota_->try_charge(rec_->payload_bytes)) continue;
         s.off = dir_->container_->alloc_region(rec_->payload_bytes);
       }
       s.state = RingSlot::kInProgress;
@@ -72,6 +79,11 @@ VersionRing::Acquired VersionRing::acquire_locked() {
       out.off = s.off;
       out.fresh = true;
       return out;
+    }
+    if (quota_ && quota_->limit() != 0) {
+      throw NvmcpError(
+          "VersionRing: no acquirable slot (pins + quota '" +
+          quota_->name() + "' exhausted)");
     }
     throw NvmcpError("VersionRing: no acquirable slot (all pinned)");
   }
@@ -210,10 +222,27 @@ std::uint64_t VersionRing::reclaim_slot_locked(std::uint32_t index) {
   const std::uint64_t bytes = rec_->payload_bytes;
   if (s.off != 0) {
     dir_->container_->free_region(s.off, rec_->payload_bytes);
+    if (quota_) quota_->credit(rec_->payload_bytes);
   }
   s = RingSlot{};
   persist_locked();
   return bytes;
+}
+
+void VersionRing::set_quota(vmem::CapacityQuota* quota) {
+  std::lock_guard<std::mutex> lock(dir_->mu_);
+  set_quota_locked(quota);
+}
+
+void VersionRing::set_quota_locked(vmem::CapacityQuota* quota) {
+  if (quota_ == quota) return;  // reattach: footprint already charged
+  std::size_t held = 0;
+  for (const RingSlot& s : rec_->slots) {
+    if (s.off != 0) held += rec_->payload_bytes;
+  }
+  if (quota_ && held) quota_->credit(held);
+  if (quota && held) quota->charge(held);
+  quota_ = quota;
 }
 
 bool VersionRing::pinned_locked(std::uint64_t epoch) const {

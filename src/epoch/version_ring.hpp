@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "vmem/container.hpp"
+#include "vmem/quota.hpp"
 
 namespace nvmcp::epoch {
 
@@ -126,6 +127,16 @@ class VersionRing {
   std::uint64_t payload_bytes() const;
   std::uint32_t depth() const;
 
+  /// Attach a per-tenant capacity quota: every currently-allocated slot
+  /// region is charged to it (throws if the existing footprint already
+  /// exceeds the limit), lazy slot allocations charge it, and reclaims
+  /// credit it. Under quota pressure acquire_for_commit reuses the ring's
+  /// own oldest committed slot instead of allocating — quota pressure is
+  /// resolved by self-eviction, never by evicting another tenant's
+  /// epochs. Re-attaching the same quota is a no-op (reattach path).
+  void set_quota(vmem::CapacityQuota* quota);
+  vmem::CapacityQuota* quota() const { return quota_; }
+
  private:
   friend class EpochDirectory;
   VersionRing(EpochDirectory* dir, RingRecord* rec) : dir_(dir), rec_(rec) {}
@@ -138,9 +149,11 @@ class VersionRing {
   bool pinned_locked(std::uint64_t epoch) const;
   void persist_locked();
   Acquired acquire_locked();
+  void set_quota_locked(vmem::CapacityQuota* quota);
 
   EpochDirectory* dir_;
   RingRecord* rec_;
+  vmem::CapacityQuota* quota_ = nullptr;  // non-owning; tenant lifetime
   std::vector<std::uint64_t> pins_;  // runtime only; may hold duplicates
 };
 

@@ -19,6 +19,7 @@
 #include "net/interconnect.hpp"
 #include "net/remote_memory.hpp"
 #include "nvm/device.hpp"
+#include "tenant/arena.hpp"
 #include "vmem/container.hpp"
 
 namespace nvmcp::fault {
@@ -748,6 +749,185 @@ CampaignResult CampaignRunner::run() {
   m.gauge("campaign.measured_efficiency").set(res.measured_efficiency);
   m.gauge("campaign.model_efficiency").set(res.model_efficiency);
   m.gauge("campaign.efficiency_ratio").set(res.efficiency_ratio);
+  return res;
+}
+
+CrossTenantResult CampaignRunner::run_cross_tenant(
+    const CrossTenantSpec& spec) {
+  CrossTenantResult res;
+  const int n = std::max(1, spec.chunks_per_tenant);
+  const std::size_t bytes = std::max<std::size_t>(spec.chunk_bytes, 4096);
+  const int prefix = std::min(std::max(spec.crash_prefix, 0), n);
+
+  tenant::TenantArena::Options aopts;
+  aopts.device.capacity = round_up(
+      3 * static_cast<std::size_t>(n) * bytes *
+              (static_cast<std::size_t>(std::max(2, spec.ring_depth)) + 2) +
+          16 * MiB,
+      kNvmPageSize);
+  aopts.device.throttle = false;
+  aopts.ring_depth = spec.ring_depth;
+  aopts.max_inflight = 3;  // the trial wants all three rounds overlapping
+  aopts.scheduler_bw = 0;  // unlimited: this trial tests crash isolation
+  tenant::TenantArena arena(aopts);
+
+  auto make_tenant = [&](const char* name,
+                         int prio) -> tenant::TenantHandle* {
+    tenant::TenantSpec ts;
+    ts.name = name;
+    ts.priority = prio;
+    ts.quota_bytes = spec.quota_bytes;
+    ts.track_mode = vmem::TrackMode::kSoftware;
+    // No background engine: the trial controls every copy explicitly.
+    ts.ckpt.local_policy = core::PrecopyPolicy::kNone;
+    return &arena.create_tenant(ts);
+  };
+  tenant::TenantHandle* ta = make_tenant("chaos-a", 0);
+  tenant::TenantHandle* tb = make_tenant("chaos-b", 2);
+  tenant::TenantHandle* tc = make_tenant("chaos-c", 1);
+
+  struct TenantState {
+    std::vector<alloc::Chunk*> chunks;
+    std::vector<std::vector<std::byte>> prev;  // last fully-committed round
+    std::vector<std::vector<std::byte>> next;  // chaos-round content
+  };
+  TenantState sa, sb, sc;
+  auto var = [](int i) { return "v" + std::to_string(i); };
+  for (TenantState* s : {&sa, &sb, &sc}) {
+    s->prev.resize(static_cast<std::size_t>(n));
+    s->next.resize(static_cast<std::size_t>(n));
+  }
+  auto alloc_chunks = [&](tenant::TenantHandle& t, TenantState& s) {
+    for (int i = 0; i < n; ++i) {
+      s.chunks.push_back(t.nvalloc(var(i), bytes, /*persistent=*/true));
+    }
+  };
+  alloc_chunks(*ta, sa);
+  alloc_chunks(*tb, sb);
+  alloc_chunks(*tc, sc);
+
+  auto fill = [&](TenantState& s, std::uint64_t salt,
+                  std::vector<std::vector<std::byte>>* golden) {
+    for (int i = 0; i < n; ++i) {
+      Rng rng(spec.seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+              static_cast<std::uint64_t>(i));
+      auto* p = static_cast<std::byte*>(s.chunks[static_cast<std::size_t>(i)]->data());
+      for (std::size_t off = 0; off + 8 <= bytes; off += 8) {
+        const std::uint64_t v = rng.next_u64();
+        std::memcpy(p + off, &v, 8);
+      }
+      s.chunks[static_cast<std::size_t>(i)]->notify_write();
+      if (golden) {
+        (*golden)[static_cast<std::size_t>(i)].assign(p, p + bytes);
+      }
+    }
+  };
+
+  // Warm rounds: every tenant fills + commits, so each has warm_rounds
+  // committed epochs banked in the shared directory before the chaos.
+  const int warm = std::max(1, spec.warm_rounds);
+  for (int r = 0; r < warm; ++r) {
+    const bool last = r == warm - 1;
+    fill(sa, static_cast<std::uint64_t>(r) + 1, last ? &sa.prev : nullptr);
+    fill(sb, static_cast<std::uint64_t>(r) + 101, last ? &sb.prev : nullptr);
+    fill(sc, static_cast<std::uint64_t>(r) + 201, last ? &sc.prev : nullptr);
+    if (!ta->checkpoint().admitted || !tb->checkpoint().admitted ||
+        !tc->checkpoint().admitted) {
+      res.detail = "warm-round admission failed";
+      return res;
+    }
+  }
+
+  // Chaos round. A and B write fresh content; C does not write -- its DRAM
+  // is scrambled (unreported, so its chunks stay clean) and must come back
+  // byte-exact from its committed epoch via the streaming restore.
+  fill(sa, 1000, &sa.next);
+  fill(sb, 2000, &sb.next);
+  for (auto* c : sc.chunks) std::memset(c->data(), 0xCD, c->size());
+
+  std::atomic<bool> b_admitted{false};
+  RestoreStatus c_status = RestoreStatus::kNoData;
+  std::thread thr_b([&] {
+    const tenant::TenantHandle::CommitResult r = tb->checkpoint();
+    b_admitted.store(r.admitted);
+    res.b_commit_seconds = r.blocking;
+  });
+  std::thread thr_c([&] {
+    c_status = tc->manager().restore_streaming().status;
+  });
+  std::thread thr_a([&] {
+    // Mid-commit hard crash: a strict prefix of A's chunks commits, the
+    // rest are pre-copied into in-progress ring slots that never flip.
+    // Then the "process" dies -- no epoch bump, no cleanup.
+    for (int i = 0; i < prefix; ++i) {
+      ta->manager().nvchkptid(ta->chunk_id(var(i)));
+    }
+    const std::uint64_t epoch = ta->manager().next_epoch();
+    for (int i = prefix; i < n; ++i) {
+      ta->allocator().precopy_chunk(*sa.chunks[static_cast<std::size_t>(i)],
+                                    epoch);
+    }
+  });
+  thr_a.join();
+  thr_b.join();
+  thr_c.join();
+
+  if (!b_admitted.load()) {
+    res.detail = "B's commit round was not admitted";
+    return res;
+  }
+  if (c_status != RestoreStatus::kOk) {
+    res.detail = "C's streaming restore reported failure";
+    return res;
+  }
+
+  // B byte-exact: scramble the DRAM view, restore from NVM, compare
+  // against the chaos-round golden.
+  for (auto* c : sb.chunks) std::memset(c->data(), 0xEE, c->size());
+  tb->manager().restore_all();
+  for (int i = 0; i < n; ++i) {
+    const auto& g = sb.next[static_cast<std::size_t>(i)];
+    if (std::memcmp(sb.chunks[static_cast<std::size_t>(i)]->data(), g.data(),
+                    bytes) != 0) {
+      ++res.b_mismatches;
+    }
+  }
+  // C byte-exact: the streaming restore already rebuilt the DRAM view.
+  for (int i = 0; i < n; ++i) {
+    const auto& g = sc.prev[static_cast<std::size_t>(i)];
+    if (std::memcmp(sc.chunks[static_cast<std::size_t>(i)]->data(), g.data(),
+                    bytes) != 0) {
+      ++res.c_mismatches;
+    }
+  }
+
+  // A recovers through the normal restart walk: tear the dead handle down
+  // and re-adopt the shared container's committed state. Committed-prefix
+  // chunks must be back at the crash-round content, the rest at the prior
+  // round; anything else is undetected loss.
+  tenant::TenantHandle& ta2 = arena.reattach_tenant("chaos-a");
+  for (int i = 0; i < n; ++i) {
+    alloc::Chunk* c = ta2.nvalloc(var(i), bytes, /*persistent=*/true);
+    const auto& latest = sa.next[static_cast<std::size_t>(i)];
+    const auto& stale = sa.prev[static_cast<std::size_t>(i)];
+    if (!c->restored()) {
+      ++res.a_failed;
+    } else if (std::memcmp(c->data(), latest.data(), bytes) == 0) {
+      ++res.a_restored_latest;
+    } else if (std::memcmp(c->data(), stale.data(), bytes) == 0) {
+      ++res.a_restored_stale;
+    } else {
+      ++res.a_failed;
+    }
+  }
+
+  res.ok = res.b_mismatches == 0 && res.c_mismatches == 0 &&
+           res.a_failed == 0 && res.a_restored_latest >= prefix;
+  if (!res.ok && res.detail.empty()) {
+    res.detail = "isolation violated: B=" + std::to_string(res.b_mismatches) +
+                 " C=" + std::to_string(res.c_mismatches) +
+                 " A-lost=" + std::to_string(res.a_failed);
+  }
   return res;
 }
 

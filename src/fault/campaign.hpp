@@ -187,9 +187,46 @@ struct CampaignResult {
                    telemetry::RunReport& rep) const;
 };
 
+/// Cross-tenant chaos trial (multi-tenant arena): tenant A hard-crashes
+/// mid-commit while tenant B commits and tenant C streams a restore, all
+/// against ONE shared arena. Isolation means A's death is invisible to
+/// its neighbours: B's and C's bytes must verify exactly, and A must
+/// recover through the normal restart walk with every chunk at its last
+/// or second-to-last committed epoch (never garbage).
+struct CrossTenantSpec {
+  std::uint64_t seed = 0xfee1;
+  int chunks_per_tenant = 4;
+  std::size_t chunk_bytes = 64 * KiB;
+  /// Fully-committed rounds before the chaos round (the goldens).
+  int warm_rounds = 2;
+  int ring_depth = 4;
+  /// Per-tenant version-slot quota; 0 = unmetered.
+  std::size_t quota_bytes = 0;
+  /// Chunks A commits in the chaos round before dying; the rest are
+  /// pre-copied into in-progress slots but never flipped (the mid-commit
+  /// crash point).
+  int crash_prefix = 2;
+};
+
+struct CrossTenantResult {
+  bool ok = false;
+  std::string detail;         // one-line failure note ("" when ok)
+  int b_mismatches = 0;       // B chunks whose committed bytes diverged
+  int c_mismatches = 0;       // C chunks mis-restored by the stream
+  int a_restored_latest = 0;  // A chunks back at the crash-round epoch
+  int a_restored_stale = 0;   // A chunks back at the prior epoch
+  int a_failed = 0;           // A chunks matching NO committed golden
+  double b_commit_seconds = 0;
+};
+
 class CampaignRunner {
  public:
   explicit CampaignRunner(CampaignSpec spec);
+
+  /// Run one cross-tenant chaos trial (see CrossTenantSpec). Deterministic
+  /// in `spec.seed` up to thread interleaving; the isolation invariants
+  /// must hold under every interleaving.
+  static CrossTenantResult run_cross_tenant(const CrossTenantSpec& spec);
 
   /// SplitMix-style child seed for trial `index` under `root`: any failed
   /// trial is replayable from its own seed without re-running the sweep.

@@ -18,6 +18,26 @@ TimePoint BandwidthLimiter::acquire(std::size_t bytes) {
   return next_free_;
 }
 
+void BandwidthLimiter::set_rate(double bytes_per_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimePoint now = Clock::now();
+  if (rate_ > 0.0 && next_free_ > now) {
+    // Convert the outstanding reservation back into bytes at the old rate,
+    // then re-time those bytes at the new rate from now.
+    const double backlog_secs =
+        std::chrono::duration<double>(next_free_ - now).count();
+    const double backlog_bytes = backlog_secs * rate_;
+    if (bytes_per_sec <= 0.0) {
+      next_free_ = now;
+    } else {
+      next_free_ = now + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(backlog_bytes /
+                                                           bytes_per_sec));
+    }
+  }
+  rate_ = bytes_per_sec;
+}
+
 namespace {
 
 template <typename BlockFn>

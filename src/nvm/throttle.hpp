@@ -32,10 +32,13 @@ class BandwidthLimiter {
   /// credit: the slot starts no earlier than now.
   TimePoint acquire(std::size_t bytes);
 
-  void set_rate(double bytes_per_sec) {
-    std::lock_guard<std::mutex> lock(mu_);
-    rate_ = bytes_per_sec;
-  }
+  /// Change the rate. Backlog already reserved on the virtual timeline is
+  /// re-timed at the new rate (the bytes still owed keep their place in
+  /// line but drain at the new speed), so a QoS repartition mid-round
+  /// takes effect immediately instead of honoring deadlines computed at
+  /// the old rate. Switching to unlimited clears the backlog; switching
+  /// from unlimited starts a fresh timeline (no retroactive debt).
+  void set_rate(double bytes_per_sec);
 
   double rate() const {
     std::lock_guard<std::mutex> lock(mu_);

@@ -23,4 +23,5 @@
 #include "model/model.hpp"        // Section III analytical model
 #include "net/remote_memory.hpp"  // ARMCI-style remote memory
 #include "nvm/device.hpp"         // emulated NVM device
+#include "tenant/arena.hpp"       // multi-tenant arena (quotas, QoS, admission)
 #include "vmem/container.hpp"     // NVM container / metadata

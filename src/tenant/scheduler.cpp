@@ -1,0 +1,88 @@
+#include "tenant/scheduler.hpp"
+
+#include <cmath>
+
+namespace nvmcp::tenant {
+
+StreamGroup* BandwidthScheduler::register_tenant(std::string_view name,
+                                                 double weight,
+                                                 int priority) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& g : groups_) {
+    if (g->name_ == name) {
+      g->weight_ = weight;
+      g->priority_ = priority;
+      rebalance_locked();
+      return g.get();
+    }
+  }
+  groups_.push_back(std::unique_ptr<StreamGroup>(
+      new StreamGroup(std::string(name), weight, priority)));
+  StreamGroup* out = groups_.back().get();
+  rebalance_locked();
+  return out;
+}
+
+StreamGroup* BandwidthScheduler::find(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& g : groups_) {
+    if (g->name_ == name) return g.get();
+  }
+  return nullptr;
+}
+
+void BandwidthScheduler::note_active(StreamGroup& g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++g.active_;
+  rebalance_locked();
+}
+
+void BandwidthScheduler::note_idle(StreamGroup& g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (g.active_ > 0) --g.active_;
+  rebalance_locked();
+}
+
+void BandwidthScheduler::set_priority(StreamGroup& g, int priority) {
+  std::lock_guard<std::mutex> lock(mu_);
+  g.priority_ = priority;
+  rebalance_locked();
+}
+
+void BandwidthScheduler::rebalance_locked() {
+  if (opts_.total_bw <= 0.0) {
+    for (auto& g : groups_) g->trunk_.set_rate(0.0);
+    return;
+  }
+  double share_all = 0.0, share_active = 0.0;
+  for (const auto& g : groups_) {
+    const double s =
+        g->weight_ * std::pow(opts_.priority_boost, g->priority_);
+    share_all += s;
+    if (g->active_ > 0) share_active += s;
+  }
+  if (share_all <= 0.0) return;
+
+  // Guarantee pass: everyone's base share. Work-conserving pass: the
+  // idle tenants' unclaimed base redistributes over the active set.
+  double idle_base = 0.0;
+  for (const auto& g : groups_) {
+    if (g->active_ > 0) continue;
+    const double s =
+        g->weight_ * std::pow(opts_.priority_boost, g->priority_);
+    idle_base += opts_.total_bw * s / share_all;
+  }
+  for (auto& g : groups_) {
+    const double s =
+        g->weight_ * std::pow(opts_.priority_boost, g->priority_);
+    double rate = opts_.total_bw * s / share_all;
+    if (g->active_ > 0 && share_active > 0.0) {
+      rate += idle_base * s / share_active;
+    }
+    // set_rate rebases queued backlog, so a shrinking grant slows
+    // mid-round copies immediately (the satellite fix this relies on).
+    g->trunk_.set_rate(rate);
+  }
+}
+
+}  // namespace nvmcp::tenant

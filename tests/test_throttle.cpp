@@ -54,6 +54,39 @@ TEST(BandwidthLimiter, SetRateTakesEffect) {
   EXPECT_EQ(lim.rate(), 100.0 * MiB);
 }
 
+TEST(BandwidthLimiter, SetRateRebasesQueuedBacklog) {
+  // Reserve 10 MiB at 1 MiB/s: the timeline now extends ~10 s into the
+  // future. Raising the rate to 100 MiB/s must re-time that backlog
+  // (10 MiB at 100 MiB/s ~ 0.1 s), not leave the old 10 s deadline in
+  // place for already-queued work.
+  BandwidthLimiter lim(1.0 * MiB);
+  lim.acquire(10 * MiB);
+  lim.set_rate(100.0 * MiB);
+  const TimePoint now = Clock::now();
+  const TimePoint deadline = lim.acquire(1);
+  const double dt = std::chrono::duration<double>(deadline - now).count();
+  EXPECT_GT(dt, 0.05);  // backlog was carried over, not dropped...
+  EXPECT_LT(dt, 0.5);   // ...but re-timed at the new rate, not the old.
+}
+
+TEST(BandwidthLimiter, SetRateToUnlimitedClearsBacklog) {
+  BandwidthLimiter lim(1.0 * MiB);
+  lim.acquire(10 * MiB);
+  lim.set_rate(0.0);
+  const TimePoint before = Clock::now();
+  EXPECT_LE(lim.acquire(100 * MiB), before + std::chrono::milliseconds(1));
+}
+
+TEST(BandwidthLimiter, SetRateFromUnlimitedStartsFresh) {
+  BandwidthLimiter lim(0.0);
+  lim.acquire(100 * MiB);  // free while unlimited; must not become debt
+  lim.set_rate(100.0 * MiB);
+  const TimePoint now = Clock::now();
+  const TimePoint deadline = lim.acquire(1 * MiB);
+  const double dt = std::chrono::duration<double>(deadline - now).count();
+  EXPECT_NEAR(dt, 0.01, 0.01);
+}
+
 TEST(ThrottledCopier, CopiesDataCorrectly) {
   std::vector<std::byte> src(3 * MiB), dst(3 * MiB);
   for (std::size_t i = 0; i < src.size(); ++i) {

@@ -172,6 +172,36 @@ TEST(Workload, FrontierFractionProfile) {
   }
 }
 
+// Metis map-reduce: intermediate buffers that grow append-style through
+// the map phase then freeze (kGrowThenFreeze) -- the shape whose dirty
+// footprint shrinks to zero once the reduce phase starts, so checkpoints
+// taken late in a job should approach the small-result-only volume.
+TEST(Workload, MetisIsGrowThenFreezeDominated) {
+  const WorkloadSpec s = WorkloadSpec::metis();
+  EXPECT_EQ(s.name, "Metis-MR");
+  std::size_t grow_bytes = 0, total = 0;
+  int grow = 0;
+  std::set<std::string> names;
+  for (const auto& c : s.chunks) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate " << c.name;
+    total += c.bytes;
+    if (c.pattern == ModPattern::kGrowThenFreeze) {
+      ++grow;
+      grow_bytes += c.bytes;
+      // A grow phase must be a strict, non-empty prefix of the period:
+      // grow_iters == period would never freeze, 0 would never grow.
+      EXPECT_GT(c.grow_iters, 0) << c.name;
+      EXPECT_LT(c.grow_iters, c.period) << c.name;
+    }
+  }
+  EXPECT_EQ(grow, 8);
+  // Intermediate map output is the plurality of the checkpoint volume
+  // (~192 of ~388 MiB), ahead of the immutable inputs.
+  EXPECT_GT(static_cast<double>(grow_bytes),
+            0.45 * static_cast<double>(total));
+  EXPECT_EQ(s.total_ckpt_bytes(), total);
+}
+
 TEST(Workload, SaneIterationParameters) {
   for (const WorkloadSpec& s : {WorkloadSpec::gtc(),
                                 WorkloadSpec::lammps_rhodo(),

@@ -10,11 +10,21 @@
 // 8 threads here): per-stream parallelism buys speedup only up to the
 // device's aggregate budget.
 //
+// A second sweep covers the remote leg: the same commit stream shipped to
+// a buddy store over a deliberately slow (100 MB/s) link, once per
+// transport codec mode. Columns are aggregate commit throughput (local
+// commit + remote coordination, per round) and the bytes that actually
+// crossed the link -- raw ships the payload, lz/delta/adaptive ship
+// frames. The payload is compressible (structured runs), the case the
+// codec exists for.
+//
 // Output: console table + bench_parallel_ckpt.csv + a RunReport JSON.
 //
 // --smoke: CI perf gate. Runs only the unthrottled device at {1, 4}
 // threads and exits 1 if the 4-thread blocking time is not >= 1.5x better
-// than serial.
+// than serial. The codec sweep adds two more gates: adaptive must not
+// lose to raw on aggregate commit throughput (>= 1.0x), and on this
+// compressible payload it must cut the link bytes at least 2x.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -26,6 +36,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/manager.hpp"
+#include "core/remote.hpp"
 #include "telemetry/telemetry.hpp"
 #include "vmem/container.hpp"
 
@@ -98,6 +109,86 @@ double measure_blocking(const DeviceCase& dc, std::size_t threads,
   return best;
 }
 
+// --- codec sweep over the remote leg ---------------------------------
+
+constexpr std::size_t kCodecChunks = 8;
+constexpr std::size_t kCodecChunkBytes = 2 * MiB;
+constexpr double kCodecLinkBw = 1.0e8;  // 100 MB/s: compression territory
+
+/// Compressible, epoch-varying payload: 64-byte runs cycling 7 values,
+/// shifted per round so every byte changes between epochs (a full re-ship,
+/// not a diff) while staying structured.
+void fill_structured(alloc::Chunk& c, int round) {
+  auto* p = static_cast<std::byte*>(c.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    p[i] = static_cast<std::byte>(
+        (i / 64 + static_cast<std::size_t>(round) * 3) % 7);
+  }
+  c.notify_write();
+}
+
+struct CodecPoint {
+  core::CodecMode mode = core::CodecMode::kRaw;
+  double seconds = 0;          // measured rounds, commit + coordinate
+  double tput = 0;             // payload bytes committed / seconds
+  std::uint64_t link_bytes = 0;  // wire bytes over the measured rounds
+};
+
+CodecPoint measure_codec(core::CodecMode mode, int rounds) {
+  NvmConfig ncfg;
+  ncfg.capacity = 256 * MiB;
+  ncfg.throttle = false;
+  NvmDevice dev(ncfg);
+  vmem::Container cont(dev);
+  alloc::ChunkAllocator::Options aopts;
+  aopts.ring_depth = 4;  // retained epochs give delta its base
+  alloc::ChunkAllocator allocator(cont, aopts);
+  core::CheckpointConfig ccfg;
+  ccfg.local_policy = core::PrecopyPolicy::kNone;
+  ccfg.nvm_bw_per_core = 0;  // unthrottled local leg; the link dominates
+  ccfg.codec_mode = mode;
+  core::CheckpointManager mgr(allocator, ccfg);
+
+  std::vector<alloc::Chunk*> chunks;
+  for (std::size_t j = 0; j < kCodecChunks; ++j) {
+    chunks.push_back(allocator.nvalloc("codec_chunk" + std::to_string(j),
+                                       kCodecChunkBytes, true));
+  }
+
+  NvmConfig scfg;
+  scfg.capacity = 256 * MiB;
+  scfg.throttle = false;
+  net::RemoteStore store(scfg);
+  net::Interconnect link(kCodecLinkBw, 0.1);
+  net::RemoteMemory rmem(link, store);
+  core::RemoteConfig rcfg;
+  rcfg.policy = core::PrecopyPolicy::kNone;
+  core::RemoteCheckpointer repl({&mgr}, rmem, rcfg);
+
+  // Warm-up round: first full ship. Under kAdaptive this is where the
+  // tuner learns the real link bandwidth from the timed puts (its priors
+  // assume a fast link and pick raw), so it is excluded from the
+  // measurement -- as is the first-ever local copy.
+  for (alloc::Chunk* c : chunks) fill_structured(*c, 0);
+  mgr.nvchkptall();
+  repl.coordinate_now();
+
+  const std::uint64_t base_bytes = link.stats().checkpoint_bytes;
+  Stopwatch sw;
+  for (int round = 1; round <= rounds; ++round) {
+    for (alloc::Chunk* c : chunks) fill_structured(*c, round);
+    mgr.nvchkptall();
+    repl.coordinate_now();
+  }
+  CodecPoint p;
+  p.mode = mode;
+  p.seconds = sw.elapsed();
+  p.link_bytes = link.stats().checkpoint_bytes - base_bytes;
+  p.tput = static_cast<double>(kCodecChunks * kCodecChunkBytes) *
+           static_cast<double>(rounds) / p.seconds;
+  return p;
+}
+
 int run(bool smoke) {
   telemetry::init_from_env();
 
@@ -156,6 +247,72 @@ int run(bool smoke) {
     }
   }
   table.print();
+
+  // Codec sweep: the same commit stream over a 100 MB/s remote link, per
+  // transport codec mode.
+  const std::vector<core::CodecMode> codec_modes =
+      smoke ? std::vector<core::CodecMode>{core::CodecMode::kRaw,
+                                           core::CodecMode::kAdaptive}
+            : std::vector<core::CodecMode>{
+                  core::CodecMode::kRaw, core::CodecMode::kLz,
+                  core::CodecMode::kDelta, core::CodecMode::kAdaptive};
+  const int codec_rounds = smoke ? 2 : 3;
+
+  TableWriter codec_table(
+      "Transport codec sweep -- commit + remote coordination over a "
+      "100 MB/s link\n   (16 MiB compressible payload per round; link "
+      "bytes are what actually crossed the wire)",
+      {"codec", "rounds", "aggregate tput", "link bytes", "vs raw bytes",
+       "tput vs raw"},
+      std::string{});
+  Json& codec_points = report.section("codec_sweep");
+
+  CodecPoint raw_point;
+  bool codec_ok = true;
+  for (const core::CodecMode mode : codec_modes) {
+    const CodecPoint p = measure_codec(mode, codec_rounds);
+    if (mode == core::CodecMode::kRaw) raw_point = p;
+    const double byte_cut =
+        p.link_bytes
+            ? static_cast<double>(raw_point.link_bytes) /
+                  static_cast<double>(p.link_bytes)
+            : 0.0;
+    const double tput_ratio = raw_point.tput ? p.tput / raw_point.tput : 0.0;
+    codec_table.row({core::to_string(mode), std::to_string(codec_rounds),
+                     format_bandwidth(p.tput),
+                     format_bytes(static_cast<double>(p.link_bytes)),
+                     TableWriter::num(byte_cut) + "x",
+                     TableWriter::num(tput_ratio) + "x"});
+    Json point;
+    point["codec"] = core::to_string(mode);
+    point["rounds"] = static_cast<std::uint64_t>(codec_rounds);
+    point["aggregate_tput"] = p.tput;
+    point["link_bytes"] = p.link_bytes;
+    point["byte_cut_vs_raw"] = byte_cut;
+    point["tput_vs_raw"] = tput_ratio;
+    codec_points.push_back(std::move(point));
+
+    if (mode == core::CodecMode::kAdaptive) {
+      // Adaptive must never lose to raw on aggregate commit throughput,
+      // and on this compressible sweep it must cut link bytes >= 2x.
+      if (p.tput < raw_point.tput) {
+        std::printf("  codec gate FAIL: adaptive tput %.2fx of raw "
+                    "(need >= 1.00x)\n", tput_ratio);
+        codec_ok = false;
+      }
+      if (p.link_bytes * 2 > raw_point.link_bytes) {
+        std::printf("  codec gate FAIL: adaptive link bytes %.2fx cut "
+                    "(need >= 2.00x)\n", byte_cut);
+        codec_ok = false;
+      }
+      if (codec_ok) {
+        std::printf("  codec gates: adaptive %.2fx tput, %.2fx byte cut "
+                    "vs raw OK\n", tput_ratio, byte_cut);
+      }
+    }
+  }
+  codec_table.print();
+  smoke_ok = smoke_ok && codec_ok;
 
   if (!csv.empty()) {
     const std::string path = report_path_for(csv);

@@ -59,6 +59,7 @@ struct RoundPoint {
   core::CoordinationOutcome outcome;
   int actually_stale = 0;  // store ground truth after the round
   bool truthful = false;   // report == ground truth
+  std::uint64_t link_bytes = 0;  // cumulative wire bytes after this round
 };
 
 /// One emulated rank (device + allocator + manager + chunks).
@@ -70,16 +71,19 @@ struct RankNode {
   std::vector<alloc::Chunk*> chunks;
 };
 
+/// Compressible payload (seeded word per 64-byte run) so the codec sweep
+/// has something to shrink; the fault logic itself is content-agnostic.
 void fill(alloc::Chunk& c, std::uint64_t seed) {
   Rng rng(seed);
   auto* p = static_cast<std::byte*>(c.data());
   for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
-    const std::uint64_t v = rng.next_u64();
+    const std::uint64_t v = (i % 64 == 0) ? rng.next_u64() : 0;
     std::memcpy(p + i, &v, 8);
   }
 }
 
-std::vector<RoundPoint> run_scenario(const Scenario& sc) {
+std::vector<RoundPoint> run_scenario(const Scenario& sc,
+                                     core::CodecMode codec) {
   fault::FaultInjector inj;
   inj.arm(0xbf5 + static_cast<std::uint64_t>(sc.kind));
 
@@ -96,6 +100,7 @@ std::vector<RoundPoint> run_scenario(const Scenario& sc) {
     core::CheckpointConfig ccfg;
     ccfg.local_policy = core::PrecopyPolicy::kNone;
     ccfg.rank = static_cast<std::uint32_t>(r);
+    ccfg.codec_mode = codec;
     rn.mgr = std::make_unique<core::CheckpointManager>(*rn.alloc, ccfg);
     for (int j = 0; j < kChunksPerRank; ++j) {
       rn.chunks.push_back(rn.alloc->nvalloc(
@@ -161,6 +166,7 @@ std::vector<RoundPoint> run_scenario(const Scenario& sc) {
     }
     p.truthful = p.actually_stale == p.outcome.stale_chunks &&
                  p.outcome.degraded == (p.actually_stale > 0);
+    p.link_bytes = link.stats().checkpoint_bytes;
     points.push_back(p);
 
     if (round == kFaultRound) {  // clear the transient faults
@@ -195,9 +201,10 @@ int run(bool smoke) {
 
   TableWriter table(
       "Remote checkpoint path under injected transport faults\n"
-      "   (coordination outcome vs buddy-store ground truth, per round)",
-      {"scenario", "round", "fault", "degraded", "stale", "failed sends",
-       "retries", "truthful"},
+      "   (coordination outcome vs buddy-store ground truth, per round, "
+      "per transport codec)",
+      {"scenario", "codec", "round", "fault", "degraded", "stale",
+       "failed sends", "retries", "link bytes", "truthful"},
       csv);
 
   bool ok = true;
@@ -207,58 +214,72 @@ int run(bool smoke) {
     ok = false;
   };
 
+  // Every scenario runs once per transport codec: the degraded/retry
+  // contract is codec-independent, and the lz column shows framed rounds
+  // moving fewer wire bytes under the same faults.
+  const core::CodecMode codecs[] = {core::CodecMode::kRaw,
+                                    core::CodecMode::kLz};
   for (const Scenario& sc : scenarios) {
-    const std::vector<RoundPoint> pts = run_scenario(sc);
-    Json rows = Json::array();
-    int total_retries = 0;
-    for (const RoundPoint& p : pts) {
-      total_retries += p.outcome.retries;
-      table.row({sc.label, std::to_string(p.round),
-                 p.fault_active ? "on" : "off",
-                 p.outcome.degraded ? "yes" : "no",
-                 std::to_string(p.outcome.stale_chunks),
-                 std::to_string(p.outcome.failed_sends),
-                 std::to_string(p.outcome.retries),
-                 p.truthful ? "yes" : "NO"});
-      Json row;
-      row["round"] = p.round;
-      row["fault_active"] = p.fault_active;
-      row["degraded"] = p.outcome.degraded;
-      row["helper_dead"] = p.outcome.helper_dead;
-      row["stale_chunks"] = p.outcome.stale_chunks;
-      row["failed_sends"] = p.outcome.failed_sends;
-      row["retries"] = p.outcome.retries;
-      row["actually_stale"] = p.actually_stale;
-      row["truthful"] = p.truthful;
-      rows.push_back(std::move(row));
+    for (const core::CodecMode codec : codecs) {
+      const std::vector<RoundPoint> pts = run_scenario(sc, codec);
+      Json rows = Json::array();
+      int total_retries = 0;
+      std::uint64_t prev_bytes = 0;
+      for (const RoundPoint& p : pts) {
+        total_retries += p.outcome.retries;
+        const std::uint64_t round_bytes = p.link_bytes - prev_bytes;
+        prev_bytes = p.link_bytes;
+        table.row({sc.label, core::to_string(codec), std::to_string(p.round),
+                   p.fault_active ? "on" : "off",
+                   p.outcome.degraded ? "yes" : "no",
+                   std::to_string(p.outcome.stale_chunks),
+                   std::to_string(p.outcome.failed_sends),
+                   std::to_string(p.outcome.retries),
+                   format_bytes(static_cast<double>(round_bytes)),
+                   p.truthful ? "yes" : "NO"});
+        Json row;
+        row["codec"] = core::to_string(codec);
+        row["round"] = p.round;
+        row["fault_active"] = p.fault_active;
+        row["degraded"] = p.outcome.degraded;
+        row["helper_dead"] = p.outcome.helper_dead;
+        row["stale_chunks"] = p.outcome.stale_chunks;
+        row["failed_sends"] = p.outcome.failed_sends;
+        row["retries"] = p.outcome.retries;
+        row["link_bytes"] = round_bytes;
+        row["actually_stale"] = p.actually_stale;
+        row["truthful"] = p.truthful;
+        rows.push_back(std::move(row));
 
-      // Gates. Truthfulness is unconditional: a round whose report
-      // disagrees with the store is a silently stale remote cut.
-      if (!p.truthful) fail("report disagrees with store", sc, p.round);
-      if (p.round == kFaultRound &&
-          (sc.kind == FaultKind::kOutage || sc.kind == FaultKind::kStall ||
-           sc.kind == FaultKind::kKill) &&
-          !p.outcome.degraded) {
-        fail("faulted round not reported degraded", sc, p.round);
+        // Gates. Truthfulness is unconditional: a round whose report
+        // disagrees with the store is a silently stale remote cut.
+        if (!p.truthful) fail("report disagrees with store", sc, p.round);
+        if (p.round == kFaultRound &&
+            (sc.kind == FaultKind::kOutage || sc.kind == FaultKind::kStall ||
+             sc.kind == FaultKind::kKill) &&
+            !p.outcome.degraded) {
+          fail("faulted round not reported degraded", sc, p.round);
+        }
+        const bool must_converge =
+            sc.kind == FaultKind::kKill ? false : p.round > kFaultRound;
+        if (must_converge && p.actually_stale != 0) {
+          fail("no convergence after the fault cleared", sc, p.round);
+        }
+        if (sc.kind == FaultKind::kKill && p.round >= kFaultRound &&
+            !p.outcome.helper_dead) {
+          fail("dead helper not reported", sc, p.round);
+        }
       }
-      const bool must_converge =
-          sc.kind == FaultKind::kKill ? false : p.round > kFaultRound;
-      if (must_converge && p.actually_stale != 0) {
-        fail("no convergence after the fault cleared", sc, p.round);
+      if (sc.kind == FaultKind::kDrop && total_retries == 0) {
+        fail("drop scenario never retried", sc, kFaultRound);
       }
-      if (sc.kind == FaultKind::kKill && p.round >= kFaultRound &&
-          !p.outcome.helper_dead) {
-        fail("dead helper not reported", sc, p.round);
-      }
+      Json j;
+      j["label"] = sc.label;
+      j["codec"] = core::to_string(codec);
+      j["rounds"] = std::move(rows);
+      j["total_retries"] = total_retries;
+      out.push_back(std::move(j));
     }
-    if (sc.kind == FaultKind::kDrop && total_retries == 0) {
-      fail("drop scenario never retried", sc, kFaultRound);
-    }
-    Json j;
-    j["label"] = sc.label;
-    j["rounds"] = std::move(rows);
-    j["total_retries"] = total_retries;
-    out.push_back(std::move(j));
   }
   table.print();
   if (smoke) {

@@ -7,6 +7,7 @@
 // stores to NVM directly, avoiding the 10x store-latency penalty.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -83,6 +84,16 @@ class Chunk {
   /// 0 if none. Managed by the checkpoint engine.
   std::uint64_t precopied_epoch() const { return precopied_epoch_; }
 
+  /// Sampled-entropy estimate of the payload in bits/byte, refreshed by
+  /// every copy pass (the codec probe fused into precopy, like the CRC).
+  /// -1 until the chunk has been copied once. A hint, not a guarantee:
+  /// concurrent stores may have changed the payload since.
+  double entropy_hint() const {
+    const std::uint32_t v =
+        entropy_millibits_.load(std::memory_order_relaxed);
+    return v == kEntropyUnknown ? -1.0 : static_cast<double>(v) / 1000.0;
+  }
+
   vmem::ChunkRecord& record() { return *record_; }
   const vmem::ChunkRecord& record() const { return *record_; }
 
@@ -111,6 +122,12 @@ class Chunk {
   // engine stays stateless per chunk).
   std::uint64_t precopied_epoch_ = 0;
   std::uint64_t pending_checksum_ = 0;
+
+  /// Millibits/byte from the last copy pass's entropy probe (relaxed
+  /// atomic: written by the copier, read by the remote helper's codec
+  /// tuner on another thread).
+  static constexpr std::uint32_t kEntropyUnknown = ~0u;
+  std::atomic<std::uint32_t> entropy_millibits_{kEntropyUnknown};
 
   // Page-level tracking mode only: per-NVM-slot pending page sets (a page
   // is pending for a slot until its contents have been copied into that

@@ -9,6 +9,7 @@
 #include "common/checksum.hpp"
 #include "common/env.hpp"
 #include "common/log.hpp"
+#include "compress/codec.hpp"
 
 namespace nvmcp::alloc {
 namespace {
@@ -543,6 +544,14 @@ double ChunkAllocator::precopy_chunk(Chunk& c, std::uint64_t epoch,
   dev.flush(dst_off, c.size_);
   c.pending_checksum_ = crc64_final(sum);
   c.precopied_epoch_ = epoch;
+  // Codec probe, fused into the copy pass like the CRC: a strided sample
+  // of the payload just copied feeds the remote helper's codec tuner. The
+  // budget caps the probe at ~16 KiB regardless of chunk size, so this
+  // costs microseconds against a device copy.
+  c.entropy_millibits_.store(
+      static_cast<std::uint32_t>(
+          compress::entropy_probe(c.dram_, c.size_) * 1000.0),
+      std::memory_order_relaxed);
   return secs;
 }
 
@@ -785,6 +794,29 @@ std::vector<std::uint64_t> ChunkAllocator::retained_epochs(
     }
   }
   return out;
+}
+
+bool ChunkAllocator::read_retained(Chunk& c, std::uint64_t epoch,
+                                   void* dst) {
+  const vmem::ChunkRecord& rec = *c.record_;
+  if (epoch == 0 ||
+      (rec.has_committed() && rec.epoch[rec.committed] == epoch)) {
+    return read_committed(c, dst);
+  }
+  if (!c.ring_) return false;
+  // Pin across the read: GC or a racing commit could otherwise reclaim
+  // the slot mid-copy (same discipline as restore_chunk_epoch).
+  c.ring_->pin_epoch(epoch);
+  epoch::RingSlot s;
+  if (!c.ring_->find_epoch(epoch, &s)) {
+    c.ring_->unpin_epoch(epoch);
+    return false;
+  }
+  std::uint64_t sum = crc64_init();
+  container_->device().read(s.off, dst, rec.size, nullptr,
+                            opts_.verify_checksums ? &sum : nullptr);
+  c.ring_->unpin_epoch(epoch);
+  return !opts_.verify_checksums || crc64_final(sum) == s.checksum;
 }
 
 void ChunkAllocator::pin_epoch(Chunk& c, std::uint64_t epoch) {

@@ -192,8 +192,17 @@ class ChunkAllocator {
   /// committed epoch followed by the older epochs retained in its ring.
   std::vector<std::uint64_t> retained_epochs(const Chunk& c) const;
 
+  /// Read the payload of any retained epoch into caller memory without
+  /// touching the chunk's DRAM buffer (delta-codec base reads: the remote
+  /// sender XORs against it, restore decode re-reads it). Epoch 0 or the
+  /// newest committed epoch degrade to read_committed; older epochs come
+  /// from the version ring, pinned for the duration of the read. Returns
+  /// false when the epoch is not retained or fails verification.
+  bool read_retained(Chunk& c, std::uint64_t epoch, void* dst);
+
   /// Pin/unpin a retained epoch against reclamation (streaming-restore
-  /// sources). No-ops without a ring or for epoch 0.
+  /// sources, shipped delta-frame bases). No-ops without a ring or for
+  /// epoch 0.
   void pin_epoch(Chunk& c, std::uint64_t epoch);
   void unpin_epoch(Chunk& c, std::uint64_t epoch);
 

@@ -1,0 +1,166 @@
+#include "compress/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "compress/lz.hpp"
+#include "compress/xor_delta.hpp"
+
+namespace nvmcp::compress {
+namespace {
+
+constexpr std::size_t kDefaultProbeBudget = 16 * 1024;
+constexpr std::size_t kProbeBlock = 64;
+
+void write_header(std::byte* dst, const CodecHeader& h) {
+  std::memcpy(dst, &h, kCodecHeaderSize);
+}
+
+}  // namespace
+
+const char* to_string(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kBadFrame: return "bad-frame";
+    case DecodeStatus::kNeedBase: return "need-base";
+    case DecodeStatus::kCrcMismatch: return "crc-mismatch";
+    case DecodeStatus::kTooLarge: return "too-large";
+  }
+  return "?";
+}
+
+bool peek_frame(const void* frame, std::size_t n, CodecHeader* out) {
+  if (n < kCodecHeaderSize) return false;
+  CodecHeader h;
+  std::memcpy(&h, frame, kCodecHeaderSize);
+  if (h.magic != kCodecMagic || h.version != 1) return false;
+  if (h.codec > static_cast<std::uint8_t>(Codec::kDelta)) return false;
+  if (h.codec != static_cast<std::uint8_t>(Codec::kDelta) &&
+      h.base_epoch != 0) {
+    return false;
+  }
+  if (out) *out = h;
+  return true;
+}
+
+DecodeStatus decode_frame(const void* frame, std::size_t n, const void* base,
+                          void* dst, std::size_t cap) {
+  CodecHeader h;
+  if (!peek_frame(frame, n, &h)) return DecodeStatus::kBadFrame;
+  if (h.raw_size > cap) return DecodeStatus::kTooLarge;
+  const auto* body = static_cast<const std::byte*>(frame) + kCodecHeaderSize;
+  const std::size_t body_n = n - kCodecHeaderSize;
+  const auto codec = static_cast<Codec>(h.codec);
+  switch (codec) {
+    case Codec::kRaw: {
+      if (body_n != h.raw_size) return DecodeStatus::kBadFrame;
+      std::memcpy(dst, body, body_n);
+      break;
+    }
+    case Codec::kLz: {
+      std::size_t out_n = 0;
+      try {
+        out_n = lz_decompress(body, body_n, dst, h.raw_size);
+      } catch (const NvmcpError&) {
+        return DecodeStatus::kBadFrame;
+      }
+      if (out_n != h.raw_size) return DecodeStatus::kBadFrame;
+      break;
+    }
+    case Codec::kDelta: {
+      if (!base) return DecodeStatus::kNeedBase;
+      // Inflate the XOR residue, then apply it to the base. The residue
+      // lands in a scratch vector: the restore path runs once per chunk,
+      // so the allocation is immaterial.
+      std::vector<std::byte> residue(h.raw_size);
+      std::size_t out_n = 0;
+      try {
+        out_n = lz_decompress(body, body_n, residue.data(), residue.size());
+      } catch (const NvmcpError&) {
+        return DecodeStatus::kBadFrame;
+      }
+      if (out_n != h.raw_size) return DecodeStatus::kBadFrame;
+      xor_delta(residue.data(), base, h.raw_size, dst);
+      break;
+    }
+  }
+  if (crc64(dst, h.raw_size) != h.raw_crc) return DecodeStatus::kCrcMismatch;
+  return DecodeStatus::kOk;
+}
+
+FrameEncoder::Result FrameEncoder::encode(Codec want, const void* raw,
+                                          std::size_t n, const void* base,
+                                          std::uint64_t base_epoch) {
+  if (frame_.size() < max_frame_size(n)) frame_.resize(max_frame_size(n));
+  CodecHeader h;
+  h.raw_size = n;
+  h.raw_crc = crc64(raw, n);
+
+  std::byte* body = frame_.data() + kCodecHeaderSize;
+  // Only accept an encoded body strictly smaller than the raw body, so a
+  // frame never exceeds max_frame_size and incompressible payloads ship
+  // framed-raw.
+  const std::size_t body_cap = n > 0 ? n - 1 : 0;
+  Result res;
+  if (want == Codec::kLz && n > 0) {
+    const std::size_t en = lz_compress(raw, n, body, body_cap);
+    if (en > 0) {
+      h.codec = static_cast<std::uint8_t>(Codec::kLz);
+      res.codec = Codec::kLz;
+      res.frame_size = kCodecHeaderSize + en;
+    }
+  } else if (want == Codec::kDelta && n > 0 && base) {
+    if (scratch_.size() < n) scratch_.resize(n);
+    xor_delta(raw, base, n, scratch_.data());
+    const std::size_t en = lz_compress(scratch_.data(), n, body, body_cap);
+    if (en > 0) {
+      h.codec = static_cast<std::uint8_t>(Codec::kDelta);
+      h.base_epoch = base_epoch;
+      res.codec = Codec::kDelta;
+      res.frame_size = kCodecHeaderSize + en;
+    }
+  }
+  if (res.frame_size == 0) {
+    // Raw framing: requested, or the encoder failed to shrink the body.
+    std::memcpy(body, raw, n);
+    res.codec = Codec::kRaw;
+    res.frame_size = kCodecHeaderSize + n;
+  }
+  write_header(frame_.data(), h);
+  return res;
+}
+
+double entropy_probe(const void* data, std::size_t n, std::size_t budget) {
+  if (n == 0) return 0.0;
+  if (budget == 0) budget = kDefaultProbeBudget;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t hist[256] = {};
+  std::size_t sampled = 0;
+  if (n <= budget) {
+    for (std::size_t i = 0; i < n; ++i) ++hist[p[i]];
+    sampled = n;
+  } else {
+    // Evenly strided 64-byte blocks across the payload.
+    const std::size_t blocks = budget / kProbeBlock;
+    const std::size_t stride = n / blocks;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t off = b * stride;
+      const std::size_t len = std::min(kProbeBlock, n - off);
+      for (std::size_t i = 0; i < len; ++i) ++hist[p[off + i]];
+      sampled += len;
+    }
+  }
+  double entropy = 0.0;
+  const double inv = 1.0 / static_cast<double>(sampled);
+  for (int v = 0; v < 256; ++v) {
+    if (hist[v] == 0) continue;
+    const double f = hist[v] * inv;
+    entropy -= f * std::log2(f);
+  }
+  return entropy;
+}
+
+}  // namespace nvmcp::compress

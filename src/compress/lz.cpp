@@ -111,11 +111,16 @@ std::size_t lz_decompress(const void* src_v, std::size_t n, void* dst_v,
   std::uint8_t* op = dst;
   std::uint8_t* const oend = dst + cap;
 
+  // Every bound below compares remaining space (iend - ip / oend - op)
+  // against the length instead of forming ip + len: a hostile run-length
+  // can approach SIZE_MAX and pointer arithmetic past the buffer end is
+  // both UB and wraparound-prone.
   auto read_runlen = [&](std::size_t base) -> std::size_t {
     std::size_t len = base;
     for (;;) {
       if (ip >= iend) throw NvmcpError("lz: truncated run length");
       const std::uint8_t b = *ip++;
+      if (len > SIZE_MAX - b) throw NvmcpError("lz: run length overflow");
       len += b;
       if (b != 255) return len;
     }
@@ -125,14 +130,20 @@ std::size_t lz_decompress(const void* src_v, std::size_t n, void* dst_v,
     const std::uint8_t token = *ip++;
     std::size_t lit_len = token >> 4;
     if (lit_len == 15) lit_len = read_runlen(15);
-    if (ip + lit_len > iend) throw NvmcpError("lz: truncated literals");
-    if (op + lit_len > oend) throw NvmcpError("lz: output overflow");
+    if (lit_len > static_cast<std::size_t>(iend - ip)) {
+      throw NvmcpError("lz: truncated literals");
+    }
+    if (lit_len > static_cast<std::size_t>(oend - op)) {
+      throw NvmcpError("lz: output overflow");
+    }
     std::memcpy(op, ip, lit_len);
     ip += lit_len;
     op += lit_len;
     if (ip >= iend) break;  // final sequence has no match part
 
-    if (ip + 2 > iend) throw NvmcpError("lz: truncated offset");
+    if (static_cast<std::size_t>(iend - ip) < 2) {
+      throw NvmcpError("lz: truncated offset");
+    }
     const std::size_t offset =
         static_cast<std::size_t>(ip[0]) |
         (static_cast<std::size_t>(ip[1]) << 8);
@@ -140,11 +151,16 @@ std::size_t lz_decompress(const void* src_v, std::size_t n, void* dst_v,
     if (offset == 0) throw NvmcpError("lz: zero match offset");
     std::size_t match_len = token & 0x0f;
     if (match_len == 15) match_len = read_runlen(15);
+    if (match_len > SIZE_MAX - kMinMatch) {
+      throw NvmcpError("lz: run length overflow");
+    }
     match_len += kMinMatch;
     if (static_cast<std::size_t>(op - dst) < offset) {
       throw NvmcpError("lz: match offset before output start");
     }
-    if (op + match_len > oend) throw NvmcpError("lz: output overflow");
+    if (match_len > static_cast<std::size_t>(oend - op)) {
+      throw NvmcpError("lz: output overflow");
+    }
     // Byte-wise copy: overlapping matches (offset < match_len) replicate.
     const std::uint8_t* from = op - offset;
     for (std::size_t i = 0; i < match_len; ++i) op[i] = from[i];

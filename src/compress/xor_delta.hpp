@@ -1,0 +1,18 @@
+// XOR delta between two same-sized payload versions.
+//
+// The PR-7 version ring retains the last N committed epochs of a chunk on
+// the device, so the previous retained epoch is a free delta base: for a
+// low-churn chunk, cur XOR base is almost all zero bytes, which the LZ
+// codec then collapses by orders of magnitude. The delta stage is pure
+// byte math -- framing, base-epoch bookkeeping and the compression of the
+// XOR residue live in compress/codec.
+#pragma once
+
+#include <cstddef>
+
+namespace nvmcp::compress {
+
+/// dst[i] = a[i] ^ b[i] for i in [0, n). dst may alias a or b.
+void xor_delta(const void* a, const void* b, std::size_t n, void* dst);
+
+}  // namespace nvmcp::compress

@@ -31,6 +31,33 @@ inline const char* to_string(PrecopyPolicy p) {
   return "?";
 }
 
+/// Remote-transport payload codec (the adaptive-codec stage fused into
+/// the parallel checkpoint pipeline). Local NVM slots always hold raw
+/// bytes; the codec applies to what the remote helper *ships*:
+///   kUnset    - resolve from NVMCP_CODEC (unset env = kRaw)
+///   kRaw      - legacy unframed puts, byte-for-byte the pre-codec wire
+///               and store behavior
+///   kLz       - every send framed + LZ-compressed (raw fallback when the
+///               payload does not shrink)
+///   kDelta    - every send framed + XOR-delta against the previous
+///               retained epoch when one is available (else LZ/raw)
+///   kAdaptive - per-chunk choice raw/LZ/delta from the sampled-entropy
+///               probe, the DCPCP modification predictor and the
+///               CodecTuner's observed encode-throughput-vs-link cost
+///               model
+enum class CodecMode : std::uint8_t { kUnset, kRaw, kLz, kDelta, kAdaptive };
+
+inline const char* to_string(CodecMode m) {
+  switch (m) {
+    case CodecMode::kUnset: return "unset";
+    case CodecMode::kRaw: return "raw";
+    case CodecMode::kLz: return "lz";
+    case CodecMode::kDelta: return "delta";
+    case CodecMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
 struct CheckpointConfig {
   PrecopyPolicy local_policy = PrecopyPolicy::kDcpcp;
 
@@ -87,6 +114,11 @@ struct CheckpointConfig {
   /// EpochGc::run_pass directly.
   bool epoch_gc_background = true;
 
+  /// Remote-transport codec for this rank's chunks (see CodecMode).
+  /// kUnset consults the NVMCP_CODEC environment knob; unset there too
+  /// means kRaw, which is byte-for-byte the legacy wire behavior.
+  CodecMode codec_mode = CodecMode::kUnset;
+
   /// Rank of this process within its node (used for remote put keys).
   std::uint32_t rank = 0;
 };
@@ -100,6 +132,11 @@ std::size_t resolve_copy_threads(std::size_t configured);
 /// ("0"/"off"/"false" disables, anything else -- including unset -- means
 /// enabled); 0/1 are returned as false/true regardless of the environment.
 bool resolve_batch_rearm(int configured);
+
+/// Resolve CheckpointConfig::codec_mode: kUnset consults NVMCP_CODEC
+/// ("raw" / "lz" / "delta" / "adaptive"; unset or unrecognized = raw),
+/// any pinned value is returned unchanged.
+CodecMode resolve_codec_mode(CodecMode configured);
 
 /// Health of one rank's remote-replication path. Transitions are driven by
 /// the helper's send outcomes (see RemoteCheckpointer):

@@ -49,6 +49,15 @@ bool resolve_batch_rearm(int configured) {
   return env::get_bool("NVMCP_BATCH_REARM", true);
 }
 
+CodecMode resolve_codec_mode(CodecMode configured) {
+  if (configured != CodecMode::kUnset) return configured;
+  const std::string v = env::get_string("NVMCP_CODEC", "raw");
+  if (v == "lz") return CodecMode::kLz;
+  if (v == "delta") return CodecMode::kDelta;
+  if (v == "adaptive") return CodecMode::kAdaptive;
+  return CodecMode::kRaw;
+}
+
 CheckpointManager::CheckpointManager(alloc::ChunkAllocator& allocator,
                                      CheckpointConfig cfg)
     : alloc_(&allocator), cfg_(cfg), stream_(cfg.nvm_bw_per_core),

@@ -79,6 +79,17 @@ RemoteCheckpointer::RemoteCheckpointer(
   m_.wall_seconds = &metrics_.gauge("remote.wall_seconds");
   m_.last_round_seconds = &metrics_.gauge("remote.last_round_seconds");
   m_.stale_chunks = &metrics_.gauge("remote.stale_chunks");
+  m_.codec_bytes_in = &metrics_.counter("codec.bytes_in");
+  m_.codec_bytes_out = &metrics_.counter("codec.bytes_out");
+  m_.codec_choice[0] = &metrics_.counter("codec.choice.raw");
+  m_.codec_choice[1] = &metrics_.counter("codec.choice.lz");
+  m_.codec_choice[2] = &metrics_.counter("codec.choice.delta");
+  m_.codec_encode_seconds = &metrics_.gauge("codec.encode_seconds");
+  m_.codec_ratio = &metrics_.gauge("codec.ratio");
+  codec_mode_.reserve(managers_.size());
+  for (CheckpointManager* m : managers_) {
+    codec_mode_.push_back(resolve_codec_mode(m->config().codec_mode));
+  }
   health_.resize(managers_.size());
   for (std::size_t i = 0; i < managers_.size(); ++i) {
     health_[i].gauge = &metrics_.gauge(
@@ -87,7 +98,10 @@ RemoteCheckpointer::RemoteCheckpointer(
   }
 }
 
-RemoteCheckpointer::~RemoteCheckpointer() { stop(); }
+RemoteCheckpointer::~RemoteCheckpointer() {
+  stop();
+  release_base_pins();
+}
 
 void RemoteCheckpointer::start() {
   bool expected = false;
@@ -186,6 +200,58 @@ std::vector<StaleChunk> RemoteCheckpointer::stale() const {
   return stale_;
 }
 
+void RemoteCheckpointer::force_raw_reship() {
+  force_raw_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(round_mu_);
+  // Forgetting what was sent makes the next round re-put everything; with
+  // the raw latch up, every re-put is a self-contained raw frame.
+  sent_epoch_.clear();
+}
+
+void RemoteCheckpointer::set_inflight_base(const Key& key, alloc::Chunk& c,
+                                           std::uint64_t base_epoch) {
+  auto& a = managers_[key.mgr]->allocator();
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  auto it = inflight_base_.find(key);
+  const std::uint64_t old = it != inflight_base_.end() ? it->second : 0;
+  // Pins nest, so this is plain counting: the previous inflight pin is
+  // released (even when old == base_epoch -- the caller's fresh pin
+  // replaces it) and the caller's pin is recorded.
+  if (old) a.unpin_epoch(c, old);
+  if (base_epoch) {
+    inflight_base_[key] = base_epoch;
+  } else if (it != inflight_base_.end()) {
+    inflight_base_.erase(it);
+  }
+}
+
+void RemoteCheckpointer::promote_base_pin(const Key& key, alloc::Chunk& c) {
+  auto& a = managers_[key.mgr]->allocator();
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  auto cit = committed_base_.find(key);
+  const std::uint64_t old = cit != committed_base_.end() ? cit->second : 0;
+  auto iit = inflight_base_.find(key);
+  if (iit != inflight_base_.end()) {
+    committed_base_[key] = iit->second;  // pin transfers, no ring ops
+    inflight_base_.erase(iit);
+  } else if (cit != committed_base_.end()) {
+    committed_base_.erase(cit);  // new committed frame references no base
+  }
+  if (old) a.unpin_epoch(c, old);
+}
+
+void RemoteCheckpointer::release_base_pins() {
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  for (auto* pins : {&inflight_base_, &committed_base_}) {
+    for (const auto& [key, epoch] : *pins) {
+      if (!epoch) continue;
+      alloc::Chunk* c = managers_[key.mgr]->allocator().find(key.chunk_id);
+      if (c) managers_[key.mgr]->allocator().unpin_epoch(*c, epoch);
+    }
+    pins->clear();
+  }
+}
+
 RemoteCheckpointer::SendResult RemoteCheckpointer::send_chunk(
     std::size_t mgr_idx, alloc::Chunk& c, bool count_as_precopy, bool paced,
     int max_attempts, double* backoff_budget) {
@@ -206,10 +272,81 @@ RemoteCheckpointer::SendResult RemoteCheckpointer::send_chunk(
   if (!mgr.allocator().read_committed(c, staging_.data())) {
     return SendResult{SendStatus::kLocalReadFailed};
   }
+
+  // --- codec stage (fused into the send the way CRC fused into the copy
+  // pass): pick a codec, encode once into the frame buffer; retries
+  // re-ship the same frame bytes. kRaw mode skips all of it and keeps the
+  // legacy unframed put byte-for-byte.
+  const CodecMode mode = codec_mode_[mgr_idx];
+  const std::size_t raw_n = c.size();
+  const bool framed = mode != CodecMode::kRaw && mode != CodecMode::kUnset;
+  const std::byte* wire = staging_.data();
+  std::size_t wire_n = raw_n;
+  auto used = compress::Codec::kRaw;
+  std::uint64_t base_epoch = 0;  // nonzero => we hold a temp pin on it
+  double encode_s = 0;
+  if (framed) {
+    // A degraded/isolated path or an explicit raw re-ship request encodes
+    // nothing: a stale remote cut recovers fastest with self-contained
+    // frames no delta base can invalidate.
+    const bool raw_only = force_raw_.load(std::memory_order_acquire) ||
+                          health(mgr_idx) != RemoteHealth::kHealthy;
+    auto want = compress::Codec::kRaw;
+    bool have_base = false;
+    if (!raw_only) {
+      // Delta base candidate: the newest retained epoch behind the one
+      // being shipped. Pinned before the read and held (on success) until
+      // the remote frame referencing it is itself superseded, so ring GC
+      // can never reclaim a base a shipped frame still needs.
+      auto& a = mgr.allocator();
+      if (a.ring_depth() > 1) {
+        for (std::uint64_t e : a.retained_epochs(c)) {
+          if (e < epoch) {
+            base_epoch = e;
+            break;
+          }
+        }
+      }
+      if (base_epoch) {
+        if (base_buf_.size() < raw_n) base_buf_.resize(raw_n);
+        a.pin_epoch(c, base_epoch);
+        if (a.read_retained(c, base_epoch, base_buf_.data())) {
+          have_base = true;
+        } else {
+          a.unpin_epoch(c, base_epoch);
+          base_epoch = 0;
+        }
+      }
+      want = tuner_.choose(mode, c.entropy_hint(),
+                           mgr.prediction().predicted(c.id()), raw_n,
+                           have_base);
+    }
+    const Stopwatch enc_sw;
+    const auto fr = encoder_.encode(want, staging_.data(), raw_n,
+                                    have_base ? base_buf_.data() : nullptr,
+                                    base_epoch);
+    encode_s = enc_sw.elapsed();
+    used = fr.codec;
+    wire = encoder_.frame();
+    wire_n = fr.frame_size;
+    if (used != compress::Codec::kDelta && base_epoch) {
+      // The tuner passed on delta (or the encoder fell back to raw
+      // framing): the candidate base is not referenced after all.
+      mgr.allocator().unpin_epoch(c, base_epoch);
+      base_epoch = 0;
+    }
+    m_.codec_bytes_in->add(raw_n);
+    m_.codec_bytes_out->add(wire_n);
+    m_.codec_choice[static_cast<int>(used)]->add(1);
+    m_.codec_encode_seconds->add(encode_s);
+  }
+
   // Pace *before* the busy window: waiting for pace credit is idle time,
   // not helper work (Table V measures the helper core's utilization).
+  // Charged at the *wire* size -- an encoded chunk earns back the link
+  // time its compression saved.
   if (paced && !pace_.unlimited()) {
-    sleep_until(pace_.acquire(c.size()));
+    sleep_until(pace_.acquire(wire_n));
   }
 
   SendResult res;
@@ -246,12 +383,26 @@ RemoteCheckpointer::SendResult RemoteCheckpointer::send_chunk(
       telemetry::Span span(count_as_precopy ? "remote_precopy_put"
                                             : "remote_coordinated_put",
                            "ckpt.remote");
-      put = remote_.put(mgr.config().rank, c.id(), staging_.data(), c.size(),
-                        epoch, /*commit=*/false);
+      if (framed) {
+        // Slots sized to the frame *capacity* so codec-dependent frame
+        // sizes never force a remote slot realloc across epochs.
+        put = remote_.put_framed(mgr.config().rank, c.id(), wire, wire_n,
+                                 compress::max_frame_size(raw_n), epoch);
+      } else {
+        put = remote_.put(mgr.config().rank, c.id(), staging_.data(),
+                          raw_n, epoch, /*commit=*/false);
+      }
     }
     m_.busy_seconds->add(sw.elapsed());
     if (put.ok) {
-      m_.bytes_sent->add(c.size());
+      m_.bytes_sent->add(wire_n);
+      if (framed) {
+        tuner_.observe(used, raw_n, wire_n, encode_s, put.seconds);
+        // The frame now sits in the remote in-progress slot: its base pin
+        // (if delta) replaces whatever the previous inflight frame held.
+        set_inflight_base(Key{mgr_idx, c.id()}, c,
+                          used == compress::Codec::kDelta ? base_epoch : 0);
+      }
       if (count_as_precopy) {
         m_.precopy_puts->add(1);
       } else {
@@ -265,7 +416,11 @@ RemoteCheckpointer::SendResult RemoteCheckpointer::send_chunk(
     res.status = SendStatus::kDropped;  // lost in transit; retry
   }
   // Exhausted the retry allowance: a real transport failure, visible to
-  // the health machine and (via the caller) the round outcome.
+  // the health machine and (via the caller) the round outcome. A delta
+  // frame that never arrived references nothing; drop its temp base pin.
+  if (used == compress::Codec::kDelta && base_epoch) {
+    mgr.allocator().unpin_epoch(c, base_epoch);
+  }
   m_.put_failures->add(1);
   record_put_failure(mgr_idx);
   return res;
@@ -437,19 +592,36 @@ CoordinationOutcome RemoteCheckpointer::coordinate_now() {
         }
         sent_epoch_[key] = sent.epoch;
       }
+      auto re = remote_epoch_.find(key);
+      const bool advanced =
+          re == remote_epoch_.end() || re->second != local_epoch;
       remote_.commit(mgr.config().rank, c->id(), local_epoch);
       // Bookkeeping advances only after a delivered put + commit, so
       // remote_epoch_ exactly tracks the store's committed ground truth.
       remote_epoch_[key] = local_epoch;
+      // The committed remote frame is now the one we last put: its delta
+      // base pin (if any) moves from the inflight slot to the committed
+      // slot, releasing the pin of the superseded committed frame.
+      if (advanced) promote_base_pin(key, *c);
     }
   }
   locks.clear();
 
   out.degraded = !stale_.empty();
   out.stale_chunks = static_cast<int>(stale_.size());
+  if (!out.degraded) {
+    // A converged round means the raw re-ship (if one was requested)
+    // completed: adaptive encoding may resume.
+    force_raw_.store(false, std::memory_order_release);
+  }
   m_.coordinations->add(1);
   m_.last_round_seconds->set(round_sw.elapsed());
   m_.stale_chunks->set(static_cast<double>(stale_.size()));
+  const std::uint64_t codec_in = m_.codec_bytes_in->value();
+  if (codec_in > 0) {
+    m_.codec_ratio->set(static_cast<double>(m_.codec_bytes_out->value()) /
+                        static_cast<double>(codec_in));
+  }
   if (out.degraded) {
     m_.degraded_rounds->add(1);
     log_warn("remote coordination degraded: %d chunk(s) remote-stale, "

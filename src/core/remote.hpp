@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "compress/codec.hpp"
+#include "core/codec_tuner.hpp"
 #include "core/manager.hpp"
 #include "core/restart.hpp"
 #include "net/remote_memory.hpp"
@@ -111,6 +113,19 @@ class RemoteCheckpointer {
   /// cut, and every rank's health drops to kIsolated. nullptr detaches.
   void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
 
+  /// Resolved codec mode of one manager's replication stream (config +
+  /// NVMCP_CODEC). kRaw takes the legacy unframed put path byte-for-byte.
+  CodecMode codec_mode(std::size_t mgr_idx) const {
+    return codec_mode_[mgr_idx];
+  }
+
+  /// Force the next coordination round to re-ship every chunk as a raw
+  /// frame (self-contained, no delta base to chase). The recovery lever
+  /// when a shipped delta's base was lost or corrupted on the source node:
+  /// one raw round makes the remote cut restorable again. The flag clears
+  /// itself after the next non-degraded round.
+  void force_raw_reship();
+
  private:
   struct Key {
     std::size_t mgr;
@@ -183,11 +198,44 @@ class RemoteCheckpointer {
 
   // The helper moves one chunk at a time (the paper's single helper core):
   // send_mu_ serializes sends from the background pre-copy loop and an
-  // external coordinate_now(), and guards staging_ + the jitter stream.
-  // Lock order: round_mu_ -> commit mutexes -> send_mu_.
+  // external coordinate_now(), and guards staging_/base_buf_, the frame
+  // encoder, the codec tuner and the jitter stream.
+  // Lock order: round_mu_ -> commit mutexes -> send_mu_ -> pin_mu_.
   std::mutex send_mu_;
   std::vector<std::byte> staging_;
+  std::vector<std::byte> base_buf_;  // delta base payload (read_retained)
+  compress::FrameEncoder encoder_;
+  CodecTuner tuner_;
   Rng retry_rng_{0x7e721e5};  // backoff jitter only; never affects data
+
+  // Adaptive-codec state. codec_mode_ is resolved per manager at
+  // construction; force_raw_ is the raw re-ship latch (see
+  // force_raw_reship).
+  std::vector<CodecMode> codec_mode_;
+  std::atomic<bool> force_raw_{false};
+
+  // Version-ring pins protecting shipped delta bases from GC. A delta
+  // frame is useless without its base epoch readable on the source node,
+  // so the sender holds one pin per referenced base: inflight_base_ for
+  // the frame sitting (uncommitted) in the remote in-progress slot,
+  // committed_base_ for the remotely committed frame. A remote commit
+  // transfers the inflight pin to the committed slot (pins nest, so the
+  // bookkeeping is plain counting). Guarded by pin_mu_ because sends
+  // (send_mu_) and the commit pass (round_mu_) both touch them.
+  std::mutex pin_mu_;
+  std::map<Key, std::uint64_t> inflight_base_;
+  std::map<Key, std::uint64_t> committed_base_;
+  /// Record `base_epoch` (0 = none) as the inflight delta base of `key`,
+  /// releasing the pin on any previous inflight base. The caller has
+  /// already pinned `base_epoch` once; that pin transfers in.
+  void set_inflight_base(const Key& key, alloc::Chunk& c,
+                         std::uint64_t base_epoch);
+  /// Remote commit advanced for `key`: the inflight base pin (if any)
+  /// becomes the committed base pin, and the previous committed pin is
+  /// released.
+  void promote_base_pin(const Key& key, alloc::Chunk& c);
+  /// Drop every pin (destructor; chunks already deleted are skipped).
+  void release_base_pins();
 
   // Per-rank transport health (index == manager index).
   struct HealthSlot {
@@ -215,6 +263,11 @@ class RemoteCheckpointer {
     telemetry::Gauge* wall_seconds;
     telemetry::Gauge* last_round_seconds;
     telemetry::Gauge* stale_chunks;
+    telemetry::Counter* codec_bytes_in;
+    telemetry::Counter* codec_bytes_out;
+    telemetry::Counter* codec_choice[3];  // indexed by compress::Codec
+    telemetry::Gauge* codec_encode_seconds;
+    telemetry::Gauge* codec_ratio;
   } m_{};
   Stopwatch wall_;
   double round_start_ = 0;  // guarded by round_mu_ once helper_ runs

@@ -31,10 +31,13 @@ vmem::ChunkRecord* RemoteStore::find_or_create(std::uint64_t id,
   auto& meta = container_.metadata();
   vmem::ChunkRecord* rec = meta.find(id);
   if (rec && rec->size != n) {
-    // Size changed (nvrealloc on the source): replace the slots.
+    // Size changed (nvrealloc on the source): replace the slots. Any
+    // pending or framed state referred to the old slots.
     container_.free_region(rec->slot_off[0], rec->size);
     container_.free_region(rec->slot_off[1], rec->size);
     meta.erase(id);
+    pending_.erase(id);
+    committed_frame_.erase(id);
     rec = nullptr;
   }
   if (!rec) {
@@ -90,6 +93,80 @@ PutResult RemoteStore::put(std::uint32_t src_rank, std::uint64_t chunk_id,
   return PutResult{true, sw.elapsed()};
 }
 
+PutResult RemoteStore::put_framed(std::uint32_t src_rank,
+                                  std::uint64_t chunk_id, const void* frame,
+                                  std::size_t frame_n,
+                                  std::size_t slot_capacity,
+                                  std::uint64_t epoch, Interconnect* link,
+                                  BandwidthLimiter* pace) {
+  if (frame_n == 0 || frame_n > slot_capacity) return PutResult{false, 0.0};
+  if (injector_ && injector_->armed() && injector_->should_drop_remote_op()) {
+    return PutResult{false, 0.0};
+  }
+  const std::uint64_t id = pair_id(src_rank, chunk_id);
+  vmem::ChunkRecord* rec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Slots sized to the frame *capacity*, never the frame itself: frame
+    // sizes vary per epoch with the codec choice, and a realloc here would
+    // destroy the committed slot.
+    rec = find_or_create(id, slot_capacity);
+  }
+  const std::uint32_t slot = rec->in_progress_slot();
+  const auto* src = static_cast<const std::byte*>(frame);
+  const Stopwatch sw;
+  std::size_t done = 0;
+  // Only the frame bytes cross the link: an encoded chunk is paced and
+  // accounted at its encoded size, which is the whole point of the codec.
+  if (pace) sleep_until(pace->acquire(frame_n));
+  while (done < frame_n) {
+    const std::size_t len = std::min(kSegment, frame_n - done);
+    dev_.write(rec->slot_off[slot] + done, src + done, len,
+               link ? &link->limiter() : nullptr);
+    if (link) link->note_bytes(len, TrafficClass::kCheckpoint);
+    done += len;
+  }
+  dev_.flush(rec->slot_off[slot], frame_n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_[id] = Pending{crc64(frame, frame_n), epoch, frame_n};
+  }
+  return PutResult{true, sw.elapsed()};
+}
+
+std::size_t RemoteStore::get_framed(std::uint32_t src_rank,
+                                    std::uint64_t chunk_id, void* dst,
+                                    std::size_t cap, Interconnect* link) {
+  const std::uint64_t id = pair_id(src_rank, chunk_id);
+  vmem::ChunkRecord* rec;
+  std::size_t frame_n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rec = container_.metadata().find(id);
+    auto it = committed_frame_.find(id);
+    if (it != committed_frame_.end()) frame_n = it->second;
+  }
+  // Not a framed pair: bail before the injector draw so legacy raw-mode
+  // restores consume exactly the drop samples they always did.
+  if (!rec || !rec->has_committed() || frame_n == 0 || frame_n > cap ||
+      frame_n > rec->size) {
+    return 0;
+  }
+  if (injector_ && injector_->armed() && injector_->should_drop_remote_op()) {
+    return 0;
+  }
+  auto* d = static_cast<std::byte*>(dst);
+  std::size_t done = 0;
+  while (done < frame_n) {
+    const std::size_t len = std::min(kSegment, frame_n - done);
+    dev_.read(rec->slot_off[rec->committed] + done, d + done, len,
+              link ? &link->limiter() : nullptr);
+    if (link) link->note_bytes(len, TrafficClass::kCheckpoint);
+    done += len;
+  }
+  return crc64(dst, frame_n) == rec->checksum[rec->committed] ? frame_n : 0;
+}
+
 void RemoteStore::commit(std::uint32_t src_rank, std::uint64_t chunk_id,
                          std::uint64_t epoch) {
   const std::uint64_t id = pair_id(src_rank, chunk_id);
@@ -104,6 +181,11 @@ void RemoteStore::commit(std::uint32_t src_rank, std::uint64_t chunk_id,
   container_.metadata().persist_record(*rec);
   rec->committed = slot;
   container_.metadata().persist_record(*rec);
+  if (it->second.frame_len != 0) {
+    committed_frame_[id] = it->second.frame_len;
+  } else {
+    committed_frame_.erase(id);  // legacy raw put overwrote a framed pair
+  }
   pending_.erase(it);
 }
 
@@ -143,6 +225,20 @@ std::uint64_t RemoteStore::committed_epoch(std::uint32_t src_rank,
 std::size_t RemoteStore::stored_chunks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return container_.metadata().record_count();
+}
+
+bool RemoteStore::corrupt_committed(std::uint32_t src_rank,
+                                    std::uint64_t chunk_id,
+                                    fault::FaultInjector& fi) {
+  const std::uint64_t id = pair_id(src_rank, chunk_id);
+  std::lock_guard<std::mutex> lock(mu_);
+  vmem::ChunkRecord* rec = container_.metadata().find(id);
+  if (!rec || !rec->has_committed()) return false;
+  std::size_t len = rec->size;
+  auto it = committed_frame_.find(id);
+  if (it != committed_frame_.end()) len = it->second;
+  fi.flip_random_bit(dev_.data() + rec->slot_off[rec->committed], len);
+  return true;
 }
 
 PutResult RemoteMemory::put(std::uint32_t src_rank, std::uint64_t chunk_id,

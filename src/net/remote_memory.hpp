@@ -64,6 +64,26 @@ class RemoteStore {
                 bool commit, Interconnect* link,
                 BandwidthLimiter* pace = nullptr);
 
+  /// Framed variant (adaptive-codec transport): store `frame_n` wire
+  /// bytes -- a compress::CodecHeader plus encoded body, opaque to the
+  /// store -- in slots of `slot_capacity` bytes (the caller's
+  /// max_frame_size(payload), stable across epochs so varying frame sizes
+  /// never force a slot realloc). Only the frame bytes move over the
+  /// link, so an encoded chunk is charged at its *encoded* size. The
+  /// slot checksum covers the frame bytes; the raw-payload CRC inside the
+  /// header is the decoder's laundering guard behind it.
+  PutResult put_framed(std::uint32_t src_rank, std::uint64_t chunk_id,
+                       const void* frame, std::size_t frame_n,
+                       std::size_t slot_capacity, std::uint64_t epoch,
+                       Interconnect* link, BandwidthLimiter* pace = nullptr);
+
+  /// Read back the committed frame of a framed pair into dst (capacity
+  /// cap). Returns the frame size, or 0 when the pair is unknown,
+  /// uncommitted, not framed (legacy raw pair), too large for cap, or the
+  /// stored frame fails its checksum.
+  std::size_t get_framed(std::uint32_t src_rank, std::uint64_t chunk_id,
+                         void* dst, std::size_t cap, Interconnect* link);
+
   /// Commit whatever the in-progress slot of the pair holds as `epoch`.
   /// Used for coordinated remote checkpoints where the payload arrived in
   /// earlier pre-copy puts. No-op if the pair is unknown.
@@ -81,6 +101,14 @@ class RemoteStore {
 
   std::size_t stored_chunks() const;
 
+  /// Chaos hook: flip one random bit (drawn from `fi`'s stream) inside
+  /// the committed payload/frame of a pair, as in-transit or at-rest
+  /// corruption would. Returns false when the pair is unknown or
+  /// uncommitted. Campaigns use this to prove corrupted encoded payloads
+  /// are *detected* at fetch/decode, never laundered into restored state.
+  bool corrupt_committed(std::uint32_t src_rank, std::uint64_t chunk_id,
+                         fault::FaultInjector& fi);
+
  private:
   static std::uint64_t pair_id(std::uint32_t src_rank, std::uint64_t chunk_id);
   vmem::ChunkRecord* find_or_create(std::uint64_t id, std::size_t n);
@@ -93,8 +121,12 @@ class RemoteStore {
   struct Pending {
     std::uint64_t checksum = 0;
     std::uint64_t epoch = 0;
+    std::size_t frame_len = 0;  // 0 = legacy unframed payload
   };
   std::map<std::uint64_t, Pending> pending_;
+  // Frame length of each framed pair's *committed* slot (absent = the
+  // committed payload is legacy raw bytes filling the whole record size).
+  std::map<std::uint64_t, std::size_t> committed_frame_;
 };
 
 /// The node-side handle pairing a link with a destination store.
@@ -108,6 +140,16 @@ class RemoteMemory {
                 const void* data, std::size_t n, std::uint64_t epoch,
                 bool commit, BandwidthLimiter* pace = nullptr);
 
+  /// Framed remote put (see RemoteStore::put_framed); only the frame
+  /// bytes occupy the link.
+  PutResult put_framed(std::uint32_t src_rank, std::uint64_t chunk_id,
+                       const void* frame, std::size_t frame_n,
+                       std::size_t slot_capacity, std::uint64_t epoch,
+                       BandwidthLimiter* pace = nullptr) {
+    return store_->put_framed(src_rank, chunk_id, frame, frame_n,
+                              slot_capacity, epoch, link_, pace);
+  }
+
   void commit(std::uint32_t src_rank, std::uint64_t chunk_id,
               std::uint64_t epoch) {
     store_->commit(src_rank, chunk_id, epoch);
@@ -116,6 +158,12 @@ class RemoteMemory {
   /// Remote get (restart fetch); accounted as checkpoint traffic.
   bool get(std::uint32_t src_rank, std::uint64_t chunk_id, void* dst,
            std::size_t n);
+
+  /// Framed remote get; 0 when the pair holds no (valid) committed frame.
+  std::size_t get_framed(std::uint32_t src_rank, std::uint64_t chunk_id,
+                         void* dst, std::size_t cap) {
+    return store_->get_framed(src_rank, chunk_id, dst, cap, link_);
+  }
 
   /// Application communication phase: occupy the link with `bytes` of
   /// app-class traffic (MPI halo exchanges etc. in the workload driver).

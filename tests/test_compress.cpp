@@ -133,6 +133,112 @@ TEST(Lz, DecompressRejectsBadOffset) {
                NvmcpError);
 }
 
+TEST(Lz, ExtendedRunLengthBoundaries) {
+  // Token nibbles saturate at 15 and spill into 255-run extension bytes:
+  // exercise literal runs and match runs right at every spill boundary
+  // (15, 15+255, 15+2*255, +/-1) so the extension encode/decode paths
+  // round trip exactly.
+  Rng rng(11);
+  const std::size_t bounds[] = {14, 15, 16, 269, 270, 271, 524, 525, 526};
+  for (const std::size_t lit : bounds) {
+    for (const std::size_t run : bounds) {
+      std::vector<std::uint8_t> in;
+      // Incompressible prefix of `lit` bytes forces a literal run of that
+      // length; the zero tail forces one long match run.
+      for (std::size_t i = 0; i < lit; ++i) {
+        in.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      }
+      in.insert(in.end(), run + 16, 0);
+      EXPECT_EQ(roundtrip(in), in) << "lit=" << lit << " run=" << run;
+    }
+  }
+}
+
+TEST(Lz, FuzzRoundTripRandomStructured) {
+  // Fuzz-style sweep: many seeds, random mixes of runs/ramps/noise at
+  // random sizes, every one byte-exact through compress + decompress.
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> in(1 + rng.next_below(64 * 1024));
+    std::size_t i = 0;
+    while (i < in.size()) {
+      const std::size_t run =
+          std::min(in.size() - i, 1 + rng.next_below(1024));
+      const auto kind = rng.next_below(4);
+      for (std::size_t j = 0; j < run; ++j) {
+        switch (kind) {
+          case 0: in[i + j] = 0x5a; break;
+          case 1: in[i + j] = static_cast<std::uint8_t>(j & 0xff); break;
+          case 2: in[i + j] = static_cast<std::uint8_t>((i + j) / 7); break;
+          default: in[i + j] = static_cast<std::uint8_t>(rng.next_u64());
+        }
+      }
+      i += run;
+    }
+    EXPECT_EQ(roundtrip(in), in) << "seed=" << seed;
+  }
+}
+
+TEST(Lz, EveryTruncationPointRejectedOrPrefixExact) {
+  // Cut a valid stream at every byte: the decoder must either throw
+  // (stream ends mid-token, mid-run, mid-offset, or mid-literal) or
+  // stop cleanly having produced an exact prefix of the original --
+  // never read past the cut or fabricate bytes.
+  Rng rng(13);
+  std::vector<std::uint8_t> in(8192);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::size_t run = std::min(in.size() - i, 1 + rng.next_below(200));
+    const bool noise = rng.next_below(2) == 0;
+    for (std::size_t j = 0; j < run; ++j) {
+      in[i + j] = noise ? static_cast<std::uint8_t>(rng.next_u64()) : 0x42;
+    }
+    i += run;
+  }
+  std::vector<std::uint8_t> packed(max_compressed_size(in.size()));
+  const std::size_t csize =
+      lz_compress(in.data(), in.size(), packed.data(), packed.size());
+  ASSERT_GT(csize, 0u);
+  std::vector<std::uint8_t> out(in.size());
+  for (std::size_t cut = 0; cut < csize; ++cut) {
+    try {
+      const std::size_t n =
+          lz_decompress(packed.data(), cut, out.data(), out.size());
+      ASSERT_LE(n, in.size()) << "cut=" << cut;
+      EXPECT_EQ(std::memcmp(out.data(), in.data(), n), 0) << "cut=" << cut;
+    } catch (const NvmcpError&) {
+      // Rejected: exactly what a truncated stream deserves.
+    }
+  }
+}
+
+TEST(Lz, SingleByteCorruptionNeverEscapesBounds) {
+  // Flip every byte of a valid stream (one at a time): decode must either
+  // throw or produce at most the declared capacity -- wild offsets and
+  // inflated run lengths all hit a guard instead of memory.
+  std::vector<std::uint8_t> in(4096);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>(i % 97);
+  }
+  std::vector<std::uint8_t> packed(max_compressed_size(in.size()));
+  const std::size_t csize =
+      lz_compress(in.data(), in.size(), packed.data(), packed.size());
+  ASSERT_GT(csize, 0u);
+  std::vector<std::uint8_t> out(in.size());
+  for (std::size_t pos = 0; pos < csize; ++pos) {
+    for (const std::uint8_t flip : {0x01, 0x80, 0xff}) {
+      std::vector<std::uint8_t> evil(packed.begin(), packed.begin() + csize);
+      evil[pos] ^= flip;
+      try {
+        const std::size_t n =
+            lz_decompress(evil.data(), evil.size(), out.data(), out.size());
+        EXPECT_LE(n, out.size());
+      } catch (const NvmcpError&) {
+      }
+    }
+  }
+}
+
 class LzPropertySweep
     : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
 

@@ -3,9 +3,16 @@
 // 200-trial mixed acceptance sweep with the Section III cross-check).
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "common/rng.hpp"
+#include "core/remote.hpp"
+#include "core/restart.hpp"
+#include "epoch/directory.hpp"
 #include "fault/campaign.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
@@ -447,6 +454,172 @@ TEST(CampaignRunner, DepthOneHasNothingToRollBackTo) {
     if (t.outcome == TrialOutcome::kDetectedCorruption) ++detected;
   }
   EXPECT_GT(detected, 0) << "no crash landed after a commit; vacuous";
+}
+
+// --- directed codec chaos --------------------------------------------
+// The campaign hits encoded remote payloads statistically; these two
+// scenarios pin the specific laundering hazards the frame format exists
+// to close: a flipped bit inside an encoded frame, and a delta whose
+// local base epoch is gone.
+
+struct CodecChaosRig {
+  explicit CodecChaosRig(core::CodecMode mode, int ring_depth)
+      : link(2.0e9, 0.1) {
+    NvmConfig cfg;
+    cfg.capacity = 64 * MiB;
+    cfg.throttle = false;
+    dev = std::make_unique<NvmDevice>(cfg);
+    container = std::make_unique<vmem::Container>(*dev);
+    alloc::ChunkAllocator::Options aopts;
+    aopts.ring_depth = ring_depth;
+    allocator = std::make_unique<alloc::ChunkAllocator>(*container, aopts);
+    core::CheckpointConfig ccfg;
+    ccfg.codec_mode = mode;
+    mgr = std::make_unique<core::CheckpointManager>(*allocator, ccfg);
+    NvmConfig scfg;
+    scfg.capacity = 64 * MiB;
+    scfg.throttle = false;
+    store = std::make_unique<net::RemoteStore>(scfg);
+    remote = std::make_unique<net::RemoteMemory>(link, *store);
+    core::RemoteConfig rcfg;
+    rcfg.policy = core::PrecopyPolicy::kNone;
+    helper = std::make_unique<core::RemoteCheckpointer>(
+        std::vector<core::CheckpointManager*>{mgr.get()}, *remote, rcfg);
+  }
+
+  void fill(alloc::Chunk& c, std::uint64_t seed) {
+    Rng rng(seed);
+    auto* p = static_cast<std::byte*>(c.data());
+    for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      std::memcpy(p + i, &v, 8);
+    }
+    c.notify_write();
+  }
+
+  bool matches(const alloc::Chunk& c, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto* p = static_cast<const std::byte*>(c.data());
+    for (std::size_t i = 0; i + 8 <= c.size(); i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      if (std::memcmp(p + i, &v, 8) != 0) return false;
+    }
+    return true;
+  }
+
+  void corrupt_newest_local(alloc::Chunk& c) {
+    const auto& rec = c.record();
+    dev->data()[rec.slot_off[rec.committed] + 17] ^= std::byte{0xFF};
+  }
+
+  net::Interconnect link;
+  std::unique_ptr<NvmDevice> dev;
+  std::unique_ptr<vmem::Container> container;
+  std::unique_ptr<alloc::ChunkAllocator> allocator;
+  std::unique_ptr<core::CheckpointManager> mgr;
+  std::unique_ptr<net::RemoteStore> store;
+  std::unique_ptr<net::RemoteMemory> remote;
+  std::unique_ptr<core::RemoteCheckpointer> helper;
+};
+
+TEST(CodecChaos, BitFlipInEncodedFrameIsDetectedNeverLaundered) {
+  // Flip one bit inside the committed *encoded* frame on the buddy store.
+  // With the local slot also dead, the restore must report the loss --
+  // decoding the damaged frame into "restored" state would be laundering.
+  CodecChaosRig rig(core::CodecMode::kLz, /*ring_depth=*/1);
+  auto* c = rig.allocator->nvalloc("flip", 64 * KiB, true);
+  // Runs + seeded noise: compressible enough that the frame really is LZ.
+  std::memset(c->data(), 0x2a, c->size() / 2);
+  rig.fill(*c, 7);
+  std::memset(static_cast<std::byte*>(c->data()) + c->size() / 4,
+              0x2a, c->size() / 2);
+  std::vector<std::byte> golden(c->size());
+  std::memcpy(golden.data(), c->data(), c->size());
+  rig.mgr->nvchkptall();
+  ASSERT_FALSE(rig.helper->coordinate_now().degraded);
+  ASSERT_GE(rig.helper->metrics().counter("codec.choice.lz").value(), 1u);
+
+  FaultInjector fi;
+  ASSERT_TRUE(rig.store->corrupt_committed(0, c->id(), fi));
+  rig.corrupt_newest_local(*c);
+  std::memset(c->data(), 0xcd, c->size());
+
+  core::RestartCoordinator rc(*rig.mgr, rig.remote.get());
+  const core::RestartReport rep = rc.restart_after(core::FailureKind::kSoft);
+  EXPECT_EQ(rep.chunks_failed, 1);
+  EXPECT_EQ(rep.chunks_remote, 0)
+      << "a corrupted frame was accepted as a remote restore";
+  // Whatever the coordinator left in DRAM, it is not a silent half-decode
+  // of the damaged frame presented as the checkpoint.
+  EXPECT_NE(rep.status, RestoreStatus::kOk);
+  EXPECT_NE(rep.status, RestoreStatus::kOkFromRemote);
+
+  // The transport heals: re-ship (helper re-encodes from the recovered
+  // application state) and the next crash restores byte-exactly.
+  std::memcpy(c->data(), golden.data(), golden.size());
+  c->notify_write();
+  rig.mgr->nvchkptall();
+  ASSERT_FALSE(rig.helper->coordinate_now().degraded);
+  rig.corrupt_newest_local(*c);
+  std::memset(c->data(), 0xcd, c->size());
+  const core::RestartReport rep2 = rc.restart_after(core::FailureKind::kSoft);
+  EXPECT_EQ(rep2.status, RestoreStatus::kOkFromRemote);
+  EXPECT_EQ(std::memcmp(c->data(), golden.data(), golden.size()), 0);
+}
+
+TEST(CodecChaos, LostDeltaBaseFallsBackThenRawReshipRecovers) {
+  // A shipped delta frame references a local retained epoch. Corrupt that
+  // base (standing in for a GC'd or rotted epoch) along with the newest
+  // slot: the remote delta cannot decode, the ring cannot roll back, and
+  // the restore must say so. Recovery is force_raw_reship(): the next
+  // round ships a self-contained raw frame and restores succeed again.
+  CodecChaosRig rig(core::CodecMode::kDelta, /*ring_depth=*/4);
+  auto* c = rig.allocator->nvalloc("base_lost", 64 * KiB, true);
+  rig.fill(*c, 21);
+  rig.mgr->nvchkptall();  // epoch 1: the future delta base
+  ASSERT_FALSE(rig.helper->coordinate_now().degraded);
+
+  // Small update -> epoch 2 ships as a delta against epoch 1.
+  std::memset(static_cast<std::byte*>(c->data()) + 2048, 0x5c, 256);
+  c->notify_write();
+  rig.mgr->nvchkptall();
+  ASSERT_FALSE(rig.helper->coordinate_now().degraded);
+  ASSERT_GE(rig.helper->metrics().counter("codec.choice.delta").value(), 1u);
+  std::vector<std::byte> golden(c->size());
+  ASSERT_TRUE(rig.allocator->read_committed(*c, golden.data()));
+
+  // Kill every local committed epoch: newest slot and the delta's base.
+  const auto slots =
+      rig.allocator->epoch_directory()->ring(c->id())->snapshot_slots();
+  for (const auto& s : slots) {
+    if (s.committed()) rig.dev->data()[s.off + 33] ^= std::byte{0xFF};
+  }
+  std::memset(c->data(), 0xcd, c->size());
+
+  core::RestartCoordinator rc(*rig.mgr, rig.remote.get());
+  const core::RestartReport rep = rc.restart_after(core::FailureKind::kSoft);
+  EXPECT_EQ(rep.chunks_failed, 1)
+      << "delta decode without its base must fail, not improvise";
+  EXPECT_EQ(rep.chunks_remote, 0);
+
+  // Raw re-ship: the latch forces the next round to self-contained frames
+  // and clears the stale send cursors so the chunk goes out again.
+  rig.helper->force_raw_reship();
+  std::memcpy(c->data(), golden.data(), golden.size());
+  c->notify_write();
+  rig.mgr->nvchkptall();
+  const auto before =
+      rig.helper->metrics().counter("codec.choice.delta").value();
+  ASSERT_FALSE(rig.helper->coordinate_now().degraded);
+  EXPECT_EQ(rig.helper->metrics().counter("codec.choice.delta").value(),
+            before)
+      << "forced raw round still chose delta";
+
+  rig.corrupt_newest_local(*c);
+  std::memset(c->data(), 0xcd, c->size());
+  const core::RestartReport rep2 = rc.restart_after(core::FailureKind::kSoft);
+  EXPECT_EQ(rep2.status, RestoreStatus::kOkFromRemote);
+  EXPECT_EQ(std::memcmp(c->data(), golden.data(), golden.size()), 0);
 }
 
 // Acceptance: 200 mixed soft/hard trials, no undetected loss, every trial

@@ -18,6 +18,8 @@ class NodeSim {
  public:
   explicit NodeSim(const ClusterConfig& cfg)
       : cfg_(cfg),
+        eng_(cfg.reference_engine ? Engine::QueueKind::kBinaryHeapRef
+                                  : Engine::QueueKind::kCalendar),
         rng_(cfg.seed),
         nvm_(eng_, cfg.nvm_bw, cfg.timeline_bucket),
         link_(eng_, cfg.link_bw, cfg.timeline_bucket) {}
@@ -31,6 +33,15 @@ class NodeSim {
     }
     if (!finished_) {
       throw NvmcpError("cluster sim: did not finish before max_wall");
+    }
+    // Drain the residue (failure timers, in-flight flow completions): every
+    // callback is guarded by `finished_` or a generation check, so this
+    // must terminate with an empty queue. A finite cap turns a re-arm
+    // regression back into a visible `queue_drained == false`.
+    std::uint64_t drain_steps = 0;
+    constexpr std::uint64_t kDrainCap = 1'000'000;
+    while (drain_steps < kDrainCap && eng_.step()) {
+      ++drain_steps;
     }
 
     ClusterResult r;
@@ -52,6 +63,8 @@ class NodeSim {
     r.link_ckpt_bytes = link_.total_bytes(kCkptClass);
     r.peak_link_ckpt_rate = link_.timeline(kCkptClass).peak_rate();
     r.app_comm_seconds = app_comm_seconds_;
+    r.events_fired = eng_.events_fired();
+    r.queue_drained = eng_.pending() == 0 && drain_steps < kDrainCap;
     return r;
   }
 
@@ -60,42 +73,66 @@ class NodeSim {
   void schedule_failures() {
     if (cfg_.mtbf_local > 0) schedule_soft();
     if (cfg_.mtbf_remote > 0) schedule_hard();
+    for (const ForcedFailure& f : cfg_.forced_failures) {
+      const bool hard = f.hard;
+      eng_.schedule_at(f.time, [this, hard] {
+        if (!finished_) on_failure(hard);
+      });
+    }
   }
 
+  // Failure timers stop re-arming once the job finishes; otherwise the
+  // queue can never drain and pending() lies about outstanding work.
   void schedule_soft() {
     eng_.schedule_in(rng_.exponential(cfg_.mtbf_local), [this] {
-      if (!finished_) on_failure(/*hard=*/false);
+      if (finished_) return;
+      on_failure(/*hard=*/false);
       schedule_soft();
     });
   }
 
   void schedule_hard() {
     eng_.schedule_in(rng_.exponential(cfg_.mtbf_remote), [this] {
-      if (!finished_) on_failure(/*hard=*/true);
+      if (finished_) return;
+      on_failure(/*hard=*/true);
       schedule_hard();
     });
+  }
+
+  /// Compute-seconds of the in-flight iteration that a failure right now
+  /// would destroy: the elapsed slice if we are mid-compute, or the whole
+  /// iteration if compute finished but end_iteration has not credited it
+  /// yet (communication phase). Zero between iterations.
+  double lost_in_iteration() const {
+    if (work_in_iter_ <= 0) return 0;
+    if (in_compute_) {
+      return std::min(work_in_iter_, eng_.now() - iter_compute_start_);
+    }
+    return work_in_iter_;
   }
 
   void on_failure(bool hard) {
     ++generation_;
     nvm_.cancel_all();
     link_.cancel_all();
+    const double lost_in_iter = lost_in_iteration();
     double restart;
     if (hard) {
       ++hard_failures_;
       // Local NVM is gone with the node; roll back to the remote cut.
-      lost_work_ += compute_done_ - committed_remote_;
+      lost_work_ += compute_done_ + lost_in_iter - committed_remote_;
       compute_done_ = committed_remote_;
       committed_local_ = committed_remote_;
       restart = cfg_.restart_remote_factor * cfg_.ckpt_bytes / cfg_.link_bw;
     } else {
       ++soft_failures_;
-      lost_work_ += compute_done_ - committed_local_;
+      lost_work_ += compute_done_ + lost_in_iter - committed_local_;
       compute_done_ = committed_local_;
       restart = cfg_.restart_local_factor * cfg_.ckpt_bytes / cfg_.nvm_bw;
     }
     restart_seconds_ += restart;
     work_in_iter_ = 0;
+    in_compute_ = false;
     const int gen = generation_;
     eng_.schedule_in(restart, [this, gen] {
       if (gen != generation_ || finished_) return;
@@ -113,6 +150,8 @@ class NodeSim {
     const double work =
         std::min(cfg_.compute_per_iter, cfg_.total_compute - compute_done_);
     work_in_iter_ = work;
+    in_compute_ = true;
+    iter_compute_start_ = eng_.now();
 
     // Local pre-copy streams to NVM in the background during compute.
     if (cfg_.local_precopy && local_ckpts_ + soft_failures_ > 0) {
@@ -128,6 +167,7 @@ class NodeSim {
 
     eng_.schedule_in(work, [this, gen] {
       if (gen != generation_ || finished_) return;
+      in_compute_ = false;
       start_communication();
     });
   }
@@ -203,7 +243,9 @@ class NodeSim {
     const int gen = generation_;
     link_.submit(bytes, kCkptClass, [this, gen, work_mark,
                                      is_coordination](double) {
-      if (gen != generation_) return;
+      // The finished_ guard keeps post-finish queue draining from counting
+      // remote cuts that were still in flight when the job completed.
+      if (gen != generation_ || finished_) return;
       if (is_coordination) {
         ++remote_ckpts_;
         committed_remote_ = work_mark;
@@ -228,6 +270,8 @@ class NodeSim {
 
   double compute_done_ = 0;
   double work_in_iter_ = 0;
+  bool in_compute_ = false;
+  double iter_compute_start_ = 0;
   double committed_local_ = 0;
   double committed_remote_ = 0;
   double last_local_ckpt_ = 0;

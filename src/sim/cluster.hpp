@@ -18,11 +18,19 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace nvmcp::sim {
+
+/// Deterministic failure injection at an exact sim time (test hook; random
+/// MTBF-driven failures come from the exponential streams below).
+struct ForcedFailure {
+  double time = 0;
+  bool hard = false;
+};
 
 struct ClusterConfig {
   // Application shape (per node).
@@ -57,6 +65,10 @@ struct ClusterConfig {
   std::uint64_t seed = 42;
   double max_wall = 1.0e7;  // simulation safety stop
   double timeline_bucket = 5.0;
+
+  // Test hooks.
+  std::vector<ForcedFailure> forced_failures;
+  bool reference_engine = false;  // run on the legacy binary-heap engine
 };
 
 struct ClusterResult {
@@ -75,6 +87,8 @@ struct ClusterResult {
   double link_ckpt_bytes = 0;  // checkpoint bytes over the link
   double peak_link_ckpt_rate = 0;  // peak checkpoint link usage (bytes/s)
   double app_comm_seconds = 0; // total time in communication phases
+  std::uint64_t events_fired = 0;  // engine events executed
+  bool queue_drained = false;  // event queue empty after finish + drain
 };
 
 /// Run one configuration to completion; deterministic for a given seed.

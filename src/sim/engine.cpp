@@ -1,39 +1,247 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace nvmcp::sim {
+namespace {
 
-EventHandle Engine::schedule_at(double t, Callback cb) {
-  if (t < now_) {
-    throw NvmcpError("sim::Engine: cannot schedule into the past");
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+
+}  // namespace
+
+Engine::Engine(QueueKind kind) : kind_(kind) {
+  if (kind_ == QueueKind::kCalendar) {
+    buckets_.assign(kMinBuckets, {});
+    mask_ = kMinBuckets - 1;
   }
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(cb), flag});
-  return EventHandle(flag);
 }
 
-bool Engine::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;
+// ---- pool -----------------------------------------------------------------
+
+std::uint32_t Engine::alloc_slot(double t, Callback cb) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Node& n = pool_[slot];
+  n.time = t;
+  n.seq = next_seq_++;
+  n.cancelled = false;
+  n.cb = std::move(cb);
+  return slot;
+}
+
+void Engine::release_slot(std::uint32_t slot) {
+  Node& n = pool_[slot];
+  ++n.gen;  // invalidates every outstanding handle to this slot
+  n.cb = nullptr;
+  n.ref_flag.reset();
+  free_.push_back(slot);
+}
+
+// ---- calendar -------------------------------------------------------------
+
+void Engine::bucket_push(std::uint32_t slot) {
+  const Node& n = pool_[slot];
+  const std::uint64_t vb = vb_of(n.time);
+  if (vb < cur_vb_) cur_vb_ = vb;
+  auto& b = buckets_[vb & mask_];
+  b.push_back(CalEntry{n.time, n.seq, slot});
+  std::push_heap(b.begin(), b.end(), std::greater<>{});
+  ++cal_count_;
+}
+
+void Engine::bucket_pop_front(std::vector<CalEntry>& b) {
+  std::pop_heap(b.begin(), b.end(), std::greater<>{});
+  b.pop_back();
+  --cal_count_;
+}
+
+void Engine::cal_rebuild(std::size_t new_buckets) {
+  std::vector<CalEntry> entries;
+  entries.reserve(cal_count_);
+  for (auto& b : buckets_) {
+    for (const CalEntry& e : b) {
+      if (pool_[e.slot].cancelled) {
+        release_slot(e.slot);
+      } else {
+        entries.push_back(e);
+      }
+    }
+    b.clear();
+  }
+  cal_count_ = 0;
+
+  // Bucket width tracks the *median* adjacent gap between pending event
+  // times: a mean-based estimate collapses when a few far-future events
+  // (failure scenarios hours out) coexist with a dense burst of near
+  // events, putting the whole burst in one bucket.
+  if (entries.size() >= 2) {
+    std::vector<double> times;
+    times.reserve(entries.size());
+    for (const CalEntry& e : entries) times.push_back(e.time);
+    std::sort(times.begin(), times.end());
+    std::vector<double> gaps(times.size() - 1);
+    for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+      gaps[i] = times[i + 1] - times[i];
+    }
+    auto mid = gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
+    std::nth_element(gaps.begin(), mid, gaps.end());
+    double w = *mid * 4.0;
+    if (w <= 0) {
+      // Ties dominate; spread what span there is, or keep the old width.
+      const double span = times.back() - times.front();
+      w = span > 0 ? 2.0 * span / static_cast<double>(times.size()) : width_;
+    }
+    width_ = std::clamp(w, 1e-9, 1e15);
+    inv_width_ = 1.0 / width_;
+  }
+
+  buckets_.assign(new_buckets, {});
+  mask_ = new_buckets - 1;
+  cur_vb_ = vb_of(now_);
+  for (const CalEntry& e : entries) bucket_push(e.slot);
+}
+
+std::uint32_t Engine::cal_find_next(std::size_t* bucket_out) {
+  if (live_ == 0) return kInvalidSlot;
+  const std::size_t nbuckets = buckets_.size();
+  // One sweep of the current "year": each bucket's front is its minimum
+  // (time, seq); it is the global next event iff its home virtual bucket
+  // is <= the cursor. Home is computed with the same floor(t / width)
+  // expression used at insert, so eligibility is exactly consistent with
+  // placement and the fired order is a pure function of (time, seq).
+  for (std::size_t i = 0; i < nbuckets; ++i) {
+    auto& b = buckets_[cur_vb_ & mask_];
+    while (!b.empty() && pool_[b.front().slot].cancelled) {
+      const std::uint32_t s = b.front().slot;
+      bucket_pop_front(b);
+      release_slot(s);
+    }
+    if (!b.empty() && vb_of(b.front().time) <= cur_vb_) {
+      *bucket_out = cur_vb_ & mask_;
+      return b.front().slot;
+    }
+    ++cur_vb_;
+  }
+  // The next event is more than a full calendar year away: locate it
+  // directly and jump the cursor there.
+  const CalEntry* best = nullptr;
+  std::size_t best_bucket = 0;
+  for (std::size_t i = 0; i < nbuckets; ++i) {
+    auto& b = buckets_[i];
+    while (!b.empty() && pool_[b.front().slot].cancelled) {
+      const std::uint32_t s = b.front().slot;
+      bucket_pop_front(b);
+      release_slot(s);
+    }
+    if (b.empty()) continue;
+    if (best == nullptr || *best > b.front()) {
+      best = &b.front();
+      best_bucket = i;
+    }
+  }
+  if (best == nullptr) return kInvalidSlot;
+  cur_vb_ = vb_of(best->time);
+  *bucket_out = best_bucket;
+  return best->slot;
+}
+
+bool Engine::cal_step() {
+  std::size_t bucket = 0;
+  const std::uint32_t slot = cal_find_next(&bucket);
+  if (slot == kInvalidSlot) return false;
+  bucket_pop_front(buckets_[bucket]);
+  Node& n = pool_[slot];
+  now_ = n.time;
+  Callback cb = std::move(n.cb);
+  release_slot(slot);
+  --live_;
+  ++events_fired_;
+  if (buckets_.size() > kMinBuckets && cal_count_ < buckets_.size()) {
+    cal_rebuild(buckets_.size() / 2);
+  }
+  cb();
+  return true;
+}
+
+bool Engine::cal_peek(double* t) {
+  std::size_t bucket = 0;
+  const std::uint32_t slot = cal_find_next(&bucket);
+  if (slot == kInvalidSlot) return false;
+  *t = pool_[slot].time;
+  return true;
+}
+
+// ---- reference heap -------------------------------------------------------
+
+bool Engine::heap_step() {
+  while (!heap_.empty()) {
+    RefEvent ev = heap_.top();  // deliberate copy: the legacy cost model
+    heap_.pop();
+    const bool cancelled = *ev.cancelled;
+    release_slot(ev.slot);
+    if (cancelled) continue;
     now_ = ev.time;
-    ev.cb();
+    --live_;
     ++events_fired_;
+    ev.cb();
     return true;
   }
   return false;
 }
 
-void Engine::run_until(double t_end) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (*top.cancelled) {
-      queue_.pop();
-      continue;
+bool Engine::heap_peek(double* t) {
+  while (!heap_.empty()) {
+    const RefEvent& top = heap_.top();
+    if (!*top.cancelled) {
+      *t = top.time;
+      return true;
     }
-    if (top.time > t_end) break;
+    release_slot(top.slot);
+    heap_.pop();
+  }
+  return false;
+}
+
+// ---- public API -----------------------------------------------------------
+
+EventHandle Engine::schedule_at(double t, Callback cb) {
+  if (t < now_) {
+    throw NvmcpError("sim::Engine: cannot schedule into the past");
+  }
+  const std::uint32_t slot = alloc_slot(t, std::move(cb));
+  ++live_;
+  if (kind_ == QueueKind::kCalendar) {
+    if (cal_count_ + 1 > 4 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+      cal_rebuild(buckets_.size() * 2);
+    }
+    bucket_push(slot);
+  } else {
+    Node& n = pool_[slot];
+    n.ref_flag = std::make_shared<bool>(false);
+    heap_.push(RefEvent{n.time, n.seq, slot, n.ref_flag, std::move(n.cb)});
+  }
+  return EventHandle(this, slot, pool_[slot].gen);
+}
+
+bool Engine::step() {
+  return kind_ == QueueKind::kCalendar ? cal_step() : heap_step();
+}
+
+void Engine::run_until(double t_end) {
+  for (;;) {
+    double t = 0;
+    const bool have =
+        kind_ == QueueKind::kCalendar ? cal_peek(&t) : heap_peek(&t);
+    if (!have || t > t_end) break;
     step();
   }
   if (now_ < t_end) now_ = t_end;

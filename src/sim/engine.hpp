@@ -1,14 +1,31 @@
 // Discrete-event simulation engine.
 //
-// Used for the cluster-scale experiments (paper Fig 9) that need multi-node
-// timing, failure injection over hours of modeled time, and bandwidth
-// contention -- none of which require real packets or real seconds. The
-// engine is a classic time-ordered event queue with cancellable events;
-// determinism comes from (time, sequence) ordering.
+// Used for the cluster-scale experiments (paper Fig 9 and the 10k-node
+// efficiency frontier) that need multi-node timing, failure injection over
+// hours of modeled time, and bandwidth contention -- none of which require
+// real packets or real seconds. Determinism comes from strict (time,
+// sequence) ordering, which both backends implement identically:
+//
+//  * kCalendar (default): a calendar queue (Brown '88) over pooled,
+//    intrusively stored events. Scheduling allocates nothing beyond the
+//    callback's own capture state: event nodes live in a slab with a free
+//    list, and handles address them by (slot, generation), so cancel is
+//    observable immediately and slot reuse invalidates stale handles.
+//    Each bucket is a small binary heap keyed by (time, seq); bucket
+//    width adapts to the median inter-event gap at resize, so the common
+//    case is O(1) per operation and the degenerate case (everything in
+//    one bucket) falls back to plain heap behavior, never worse.
+//  * kBinaryHeapRef: the original single binary-heap engine, kept as a
+//    reference implementation for determinism-equivalence tests and as
+//    the baseline for the calendar-queue perf gate. It reproduces the old
+//    cost model faithfully: a shared_ptr<bool> cancellation flag per
+//    event and a full Event copy (std::function included) off the top of
+//    the priority queue in step().
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -17,33 +34,47 @@ namespace nvmcp::sim {
 
 class Engine;
 
-/// Handle to a scheduled event; cancel() is idempotent.
+/// Handle to a scheduled event. cancel() is idempotent and takes effect
+/// immediately: valid() is false as soon as the event is cancelled or has
+/// fired, even if the queue has not physically removed it yet. Handles must
+/// not outlive the engine that issued them.
 class EventHandle {
  public:
   EventHandle() = default;
-  void cancel() {
-    if (auto p = flag_.lock()) *p = true;
-  }
-  bool valid() const { return !flag_.expired(); }
+  inline void cancel();
+  inline bool valid() const;
 
  private:
   friend class Engine;
-  explicit EventHandle(std::weak_ptr<bool> flag) : flag_(std::move(flag)) {}
-  std::weak_ptr<bool> flag_;
+  EventHandle(Engine* eng, std::uint32_t slot, std::uint32_t gen)
+      : eng_(eng), slot_(slot), gen_(gen) {}
+  Engine* eng_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Engine {
  public:
+  enum class QueueKind {
+    kCalendar,       // production: pooled calendar queue
+    kBinaryHeapRef,  // test flag: legacy heap, old per-event costs
+  };
+
   using Callback = std::function<void()>;
 
+  explicit Engine(QueueKind kind = QueueKind::kCalendar);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   double now() const { return now_; }
+  QueueKind kind() const { return kind_; }
 
   EventHandle schedule_at(double t, Callback cb);
   EventHandle schedule_in(double dt, Callback cb) {
     return schedule_at(now_ + dt, std::move(cb));
   }
 
-  /// Execute the next pending event; returns false if the queue is empty.
+  /// Execute the next pending event; returns false if no live event remains.
   bool step();
 
   /// Run until the queue drains or simulated time would exceed `t_end`.
@@ -52,26 +83,124 @@ class Engine {
   /// Run until the queue drains.
   void run();
 
-  std::size_t pending() const { return queue_.size(); }
+  /// Live (scheduled, not cancelled, not yet fired) events. Cancelled
+  /// events stop counting the moment cancel() returns.
+  std::size_t pending() const { return live_; }
 
   /// Total events executed (cancelled events are skipped, not counted).
   std::uint64_t events_fired() const { return events_fired_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kInvalidSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
+  // Pooled event node; slots are recycled through a free list and `gen`
+  // bumps on release so stale handles can never alias a reused slot.
+  struct Node {
+    double time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+    Callback cb;
+    std::shared_ptr<bool> ref_flag;  // kBinaryHeapRef cost-parity only
+  };
+
+  // Legacy heap entry: deliberately carries its own copy of the callback
+  // and a shared cancellation flag, like the pre-calendar engine did.
+  struct RefEvent {
     double time;
     std::uint64_t seq;
-    Callback cb;
+    std::uint32_t slot;
     std::shared_ptr<bool> cancelled;
-    bool operator>(const Event& o) const {
+    Callback cb;
+    bool operator>(const RefEvent& o) const {
       return time != o.time ? time > o.time : seq > o.seq;
     }
   };
 
+  // -- pool ----------------------------------------------------------------
+  std::uint32_t alloc_slot(double t, Callback cb);
+  void release_slot(std::uint32_t slot);
+  inline void cancel_slot(std::uint32_t slot, std::uint32_t gen);
+  inline bool slot_live(std::uint32_t slot, std::uint32_t gen) const;
+
+  // -- calendar ------------------------------------------------------------
+  // Multiplication by the cached reciprocal, not division: this runs twice
+  // per event. Insert and eligibility both use this exact expression (and
+  // it is monotonic in t), so placement and the window threshold can never
+  // disagree about an event's home.
+  std::uint64_t vb_of(double t) const {
+    double q = t * inv_width_;
+    if (q >= 9.0e18) q = 9.0e18;  // clamp: far-future events share a home
+    return static_cast<std::uint64_t>(q);
+  }
+  // Bucket entries carry their own (time, seq) key so heap compares touch
+  // only the bucket's contiguous storage, never the (cold, random) pool.
+  struct CalEntry {
+    double time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    bool operator>(const CalEntry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  void bucket_push(std::uint32_t slot);
+  void bucket_pop_front(std::vector<CalEntry>& b);
+  void cal_rebuild(std::size_t new_buckets);
+  /// Locate the next live event (cleaning cancelled entries from bucket
+  /// fronts); returns its slot or kInvalidSlot. Leaves the cursor on the
+  /// event's bucket so the subsequent removal is O(1).
+  std::uint32_t cal_find_next(std::size_t* bucket_out);
+  bool cal_step();
+  bool cal_peek(double* t);
+
+  // -- reference heap ------------------------------------------------------
+  bool heap_step();
+  bool heap_peek(double* t);
+
+  QueueKind kind_;
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::size_t live_ = 0;
+
+  std::vector<Node> pool_;
+  std::vector<std::uint32_t> free_;
+
+  std::vector<std::vector<CalEntry>> buckets_;
+  std::size_t mask_ = 0;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;  // kept in lockstep with width_
+  std::uint64_t cur_vb_ = 0;
+  std::size_t cal_count_ = 0;  // physical entries incl. not-yet-reaped
+
+  std::priority_queue<RefEvent, std::vector<RefEvent>, std::greater<>> heap_;
 };
+
+inline void Engine::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= pool_.size()) return;
+  Node& n = pool_[slot];
+  if (n.gen != gen || n.cancelled) return;  // already fired / reused / done
+  n.cancelled = true;
+  if (n.ref_flag) *n.ref_flag = true;
+  n.cb = nullptr;  // drop captures eagerly
+  --live_;
+}
+
+inline bool Engine::slot_live(std::uint32_t slot, std::uint32_t gen) const {
+  if (slot >= pool_.size()) return false;
+  const Node& n = pool_[slot];
+  return n.gen == gen && !n.cancelled;
+}
+
+inline void EventHandle::cancel() {
+  if (eng_) eng_->cancel_slot(slot_, gen_);
+}
+
+inline bool EventHandle::valid() const {
+  return eng_ && eng_->slot_live(slot_, gen_);
+}
 
 }  // namespace nvmcp::sim

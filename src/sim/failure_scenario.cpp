@@ -1,0 +1,77 @@
+#include "sim/failure_scenario.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace nvmcp::sim {
+namespace {
+
+void draw_stream(Rng stream, double mtbf, double horizon, OutageKind kind,
+                 int target, std::vector<Outage>* out) {
+  if (mtbf <= 0) return;
+  double t = 0;
+  for (;;) {
+    t += stream.exponential(mtbf);
+    if (t >= horizon) break;
+    out->push_back(Outage{t, kind, target});
+  }
+}
+
+}  // namespace
+
+const char* to_string(OutageKind k) {
+  switch (k) {
+    case OutageKind::kNodeSoft: return "node-soft";
+    case OutageKind::kNodeHard: return "node-hard";
+    case OutageKind::kRackOutage: return "rack-outage";
+    case OutageKind::kSwitchOutage: return "switch-outage";
+  }
+  return "?";
+}
+
+std::vector<Outage> generate_scenario(const ScenarioConfig& cfg,
+                                      const Topology& topo) {
+  std::vector<Outage> out;
+  Rng root(cfg.seed);
+  // Fixed fork order (soft nodes, hard nodes, racks, switches) keeps the
+  // schedule a pure function of the seed regardless of which classes are
+  // enabled: every entity consumes its fork unconditionally.
+  for (int n = 0; n < topo.nodes(); ++n) {
+    draw_stream(root.fork(), cfg.node_soft_mtbf, cfg.horizon,
+                OutageKind::kNodeSoft, n, &out);
+  }
+  for (int n = 0; n < topo.nodes(); ++n) {
+    draw_stream(root.fork(), cfg.node_hard_mtbf, cfg.horizon,
+                OutageKind::kNodeHard, n, &out);
+  }
+  for (int r = 0; r < topo.racks(); ++r) {
+    draw_stream(root.fork(), cfg.rack_mtbf, cfg.horizon,
+                OutageKind::kRackOutage, r, &out);
+  }
+  for (int s = 0; s < topo.switches(); ++s) {
+    draw_stream(root.fork(), cfg.switch_mtbf, cfg.horizon,
+                OutageKind::kSwitchOutage, s, &out);
+  }
+  std::sort(out.begin(), out.end(), [](const Outage& a, const Outage& b) {
+    return std::make_tuple(a.time, static_cast<int>(a.kind), a.target) <
+           std::make_tuple(b.time, static_cast<int>(b.kind), b.target);
+  });
+  return out;
+}
+
+std::vector<int> affected_nodes(const Outage& o, const Topology& topo) {
+  switch (o.kind) {
+    case OutageKind::kNodeSoft:
+    case OutageKind::kNodeHard:
+      return {o.target};
+    case OutageKind::kRackOutage:
+      return topo.nodes_in_rack(o.target);
+    case OutageKind::kSwitchOutage:
+      return topo.nodes_under_switch(o.target);
+  }
+  return {};
+}
+
+}  // namespace nvmcp::sim

@@ -1,0 +1,56 @@
+// Correlated failure scenarios for the cluster-scale simulator.
+//
+// Follows the same seeded RNG discipline as src/fault's FaultPlan: each
+// failure domain (node, rack, switch) gets its own forked xoshiro stream
+// in a fixed enumeration order, and inter-arrival times are exponential
+// draws against that domain's MTBF. The whole schedule is therefore a
+// pure function of (seed, topology, rates, horizon) -- replaying a seed
+// replays the outages bit-for-bit, independent of how the consumer
+// interleaves its own randomness.
+//
+//   kNodeSoft      one node's process dies; its NVM survives, the job
+//                  restarts from the last local cut (paper's soft error).
+//   kNodeHard      one node is lost with its NVM; recovery needs the buddy
+//                  replica or an RS parity rebuild.
+//   kRackOutage    a whole rack loses power: every node in it fails hard
+//                  at the same instant. Pairwise in-rack buddies die
+//                  together here -- this is what separates placement
+//                  policies at scale.
+//   kSwitchOutage  a switch domain (racks_per_switch racks) fails hard at
+//                  once; only cross-switch redundancy survives it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/topology.hpp"
+
+namespace nvmcp::sim {
+
+enum class OutageKind { kNodeSoft, kNodeHard, kRackOutage, kSwitchOutage };
+
+const char* to_string(OutageKind k);
+
+struct Outage {
+  double time = 0;
+  OutageKind kind = OutageKind::kNodeSoft;
+  int target = 0;  // node id, rack id, or switch id depending on kind
+};
+
+struct ScenarioConfig {
+  double node_soft_mtbf = 0;  // per node; 0 disables the class
+  double node_hard_mtbf = 0;  // per node
+  double rack_mtbf = 0;       // per rack
+  double switch_mtbf = 0;     // per switch
+  double horizon = 0;         // generate events in [0, horizon)
+  std::uint64_t seed = 42;
+};
+
+/// Generate the outage schedule, sorted by (time, kind, target).
+std::vector<Outage> generate_scenario(const ScenarioConfig& cfg,
+                                      const Topology& topo);
+
+/// Expand an outage into the set of failed nodes.
+std::vector<int> affected_nodes(const Outage& o, const Topology& topo);
+
+}  // namespace nvmcp::sim

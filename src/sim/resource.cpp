@@ -15,8 +15,13 @@ constexpr double kEps = 1.0;
 }  // namespace
 
 SharedBandwidth::SharedBandwidth(Engine& eng, double rate_bytes_per_sec,
-                                 double timeline_bucket, int classes)
-    : eng_(&eng), rate_(rate_bytes_per_sec), last_t_(eng.now()) {
+                                 double timeline_bucket, int classes,
+                                 bool track_timelines)
+    : eng_(&eng),
+      rate_(rate_bytes_per_sec),
+      last_t_(eng.now()),
+      track_timelines_(track_timelines),
+      totals_(static_cast<std::size_t>(classes), 0.0) {
   if (rate_ <= 0) throw NvmcpError("SharedBandwidth: rate must be positive");
   timelines_.reserve(static_cast<std::size_t>(classes));
   for (int i = 0; i < classes; ++i) timelines_.emplace_back(timeline_bucket);
@@ -33,11 +38,14 @@ void SharedBandwidth::advance() {
   for (auto& f : flows_) {
     const double moved = std::min(f->remaining, share * dt);
     f->remaining -= moved;
+    totals_[static_cast<std::size_t>(f->cls)] += moved;
     // Fluid model: the bytes moved uniformly over [last_t_, now], so
     // spread them across every timeline bucket the window covers -- a
     // long single-flow transfer must not appear as one spike.
-    timelines_[static_cast<std::size_t>(f->cls)].add_range(last_t_, now,
-                                                           moved);
+    if (track_timelines_) {
+      timelines_[static_cast<std::size_t>(f->cls)].add_range(last_t_, now,
+                                                             moved);
+    }
   }
   last_t_ = now;
 }

@@ -22,8 +22,12 @@ class SharedBandwidth {
  public:
   /// `classes`: number of traffic classes tracked on the timeline
   /// (0 = application, 1 = checkpoint, by convention).
+  /// `track_timelines`: when false, only per-class byte totals are kept --
+  /// bucketed timelines cost O(sim_time / bucket) memory per class, which
+  /// a 10k-node cluster sweep cannot afford across per-rack resources.
   SharedBandwidth(Engine& eng, double rate_bytes_per_sec,
-                  double timeline_bucket = 1.0, int classes = 2);
+                  double timeline_bucket = 1.0, int classes = 2,
+                  bool track_timelines = true);
 
   SharedBandwidth(const SharedBandwidth&) = delete;
   SharedBandwidth& operator=(const SharedBandwidth&) = delete;
@@ -45,12 +49,13 @@ class SharedBandwidth {
   std::size_t active_flows() const { return flows_.size(); }
   double rate() const { return rate_; }
 
-  /// Per-class byte timeline (bucketed over sim time).
+  /// Per-class byte timeline (bucketed over sim time; empty when timeline
+  /// tracking is disabled).
   const TimeSeries& timeline(int traffic_class) const {
     return timelines_[static_cast<std::size_t>(traffic_class)];
   }
   double total_bytes(int traffic_class) const {
-    return timelines_[static_cast<std::size_t>(traffic_class)].total();
+    return totals_[static_cast<std::size_t>(traffic_class)];
   }
 
   class Flow {
@@ -73,9 +78,11 @@ class SharedBandwidth {
   Engine* eng_;
   double rate_;
   double last_t_ = 0;
+  bool track_timelines_;
   std::list<FlowHandle> flows_;
   EventHandle next_completion_;
   std::vector<TimeSeries> timelines_;
+  std::vector<double> totals_;
 };
 
 }  // namespace nvmcp::sim

@@ -1,0 +1,110 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nvmcp::sim {
+
+Topology::Topology(const TopologyConfig& cfg) : cfg_(cfg) {
+  if (cfg_.nodes <= 0 || cfg_.nodes_per_rack <= 0 ||
+      cfg_.racks_per_switch <= 0) {
+    throw NvmcpError("Topology: node/rack/switch counts must be positive");
+  }
+  racks_ = (cfg_.nodes + cfg_.nodes_per_rack - 1) / cfg_.nodes_per_rack;
+  switches_ = (racks_ + cfg_.racks_per_switch - 1) / cfg_.racks_per_switch;
+}
+
+std::vector<int> Topology::nodes_in_rack(int rack) const {
+  std::vector<int> out;
+  const int lo = rack * cfg_.nodes_per_rack;
+  const int hi = std::min(cfg_.nodes, lo + cfg_.nodes_per_rack);
+  for (int n = lo; n < hi; ++n) out.push_back(n);
+  return out;
+}
+
+std::vector<int> Topology::nodes_under_switch(int sw) const {
+  std::vector<int> out;
+  const int lo_rack = sw * cfg_.racks_per_switch;
+  const int hi_rack = std::min(racks_, lo_rack + cfg_.racks_per_switch);
+  const int lo = lo_rack * cfg_.nodes_per_rack;
+  const int hi = std::min(cfg_.nodes, hi_rack * cfg_.nodes_per_rack);
+  for (int n = lo; n < hi; ++n) out.push_back(n);
+  return out;
+}
+
+BuddyMap::BuddyMap(const Topology& topo, const BuddyConfig& cfg)
+    : topo_(&topo), cfg_(cfg) {
+  if (cfg_.policy != BuddyPolicy::kRSGroup) return;
+  if (cfg_.rs_k < 1 || cfg_.rs_m < 1) {
+    throw NvmcpError("BuddyMap: RS groups need k >= 1 and m >= 1");
+  }
+  // Rack-transposed enumeration: walk position 0 of every rack, then
+  // position 1, ... so that any run of `racks()` consecutive entries hits
+  // distinct racks. Cutting that order into k+m sized groups spreads each
+  // group across as many racks as the cluster offers.
+  const int n = topo.nodes();
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (int pos = 0; pos < topo.nodes_per_rack(); ++pos) {
+    for (int rack = 0; rack < topo.racks(); ++rack) {
+      const int node = rack * topo.nodes_per_rack() + pos;
+      if (node < n) order.push_back(node);
+    }
+  }
+  const int group_size = cfg_.rs_k + cfg_.rs_m;
+  group_of_.assign(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < order.size(); i += group_size) {
+    const std::size_t hi =
+        std::min(order.size(), i + static_cast<std::size_t>(group_size));
+    std::vector<int> members(order.begin() + static_cast<std::ptrdiff_t>(i),
+                             order.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::sort(members.begin(), members.end());
+    const int gid = static_cast<int>(groups_.size());
+    for (int node : members) group_of_[static_cast<std::size_t>(node)] = gid;
+    groups_.push_back(std::move(members));
+  }
+}
+
+int BuddyMap::buddy_of(int node) const {
+  const int n = topo_->nodes();
+  switch (cfg_.policy) {
+    case BuddyPolicy::kPairwise: {
+      const int b = node ^ 1;
+      return b < n ? b : node;  // odd tail node keeps itself (degenerate)
+    }
+    case BuddyPolicy::kRotatingRing: {
+      const int hop =
+          cfg_.ring_rack_stride * topo_->nodes_per_rack() + cfg_.rotation;
+      // A hop that is 0 mod n would map a node onto itself; nudge by one.
+      const int step = hop % n == 0 ? 1 : hop;
+      return (node + step) % n;
+    }
+    case BuddyPolicy::kRSGroup:
+      return -1;
+  }
+  return -1;
+}
+
+int BuddyMap::group_of(int node) const {
+  if (cfg_.policy != BuddyPolicy::kRSGroup) return -1;
+  return group_of_[static_cast<std::size_t>(node)];
+}
+
+int BuddyMap::group_parity(int group) const {
+  const int size =
+      static_cast<int>(groups_[static_cast<std::size_t>(group)].size());
+  return std::min(cfg_.rs_m, size - 1);
+}
+
+double BuddyMap::cross_rack_fraction() const {
+  if (cfg_.policy == BuddyPolicy::kRSGroup) return 0;
+  int cross = 0;
+  const int n = topo_->nodes();
+  for (int node = 0; node < n; ++node) {
+    if (topo_->rack_of(buddy_of(node)) != topo_->rack_of(node)) ++cross;
+  }
+  return static_cast<double>(cross) / static_cast<double>(n);
+}
+
+}  // namespace nvmcp::sim

@@ -1,0 +1,96 @@
+// Cluster topology and buddy-group placement for the scale-out simulator.
+//
+// Nodes are packed into racks and racks into switch domains; remote
+// checkpoint placement policies map each node to where its redundancy
+// lives:
+//
+//   kPairwise      buddy = node ^ 1 -- the paper's 8-node shape. Simple,
+//                  but the buddy usually shares the rack, so a rack outage
+//                  takes out both copies.
+//   kRotatingRing  buddy = node + stride racks (mod cluster), rotated by
+//                  an epoch offset. A stride >= 1 guarantees a cross-rack
+//                  buddy; a stride >= racks_per_switch crosses the switch
+//                  domain too.
+//   kRSGroup       nodes are grouped k+m at a time in rack-transposed
+//                  order, so the members of one group land on k+m distinct
+//                  racks (when the cluster has that many) and any single
+//                  rack outage costs each group at most one member.
+#pragma once
+
+#include <vector>
+
+namespace nvmcp::sim {
+
+struct TopologyConfig {
+  int nodes = 64;
+  int nodes_per_rack = 16;
+  int racks_per_switch = 8;
+};
+
+class Topology {
+ public:
+  explicit Topology(const TopologyConfig& cfg);
+
+  int nodes() const { return cfg_.nodes; }
+  int racks() const { return racks_; }
+  int switches() const { return switches_; }
+  int nodes_per_rack() const { return cfg_.nodes_per_rack; }
+  int racks_per_switch() const { return cfg_.racks_per_switch; }
+
+  int rack_of(int node) const { return node / cfg_.nodes_per_rack; }
+  int switch_of_rack(int rack) const { return rack / cfg_.racks_per_switch; }
+  int switch_of(int node) const { return switch_of_rack(rack_of(node)); }
+
+  std::vector<int> nodes_in_rack(int rack) const;
+  std::vector<int> nodes_under_switch(int sw) const;
+
+  const TopologyConfig& config() const { return cfg_; }
+
+ private:
+  TopologyConfig cfg_;
+  int racks_ = 0;
+  int switches_ = 0;
+};
+
+enum class BuddyPolicy { kPairwise, kRotatingRing, kRSGroup };
+
+struct BuddyConfig {
+  BuddyPolicy policy = BuddyPolicy::kPairwise;
+  int ring_rack_stride = 1;  // racks between a node and its ring buddy
+  int rotation = 0;          // ring rotation epoch (shifts every buddy)
+  int rs_k = 8;              // RS data shards per group
+  int rs_m = 2;              // RS parity shards per group
+};
+
+class BuddyMap {
+ public:
+  BuddyMap(const Topology& topo, const BuddyConfig& cfg);
+
+  BuddyPolicy policy() const { return cfg_.policy; }
+
+  /// Replication target (kPairwise / kRotatingRing); the node whose NVM
+  /// holds this node's remote copy. For kRSGroup returns -1.
+  int buddy_of(int node) const;
+
+  /// RS group id for kRSGroup; -1 for replication policies.
+  int group_of(int node) const;
+  int group_count() const { return static_cast<int>(groups_.size()); }
+  const std::vector<int>& group_members(int group) const {
+    return groups_[static_cast<std::size_t>(group)];
+  }
+  /// Parity shards a group can lose and still rebuild (min(rs_m, size-1)
+  /// for ragged tail groups).
+  int group_parity(int group) const;
+
+  /// Fraction of nodes whose buddy lives in a different rack (1.0 for a
+  /// well-formed ring; diagnostics for placement tests).
+  double cross_rack_fraction() const;
+
+ private:
+  const Topology* topo_;
+  BuddyConfig cfg_;
+  std::vector<std::vector<int>> groups_;
+  std::vector<int> group_of_;
+};
+
+}  // namespace nvmcp::sim

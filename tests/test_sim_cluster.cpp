@@ -147,6 +147,76 @@ TEST(SimCluster, LinkContentionSlowsCommunication) {
   EXPECT_GT(with_ckpt.app_comm_seconds, without.app_comm_seconds);
 }
 
+// Regression (lost-work accounting): a failure used to charge only the
+// iterations already credited to compute_done_, silently dropping the
+// in-flight iteration's partial progress. With compute_per_iter = 4,
+// comm 0.2 s/iter, no checkpoints: iterations run [0,4) compute,
+// [4,4.2) comm, [4.2,8.2) compute, [8.2,8.4) comm, [8.4,12.4) compute.
+// A failure at t = 10.0 lands 1.6 s into the third compute phase, so the
+// job has destroyed 4 + 4 + 1.6 = 9.6 s of work (the old code said 8).
+TEST(SimCluster, LostWorkCountsInFlightIteration) {
+  ClusterConfig cfg = base();
+  cfg.compute_per_iter = 4.0;
+  cfg.comm_bytes_per_iter = 1.0e9;  // 0.2 s per iteration at link_bw 5e9
+  cfg.link_bw = 5.0e9;
+  cfg.total_compute = 20.0;
+  cfg.local_interval = 1e9;  // never checkpoints: rollback goes to zero
+  cfg.remote_enabled = false;
+  cfg.forced_failures.push_back({10.0, /*hard=*/false});
+  const ClusterResult r = run_cluster(cfg);
+  EXPECT_EQ(r.soft_failures, 1);
+  EXPECT_NEAR(r.lost_work, 9.6, 1e-9);
+}
+
+// Same bug, failure during the communication phase: the iteration's compute
+// finished (work_in_iter_ = 4) but was never credited, so a failure at
+// t = 8.3 (mid-comm of iteration 2) destroys 4 + 4 = 8 s (old code: 4).
+TEST(SimCluster, LostWorkCountsCommPhaseIteration) {
+  ClusterConfig cfg = base();
+  cfg.compute_per_iter = 4.0;
+  cfg.comm_bytes_per_iter = 1.0e9;
+  cfg.link_bw = 5.0e9;
+  cfg.total_compute = 20.0;
+  cfg.local_interval = 1e9;
+  cfg.remote_enabled = false;
+  cfg.forced_failures.push_back({8.3, /*hard=*/false});
+  const ClusterResult r = run_cluster(cfg);
+  EXPECT_EQ(r.soft_failures, 1);
+  EXPECT_NEAR(r.lost_work, 8.0, 1e-9);
+}
+
+// Regression (failure re-arm): the exponential failure streams used to
+// re-arm unconditionally, so a finished run kept one failure event alive
+// per class forever and the queue never drained.
+TEST(SimCluster, QueueDrainsAfterFinish) {
+  ClusterConfig cfg = base();
+  cfg.remote_enabled = true;
+  cfg.remote_precopy = true;
+  cfg.mtbf_local = 90.0;
+  cfg.mtbf_remote = 300.0;
+  const ClusterResult r = run_cluster(cfg);
+  EXPECT_GT(r.soft_failures + r.hard_failures, 0);
+  EXPECT_TRUE(r.queue_drained);
+  EXPECT_GT(r.events_fired, 0u);
+}
+
+TEST(SimCluster, ReferenceEngineProducesIdenticalResults) {
+  ClusterConfig cfg = base();
+  cfg.mtbf_local = 120.0;
+  cfg.mtbf_remote = 400.0;
+  cfg.remote_enabled = true;
+  cfg.seed = 7;
+  const ClusterResult cal = run_cluster(cfg);
+  cfg.reference_engine = true;
+  const ClusterResult ref = run_cluster(cfg);
+  EXPECT_EQ(cal.wall, ref.wall);
+  EXPECT_EQ(cal.lost_work, ref.lost_work);
+  EXPECT_EQ(cal.iterations, ref.iterations);
+  EXPECT_EQ(cal.soft_failures, ref.soft_failures);
+  EXPECT_EQ(cal.hard_failures, ref.hard_failures);
+  EXPECT_EQ(cal.events_fired, ref.events_fired);
+}
+
 // Property sweep: completion and sane efficiency across the parameter grid
 // used by the Fig 9 bench.
 class ClusterSweep

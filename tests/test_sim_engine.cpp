@@ -84,6 +84,118 @@ TEST(SimEngine, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(eng.step());
 }
 
+// Regression: valid() used to keep returning true for a cancelled event
+// until the queue happened to pop it, so callers polling a handle saw a
+// "live" event that would never fire.
+TEST(SimEngine, CancelInvalidatesHandleImmediately) {
+  Engine eng;
+  EventHandle h = eng.schedule_at(1.0, [] {});
+  EXPECT_TRUE(h.valid());
+  h.cancel();
+  EXPECT_FALSE(h.valid());  // observable before any step()/run()
+  EXPECT_EQ(eng.pending(), 0u);
+  eng.run();
+  EXPECT_EQ(eng.events_fired(), 0u);
+}
+
+TEST(SimEngine, PendingExcludesCancelledEvents) {
+  Engine eng;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(eng.schedule_at(1.0 + i, [] {}));
+  }
+  EXPECT_EQ(eng.pending(), 10u);
+  for (int i = 0; i < 10; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(eng.pending(), 5u);
+  eng.run();
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_EQ(eng.events_fired(), 5u);
+}
+
+TEST(SimEngine, HandleInvalidAfterFire) {
+  Engine eng;
+  EventHandle h = eng.schedule_at(1.0, [] {});
+  eng.run();
+  EXPECT_FALSE(h.valid());
+  h.cancel();  // no-op on a fired slot, must not corrupt anything
+  bool fired = false;
+  EventHandle h2 = eng.schedule_at(2.0, [&] { fired = true; });
+  h.cancel();  // stale handle may now alias h2's recycled slot -- must miss
+  EXPECT_TRUE(h2.valid());
+  eng.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimEngine, MassTimeTiesFireInScheduleOrder) {
+  // 10k events at the same instant (a barrier completing) stress the
+  // per-bucket heaps; order must still be schedule order.
+  Engine eng;
+  std::vector<int> order;
+  constexpr int kN = 10000;
+  order.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    eng.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimEngine, CalendarSurvivesMixedTimeScalesAndResize) {
+  // Dense near-term events coexisting with far-future outliers (the shape
+  // that breaks mean-based bucket widths), plus enough churn to cross the
+  // grow and shrink thresholds repeatedly. Self-check: strictly
+  // non-decreasing fire times and nothing lost.
+  Engine eng;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next_u64 = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  int fired = 0;
+  double last_t = -1.0;
+  int scheduled = 0;
+  std::function<void()> burst = [&] {
+    ++fired;
+    EXPECT_GE(eng.now(), last_t);
+    last_t = eng.now();
+    for (int i = 0; i < 3 && scheduled < 60000; ++i, ++scheduled) {
+      const std::uint64_t r = next_u64();
+      double dt;
+      if (r % 100 < 90) {
+        dt = 1e-6 * static_cast<double>(r % 1000 + 1);  // dense burst
+      } else if (r % 100 < 99) {
+        dt = static_cast<double>(r % 50 + 1);           // mid-range
+      } else {
+        dt = 1e6 + static_cast<double>(r % 1000);       // far outlier
+      }
+      eng.schedule_in(dt, burst);
+    }
+  };
+  for (int i = 0; i < 64; ++i, ++scheduled) eng.schedule_at(0.0, burst);
+  eng.run();
+  EXPECT_EQ(fired, scheduled);
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_EQ(eng.events_fired(), static_cast<std::uint64_t>(scheduled));
+}
+
+TEST(SimEngine, ReferenceHeapBehavesIdentically) {
+  Engine eng(Engine::QueueKind::kBinaryHeapRef);
+  std::vector<int> order;
+  eng.schedule_at(3.0, [&] { order.push_back(3); });
+  EventHandle h = eng.schedule_at(1.0, [&] { order.push_back(1); });
+  eng.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(h.valid());
+  h.cancel();
+  EXPECT_FALSE(h.valid());
+  EXPECT_EQ(eng.pending(), 2u);
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+  EXPECT_EQ(eng.events_fired(), 2u);
+}
+
 TEST(SimEngine, EventsCanRescheduleThemselves) {
   Engine eng;
   int count = 0;

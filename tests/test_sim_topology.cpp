@@ -1,0 +1,186 @@
+// Topology mapping, buddy placement policies, and correlated failure
+// scenario generation for the cluster-scale simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/failure_scenario.hpp"
+#include "sim/topology.hpp"
+
+namespace nvmcp::sim {
+namespace {
+
+TEST(SimTopology, RackAndSwitchMapping) {
+  TopologyConfig tc;
+  tc.nodes = 100;
+  tc.nodes_per_rack = 16;
+  tc.racks_per_switch = 4;
+  Topology topo(tc);
+  EXPECT_EQ(topo.racks(), 7);     // ceil(100/16)
+  EXPECT_EQ(topo.switches(), 2);  // ceil(7/4)
+  EXPECT_EQ(topo.rack_of(0), 0);
+  EXPECT_EQ(topo.rack_of(15), 0);
+  EXPECT_EQ(topo.rack_of(16), 1);
+  EXPECT_EQ(topo.switch_of(0), 0);
+  EXPECT_EQ(topo.switch_of(63), 0);   // rack 3, switch 0
+  EXPECT_EQ(topo.switch_of(64), 1);   // rack 4, switch 1
+  EXPECT_EQ(topo.nodes_in_rack(6), (std::vector<int>{96, 97, 98, 99}));
+  EXPECT_EQ(topo.nodes_under_switch(1).front(), 64);
+  EXPECT_EQ(topo.nodes_under_switch(1).back(), 99);
+  EXPECT_THROW(Topology(TopologyConfig{0, 16, 8}), NvmcpError);
+}
+
+TEST(SimTopology, PairwiseBuddyIsAnInvolutionInRack) {
+  Topology topo(TopologyConfig{64, 16, 8});
+  BuddyConfig bc;
+  bc.policy = BuddyPolicy::kPairwise;
+  BuddyMap map(topo, bc);
+  for (int n = 0; n < 64; ++n) {
+    const int b = map.buddy_of(n);
+    EXPECT_NE(b, n);
+    EXPECT_EQ(map.buddy_of(b), n);
+    // The paper's pairwise buddy shares the rack: zero rack diversity.
+    EXPECT_EQ(topo.rack_of(b), topo.rack_of(n));
+  }
+  EXPECT_DOUBLE_EQ(map.cross_rack_fraction(), 0.0);
+}
+
+TEST(SimTopology, RotatingRingCrossesRacks) {
+  Topology topo(TopologyConfig{128, 16, 4});
+  BuddyConfig bc;
+  bc.policy = BuddyPolicy::kRotatingRing;
+  bc.ring_rack_stride = 1;
+  BuddyMap map(topo, bc);
+  for (int n = 0; n < 128; ++n) {
+    EXPECT_NE(topo.rack_of(map.buddy_of(n)), topo.rack_of(n));
+  }
+  EXPECT_DOUBLE_EQ(map.cross_rack_fraction(), 1.0);
+  // A stride past the switch domain crosses switches too.
+  bc.ring_rack_stride = topo.racks_per_switch();
+  BuddyMap wide(topo, bc);
+  for (int n = 0; n < 128; ++n) {
+    EXPECT_NE(topo.switch_of(wide.buddy_of(n)), topo.switch_of(n));
+  }
+}
+
+TEST(SimTopology, RotationShiftsEveryBuddy) {
+  Topology topo(TopologyConfig{64, 16, 8});
+  BuddyConfig bc;
+  bc.policy = BuddyPolicy::kRotatingRing;
+  bc.ring_rack_stride = 1;
+  BuddyMap epoch0(topo, bc);
+  bc.rotation = 1;
+  BuddyMap epoch1(topo, bc);
+  for (int n = 0; n < 64; ++n) {
+    EXPECT_NE(epoch0.buddy_of(n), epoch1.buddy_of(n));
+  }
+}
+
+TEST(SimTopology, RSGroupsSpreadAcrossRacks) {
+  Topology topo(TopologyConfig{160, 16, 4});  // 10 racks
+  BuddyConfig bc;
+  bc.policy = BuddyPolicy::kRSGroup;
+  bc.rs_k = 8;
+  bc.rs_m = 2;
+  BuddyMap map(topo, bc);
+  EXPECT_EQ(map.group_count(), 16);  // 160 / (8+2)
+  std::set<int> seen;
+  for (int g = 0; g < map.group_count(); ++g) {
+    const std::vector<int>& members = map.group_members(g);
+    EXPECT_EQ(members.size(), 10u);
+    EXPECT_EQ(map.group_parity(g), 2);
+    // Rack-transposed order: each group's members land on 10 distinct
+    // racks, so any rack outage costs the group at most one member.
+    std::set<int> racks;
+    for (int n : members) {
+      EXPECT_EQ(map.group_of(n), g);
+      racks.insert(topo.rack_of(n));
+      seen.insert(n);
+    }
+    EXPECT_EQ(racks.size(), members.size());
+  }
+  EXPECT_EQ(seen.size(), 160u);  // every node in exactly one group
+  EXPECT_EQ(map.buddy_of(0), -1);
+}
+
+TEST(SimTopology, RaggedTailGroupHasReducedParity) {
+  Topology topo(TopologyConfig{13, 4, 2});
+  BuddyConfig bc;
+  bc.policy = BuddyPolicy::kRSGroup;
+  bc.rs_k = 8;
+  bc.rs_m = 2;
+  BuddyMap map(topo, bc);
+  ASSERT_EQ(map.group_count(), 2);
+  EXPECT_EQ(map.group_members(1).size(), 3u);
+  EXPECT_LE(map.group_parity(1), 2);
+  EXPECT_GE(map.group_parity(1), 1);
+}
+
+TEST(SimScenario, DeterministicAndSorted) {
+  Topology topo(TopologyConfig{256, 16, 4});
+  ScenarioConfig sc;
+  sc.node_soft_mtbf = 5.0e4;
+  sc.node_hard_mtbf = 2.0e5;
+  sc.rack_mtbf = 4.0e5;
+  sc.switch_mtbf = 8.0e5;
+  sc.horizon = 1.0e5;
+  sc.seed = 123;
+  const std::vector<Outage> a = generate_scenario(sc, topo);
+  const std::vector<Outage> b = generate_scenario(sc, topo);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].target, b[i].target);
+    if (i > 0) {
+      EXPECT_GE(a[i].time, a[i - 1].time);
+    }
+    EXPECT_LT(a[i].time, sc.horizon);
+  }
+  sc.seed = 124;
+  const std::vector<Outage> c = generate_scenario(sc, topo);
+  EXPECT_NE(a.size(), c.size());  // overwhelmingly likely at these rates
+}
+
+TEST(SimScenario, DisablingOneClassKeepsOthersStable) {
+  // Fixed fork order: turning the rack class off must not shift the node
+  // streams (every entity consumes its fork unconditionally).
+  Topology topo(TopologyConfig{64, 16, 4});
+  ScenarioConfig sc;
+  sc.node_hard_mtbf = 1.0e4;
+  sc.rack_mtbf = 5.0e4;
+  sc.horizon = 1.0e5;
+  sc.seed = 9;
+  const std::vector<Outage> with_racks = generate_scenario(sc, topo);
+  sc.rack_mtbf = 0;
+  const std::vector<Outage> without = generate_scenario(sc, topo);
+  std::vector<Outage> hard_only;
+  for (const Outage& o : with_racks) {
+    if (o.kind == OutageKind::kNodeHard) hard_only.push_back(o);
+  }
+  ASSERT_EQ(hard_only.size(), without.size());
+  for (std::size_t i = 0; i < without.size(); ++i) {
+    EXPECT_EQ(without[i].time, hard_only[i].time);
+    EXPECT_EQ(without[i].target, hard_only[i].target);
+  }
+}
+
+TEST(SimScenario, AffectedNodesExpandOutageDomains) {
+  Topology topo(TopologyConfig{100, 16, 4});
+  EXPECT_EQ(affected_nodes({1.0, OutageKind::kNodeHard, 42}, topo),
+            (std::vector<int>{42}));
+  const std::vector<int> rack = affected_nodes(
+      {1.0, OutageKind::kRackOutage, 6}, topo);
+  EXPECT_EQ(rack.size(), 4u);  // ragged tail rack: nodes 96..99
+  const std::vector<int> sw = affected_nodes(
+      {1.0, OutageKind::kSwitchOutage, 0}, topo);
+  EXPECT_EQ(sw.size(), 64u);  // racks 0..3
+  EXPECT_EQ(sw.front(), 0);
+  EXPECT_EQ(sw.back(), 63);
+}
+
+}  // namespace
+}  // namespace nvmcp::sim
